@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks for the substrates behind the experiments:
+//! join + provenance, min-cut resilience, profile combination, greedy
+//! iterations, and the query-complexity analyses.
+
+use adp_core::analysis::{find_hard_structures, is_ptime};
+use adp_core::solver::{compute_adp_rc, AdpOptions, CostProfile};
+use adp_datagen::queries;
+use adp_datagen::zipf::ZipfConfig;
+use adp_engine::join::evaluate;
+use adp_engine::provenance::ProvenanceIndex;
+use adp_engine::semijoin::remove_dangling;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::rc::Rc;
+
+fn bench_join(c: &mut Criterion) {
+    let db = adp_datagen::zipf_pair(&ZipfConfig::new(10_000, 0.5, 7, true));
+    let q = queries::qpath();
+    c.bench_function("join_qpath_10k", |b| {
+        b.iter(|| {
+            let r = evaluate(black_box(&db), q.atoms(), q.head());
+            black_box(r.output_count())
+        })
+    });
+}
+
+fn bench_provenance(c: &mut Criterion) {
+    let db = adp_datagen::zipf_pair(&ZipfConfig::new(5_000, 0.5, 7, true));
+    let q = queries::qpath();
+    let eval = evaluate(&db, q.atoms(), q.head());
+    c.bench_function("provenance_build_5k", |b| {
+        b.iter(|| black_box(ProvenanceIndex::new(&eval)))
+    });
+    let prov = ProvenanceIndex::new(&eval);
+    c.bench_function("provenance_profits_5k", |b| {
+        b.iter(|| black_box(prov.profits()))
+    });
+}
+
+fn bench_semijoin(c: &mut Criterion) {
+    let db = adp_datagen::zipf_pair(&ZipfConfig::new(10_000, 1.0, 3, true));
+    let q = queries::qpath();
+    c.bench_function("full_reducer_10k", |b| {
+        b.iter(|| black_box(remove_dangling(&db, q.atoms())))
+    });
+}
+
+fn bench_mincut_resilience(c: &mut Criterion) {
+    // boolean chain over zipf data: exercises linearization + Dinic
+    let db = Rc::new(adp_datagen::zipf_pair(&ZipfConfig::new(5_000, 0.5, 9, true)));
+    let q = adp_core::query::parse_query("Q() :- R1(A), R2(A,B), R3(B)").unwrap();
+    c.bench_function("boolean_resilience_5k", |b| {
+        b.iter(|| {
+            let out =
+                compute_adp_rc(&q, Rc::clone(&db), 1, &AdpOptions::counting()).unwrap();
+            black_box(out.cost)
+        })
+    });
+}
+
+fn bench_singleton_solver(c: &mut Criterion) {
+    let db = Rc::new(adp_datagen::zipf_pair(&ZipfConfig::new(50_000, 1.0, 5, false)));
+    let q = queries::q6();
+    let probe = compute_adp_rc(&q, Rc::clone(&db), 1, &AdpOptions::counting()).unwrap();
+    let k = probe.output_count / 2;
+    c.bench_function("singleton_q6_50k_half", |b| {
+        b.iter(|| {
+            let out =
+                compute_adp_rc(&q, Rc::clone(&db), k, &AdpOptions::counting()).unwrap();
+            black_box(out.cost)
+        })
+    });
+}
+
+fn bench_profile_ops(c: &mut Criterion) {
+    let pairs: Vec<(u64, u64)> = (0..10_000u64).map(|i| (i, i * 3 + (i % 7))).collect();
+    c.bench_function("profile_from_pairs_10k", |b| {
+        b.iter(|| black_box(CostProfile::from_pairs(pairs.iter().copied())))
+    });
+    let p = CostProfile::from_pairs(pairs.iter().copied());
+    c.bench_function("profile_min_cost_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for m in (0..30_000).step_by(37) {
+                acc = acc.wrapping_add(p.min_cost(m).unwrap_or(0));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let catalogue: Vec<adp_core::query::Query> = [
+        "Q(A,B) :- R1(A), R2(A,B), R3(B)",
+        "Q(A,F,G,H) :- R1(A,B), R2(F,G), R3(B,C), R4(C), R5(G,H)",
+        "Q(A,B,C,E,F,H) :- R1(A,B,C), R2(A,B,F), R3(A,E), R4(A,E,H)",
+        "Q(E,F,G) :- R1(A,B,E), R2(B,C,F), R3(C,A,G)",
+    ]
+    .iter()
+    .map(|t| adp_core::query::parse_query(t).unwrap())
+    .collect();
+    c.bench_function("is_ptime_catalogue", |b| {
+        b.iter(|| {
+            for q in &catalogue {
+                black_box(is_ptime(q));
+            }
+        })
+    });
+    c.bench_function("hard_structures_catalogue", |b| {
+        b.iter(|| {
+            for q in &catalogue {
+                black_box(find_hard_structures(q));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_join,
+    bench_provenance,
+    bench_semijoin,
+    bench_mincut_resilience,
+    bench_singleton_solver,
+    bench_profile_ops,
+    bench_analysis
+);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the paper figures behind `fig14_15` (see adp-bench::experiments).
+//! Pass `--quick` for CI-sized inputs.
+
+fn main() {
+    adp_bench::experiments::fig14_15();
+}

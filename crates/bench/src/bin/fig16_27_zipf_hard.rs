@@ -1,0 +1,6 @@
+//! Regenerates the paper figures behind `fig_zipf_hard` (see adp-bench::experiments).
+//! Pass `--quick` for CI-sized inputs.
+
+fn main() {
+    adp_bench::experiments::fig_zipf_hard();
+}

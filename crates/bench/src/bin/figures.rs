@@ -1,0 +1,14 @@
+//! Runs every experiment (Figures 7-29). Pass `--quick` for CI sizes.
+
+fn main() {
+    use adp_bench::experiments as e;
+    e::fig07();
+    e::fig08_09();
+    e::fig10_11();
+    e::fig12_13();
+    e::fig14_15();
+    e::fig_zipf_hard();
+    e::fig_zipf_easy();
+    e::fig28();
+    e::fig29();
+}

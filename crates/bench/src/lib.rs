@@ -1,0 +1,142 @@
+//! # adp-bench
+//!
+//! Experiment harness regenerating every figure of the paper's evaluation
+//! (§8, Figures 7–29). Each binary prints the same series the paper
+//! plots, as aligned text tables plus machine-readable CSV lines of the
+//! form `csv,<figure>,<series>,<x>,<y>`.
+//!
+//! Absolute numbers differ from the paper (we replace PostgreSQL+Java
+//! with a pure in-memory Rust engine and scale 10M-row workloads to
+//! laptop sizes); the *shape* — who wins, by what factor, where methods
+//! stop scaling — is the reproduction target. See `EXPERIMENTS.md`.
+
+pub mod experiments;
+
+use adp_core::query::Query;
+use adp_core::solver::{compute_adp_rc, AdpOptions, AdpOutcome};
+use adp_engine::database::Database;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// The removal ratios ρ the paper sweeps.
+pub const RATIOS: [f64; 4] = [0.10, 0.25, 0.50, 0.75];
+
+/// One measured data point.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Series label (e.g. "Greedy, rho=10%").
+    pub series: String,
+    /// X value (input size or ratio).
+    pub x: f64,
+    /// Elapsed milliseconds.
+    pub millis: f64,
+    /// Solution quality: tuples removed (u64::MAX = not applicable).
+    pub quality: u64,
+}
+
+/// Collects and prints the points of one figure.
+pub struct Figure {
+    /// Figure identifier, e.g. "fig07".
+    pub id: String,
+    /// What the figure shows.
+    pub title: String,
+    points: Vec<Point>,
+}
+
+impl Figure {
+    /// Starts a figure.
+    pub fn new(id: &str, title: &str) -> Self {
+        println!("\n=== {id}: {title} ===");
+        Figure {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Records and echoes a point.
+    pub fn push(&mut self, series: &str, x: f64, millis: f64, quality: u64) {
+        println!(
+            "  {series:<28} x={x:<12} time={millis:>10.2} ms{}",
+            if quality == u64::MAX {
+                String::new()
+            } else {
+                format!("  removed_tuples={quality}")
+            }
+        );
+        self.points.push(Point {
+            series: series.to_owned(),
+            x,
+            millis,
+            quality,
+        });
+    }
+
+    /// Emits the machine-readable CSV block.
+    pub fn finish(self) {
+        for p in &self.points {
+            if p.quality == u64::MAX {
+                println!("csv,{},{},{},{:.3}", self.id, p.series, p.x, p.millis);
+            } else {
+                println!(
+                    "csv,{},{},{},{:.3},{}",
+                    self.id, p.series, p.x, p.millis, p.quality
+                );
+            }
+        }
+        let _ = self.title;
+    }
+}
+
+/// Times one solver invocation.
+pub fn timed_solve(
+    query: &Query,
+    db: &Rc<Database>,
+    k: u64,
+    opts: &AdpOptions,
+) -> (f64, AdpOutcome) {
+    let start = Instant::now();
+    let out = compute_adp_rc(query, Rc::clone(db), k, opts)
+        .unwrap_or_else(|e| panic!("{query} k={k}: {e}"));
+    (start.elapsed().as_secs_f64() * 1e3, out)
+}
+
+/// `k = ceil(ρ · |Q(D)|)`, clamped to `1..=|Q(D)|`.
+pub fn k_for_ratio(total: u64, ratio: f64) -> u64 {
+    ((total as f64 * ratio).ceil() as u64).clamp(1, total.max(1))
+}
+
+/// Whether the harness runs in quick mode (smaller sizes, for CI).
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var("ADP_BENCH_QUICK").is_ok()
+}
+
+/// Input size ladder: full mode walks further up the paper's 1k..10M
+/// sweep than quick mode does.
+pub fn size_ladder(full: &[usize], quick: &[usize]) -> Vec<usize> {
+    if quick_mode() {
+        quick.to_vec()
+    } else {
+        full.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_for_ratio_clamps() {
+        assert_eq!(k_for_ratio(100, 0.10), 10);
+        assert_eq!(k_for_ratio(100, 0.0), 1);
+        assert_eq!(k_for_ratio(3, 0.9), 3);
+    }
+
+    #[test]
+    fn figure_collects_points() {
+        let mut f = Figure::new("t", "test");
+        f.push("s", 1.0, 2.0, 3);
+        assert_eq!(f.points.len(), 1);
+        f.finish();
+    }
+}

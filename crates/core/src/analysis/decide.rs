@@ -1,0 +1,286 @@
+//! The procedural dichotomy `IsPtime(Q)` (Theorem 2, Algorithm 1).
+//!
+//! `IsPtime` alternately applies two complexity-preserving simplification
+//! steps — removing universal attributes (Lemma 2) and decomposing a
+//! disconnected query (Lemma 3) — until it reaches a base case:
+//!
+//! * boolean query → poly-time iff no triad (Theorem 1, Freire et al.),
+//! * vacuum relation present → poly-time (Lemma 1),
+//! * anything else ("Others") → NP-hard (Lemma 4).
+
+use super::triad::find_triad;
+use crate::query::Query;
+
+/// One step of the `IsPtime` recursion, for tracing/teaching.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecisionStep {
+    /// Removed these universal attributes.
+    RemovedUniversal(Vec<String>),
+    /// Base case: boolean query without a triad — poly-time.
+    BooleanNoTriad,
+    /// Base case: boolean query with a triad on these atoms — NP-hard.
+    BooleanTriad([usize; 3]),
+    /// Base case: a vacuum relation exists — poly-time.
+    VacuumRelation(String),
+    /// Decomposed into connected components; each traced recursively.
+    Decomposed(Vec<DecisionTrace>),
+    /// Base case "Others": connected, non-boolean, no universal attribute,
+    /// no vacuum relation — NP-hard (Lemma 4).
+    Others,
+}
+
+/// A full trace of the `IsPtime` run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecisionTrace {
+    /// The (sub)query this trace describes, rendered as text.
+    pub query: String,
+    /// The steps taken.
+    pub steps: Vec<DecisionStep>,
+    /// The verdict: `true` = ADP is poly-time solvable on this query.
+    pub ptime: bool,
+}
+
+impl DecisionTrace {
+    /// Renders the trace as an indented explanation, e.g. for CLIs:
+    ///
+    /// ```text
+    /// Q(A,F,...) :- ...  =>  NP-hard
+    ///   decomposed into 2 components
+    ///     Q[3] ... => NP-hard (Others)
+    ///     Q[2] ... => poly-time (vacuum relation R2)
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        let verdict = if self.ptime { "poly-time" } else { "NP-hard" };
+        out.push_str(&format!("{pad}{}  =>  {verdict}\n", self.query));
+        for step in &self.steps {
+            match step {
+                DecisionStep::RemovedUniversal(attrs) => {
+                    out.push_str(&format!(
+                        "{pad}  removed universal attributes {{{}}}\n",
+                        attrs.join(",")
+                    ));
+                }
+                DecisionStep::BooleanNoTriad => {
+                    out.push_str(&format!("{pad}  boolean, no triad\n"));
+                }
+                DecisionStep::BooleanTriad(t) => {
+                    out.push_str(&format!("{pad}  boolean with triad on atoms {t:?}\n"));
+                }
+                DecisionStep::VacuumRelation(r) => {
+                    out.push_str(&format!("{pad}  vacuum relation {r}\n"));
+                }
+                DecisionStep::Decomposed(traces) => {
+                    out.push_str(&format!(
+                        "{pad}  decomposed into {} components:\n",
+                        traces.len()
+                    ));
+                    for t in traces {
+                        t.render_into(out, depth + 2);
+                    }
+                }
+                DecisionStep::Others => {
+                    out.push_str(&format!(
+                        "{pad}  connected, non-boolean, no universal attribute, \
+                         no vacuum relation (\"Others\", Lemma 4)\n"
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Decides poly-time solvability of `ADP(Q, D, k)` for all `D`, `k`
+/// (Theorem 2). Runs in time polynomial in the query size.
+pub fn is_ptime(q: &Query) -> bool {
+    is_ptime_trace(q).ptime
+}
+
+/// [`is_ptime`] with a step-by-step trace.
+pub fn is_ptime_trace(q: &Query) -> DecisionTrace {
+    let mut steps = Vec::new();
+    let mut query = q.clone();
+
+    // Line 1: remove all universal attributes.
+    let universal = query.universal_attrs();
+    if !universal.is_empty() {
+        steps.push(DecisionStep::RemovedUniversal(
+            universal.iter().map(|a| a.name().to_owned()).collect(),
+        ));
+        query = query.without_attrs(&universal);
+    }
+
+    // Lines 2–5: boolean base case.
+    if query.is_boolean() {
+        let (step, ptime) = match find_triad(&query) {
+            None => (DecisionStep::BooleanNoTriad, true),
+            Some(t) => (DecisionStep::BooleanTriad(t), false),
+        };
+        steps.push(step);
+        return DecisionTrace {
+            query: q.to_string(),
+            steps,
+            ptime,
+        };
+    }
+
+    // Lines 6–7: vacuum relation base case.
+    if let Some(v) = query.atoms().iter().find(|a| a.is_vacuum()) {
+        steps.push(DecisionStep::VacuumRelation(v.name().to_owned()));
+        return DecisionTrace {
+            query: q.to_string(),
+            steps,
+            ptime: true,
+        };
+    }
+
+    // Lines 9–11: decompose a disconnected query.
+    let components = query.connected_components();
+    if components.len() > 1 {
+        let traces: Vec<DecisionTrace> = components
+            .iter()
+            .map(|c| is_ptime_trace(&query.subquery(c)))
+            .collect();
+        let ptime = traces.iter().all(|t| t.ptime);
+        steps.push(DecisionStep::Decomposed(traces));
+        return DecisionTrace {
+            query: q.to_string(),
+            steps,
+            ptime,
+        };
+    }
+
+    // Line 12: "Others" — NP-hard.
+    steps.push(DecisionStep::Others);
+    DecisionTrace {
+        query: q.to_string(),
+        steps,
+        ptime: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+
+    fn ptime(text: &str) -> bool {
+        is_ptime(&parse_query(text).unwrap())
+    }
+
+    #[test]
+    fn example4_is_np_hard() {
+        // Paper Example 4: Q1 (R1,R3,R4 component) lands in "Others".
+        assert!(!ptime(
+            "Q(A,F,G,H) :- R1(A,B), R2(F,G), R3(B,C), R4(C), R5(G,H)"
+        ));
+    }
+
+    #[test]
+    fn example4_easy_component_alone() {
+        // The {R2, R5} part decomposes to vacuum relations: poly-time.
+        assert!(ptime("Q(F,G,H) :- R2(F,G), R5(G,H)"));
+    }
+
+    #[test]
+    fn core_queries_are_hard() {
+        assert!(!ptime("Q(A,B) :- R1(A), R2(A,B), R3(B)")); // Qpath/Qcover
+        assert!(!ptime("Q(A) :- R2(A,B), R3(B)")); // Qswing
+        assert!(!ptime("Q(A) :- R1(A), R2(A,B), R3(B)")); // Qseesaw
+    }
+
+    #[test]
+    fn boolean_dichotomy_matches_triads() {
+        assert!(!ptime("Q() :- R1(A,B), R2(B,C), R3(C,A)")); // triangle
+        assert!(!ptime("Q() :- R1(A,B,C), R2(A), R3(B), R4(C)")); // QT
+        assert!(ptime("Q() :- R1(A,B), R2(B,C), R3(C,E)")); // chain
+        assert!(ptime("Q() :- R1(A), R2(A,B), R3(B)")); // path
+    }
+
+    #[test]
+    fn hierarchical_full_cq_is_easy() {
+        assert!(ptime(
+            "Q(A,B,C,E,F,H) :- R1(A,B,C), R2(A,B,F), R3(A,E), R4(A,E,H)"
+        ));
+    }
+
+    #[test]
+    fn universal_attribute_saves_the_day() {
+        // §5.2.2: Q(A) over a chain with A everywhere is easy...
+        assert!(ptime("Q(A) :- R1(A,C,E), R2(A,E,F), R3(A,F,H)"));
+        // ...but selectively adding A,B makes it hard.
+        assert!(!ptime("Q(A,B) :- R1(A,C,E), R2(A,B,E,F), R3(B,F,H)"));
+    }
+
+    #[test]
+    fn strand_example_is_hard() {
+        assert!(!ptime("Q(A,B,C) :- R1(A,B,E), R2(A,C,E)"));
+    }
+
+    #[test]
+    fn vacuum_relation_is_easy() {
+        assert!(ptime("Q(A) :- R(A,B), V()"));
+    }
+
+    #[test]
+    fn full_singleton_queries_are_easy() {
+        assert!(ptime("Q(A,B) :- R1(A), R2(A,B)"));
+        assert!(ptime(
+            "Q7(A,B,C,D,E,F,G) :- R1(A,B,C), R2(A,B,C,D,E), R3(A,B,C,D,G), R4(A,B,C,F)"
+        ));
+    }
+
+    #[test]
+    fn q8_disconnected_easy() {
+        assert!(ptime(
+            "Q8(A1,B1,A2,B2,A3,B3) :- R11(A1), R12(A1,B1), R21(A2), R22(A2,B2), R31(A3), R32(A3,B3)"
+        ));
+    }
+
+    #[test]
+    fn snap_queries_are_hard() {
+        assert!(!ptime("Q2(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)"));
+        assert!(!ptime("Q3(A,B,C) :- R1(A,B), R2(B,C), R3(C,A)"));
+        assert!(!ptime("Q4(A,C,E,G) :- R1(A,B), R2(B,C), R3(E,F), R4(F,G)"));
+        assert!(!ptime("Q5(A,B,C) :- R1(A,E), R2(B,E), R3(C,E)"));
+    }
+
+    #[test]
+    fn trace_records_steps() {
+        let t = is_ptime_trace(&parse_query("Q(A) :- R1(A,B), R2(A,B,C)").unwrap());
+        assert!(t.ptime);
+        assert!(matches!(t.steps[0], DecisionStep::RemovedUniversal(_)));
+    }
+
+    #[test]
+    fn render_explains_the_decision() {
+        let t = is_ptime_trace(
+            &parse_query("Q(A,F,G,H) :- R1(A,B), R2(F,G), R3(B,C), R4(C), R5(G,H)").unwrap(),
+        );
+        let text = t.render();
+        assert!(text.contains("NP-hard"), "{text}");
+        assert!(text.contains("decomposed into 2 components"), "{text}");
+        assert!(text.contains("Others"), "{text}");
+        // the easy component mentions its vacuum/boolean resolution
+        assert!(text.contains("poly-time"), "{text}");
+    }
+
+    #[test]
+    fn render_shows_universal_removal() {
+        let t = is_ptime_trace(&parse_query("Q(A) :- R1(A,B), R2(A,B,C)").unwrap());
+        let text = t.render();
+        assert!(text.contains("removed universal attributes {A}"), "{text}");
+    }
+
+    #[test]
+    fn non_hierarchical_full_cq_is_hard() {
+        // Lemma 7 direction: Qpath-shaped full CQ.
+        assert!(!ptime("Q(A,B,C,E) :- R1(A,C), R2(C,E), R3(E,B)"));
+    }
+}

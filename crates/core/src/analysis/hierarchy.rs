@@ -1,0 +1,96 @@
+//! Hierarchical joins (Definition 5): a full CQ is hierarchical if for
+//! each pair of attributes `A, B`, `rels(A) ⊆ rels(B)`,
+//! `rels(B) ⊆ rels(A)`, or `rels(A) ∩ rels(B) = ∅`.
+
+use adp_engine::schema::{Attr, RelationSchema};
+use std::collections::BTreeSet;
+
+/// Checks the hierarchical property over a set of atoms (typically a head
+/// join restricted to non-dominated atoms). Returns `Ok(())` when
+/// hierarchical, or the violating attribute pair otherwise.
+pub fn hierarchy_violation(atoms: &[RelationSchema]) -> Result<(), (Attr, Attr)> {
+    let all_attrs: BTreeSet<Attr> = atoms
+        .iter()
+        .flat_map(|a| a.attrs().iter().cloned())
+        .collect();
+    let attrs: Vec<Attr> = all_attrs.into_iter().collect();
+    let rels: Vec<Vec<usize>> = attrs
+        .iter()
+        .map(|a| {
+            atoms
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.contains(a))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    for i in 0..attrs.len() {
+        for j in i + 1..attrs.len() {
+            let (ra, rb) = (&rels[i], &rels[j]);
+            let a_sub_b = ra.iter().all(|x| rb.contains(x));
+            let b_sub_a = rb.iter().all(|x| ra.contains(x));
+            let disjoint = ra.iter().all(|x| !rb.contains(x));
+            if !(a_sub_b || b_sub_a || disjoint) {
+                return Err((attrs[i].clone(), attrs[j].clone()));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// True if the atoms form a hierarchical join.
+pub fn is_hierarchical(atoms: &[RelationSchema]) -> bool {
+    hierarchy_violation(atoms).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+
+    fn atoms(text: &str) -> Vec<RelationSchema> {
+        parse_query(text).unwrap().atoms().to_vec()
+    }
+
+    #[test]
+    fn figure5_is_hierarchical() {
+        let a = atoms("Q(A,B,C,E,F,H) :- R1(A,B,C), R2(A,B,F), R3(A,E), R4(A,E,H)");
+        assert!(is_hierarchical(&a));
+    }
+
+    #[test]
+    fn qpath_is_not_hierarchical() {
+        let a = atoms("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+        let (x, y) = hierarchy_violation(&a).unwrap_err();
+        let mut pair = vec![x.name().to_owned(), y.name().to_owned()];
+        pair.sort();
+        assert_eq!(pair, vec!["A", "B"]);
+    }
+
+    #[test]
+    fn section5_counterexample() {
+        // §5.2.2: Q(A,B,E) :- R1(A,E), R2(A,B,E), R3(B,E), R4(E) is
+        // non-hierarchical (A and B overlap at R2 without containment)...
+        let a = atoms("Q(A,B,E) :- R1(A,E), R2(A,B,E), R3(B,E), R4(E)");
+        assert!(!is_hierarchical(&a));
+    }
+
+    #[test]
+    fn disjoint_attrs_are_fine() {
+        let a = atoms("Q(A,B) :- R1(A), R2(B)");
+        assert!(is_hierarchical(&a));
+    }
+
+    #[test]
+    fn vacuum_atoms_are_ignored_by_hierarchy() {
+        let a = atoms("Q(A) :- R1(A), V()");
+        assert!(is_hierarchical(&a));
+    }
+
+    #[test]
+    fn single_atom_is_hierarchical() {
+        let a = atoms("Q(A,B) :- R(A,B)");
+        assert!(is_hierarchical(&a));
+    }
+}

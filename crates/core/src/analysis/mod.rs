@@ -1,0 +1,34 @@
+//! Complexity analysis of the ADP problem for a given query.
+//!
+//! * [`roles`] — endogenous/exogenous atoms (paper Appendix A), dominated
+//!   atoms (Definitions 6 and 7), singleton queries (Definition 10);
+//! * [`hierarchy`] — hierarchical joins (Definition 5);
+//! * [`triad`] — triads (Definition 3) and triad-like structures
+//!   (Definition 4);
+//! * [`strand`] — strands (Definition 8);
+//! * [`decide`] — the procedural dichotomy `IsPtime` (Theorem 2,
+//!   Algorithm 1);
+//! * [`structure`] — the structural dichotomy (Theorem 3);
+//! * [`linear`] — linear atom orderings for the boolean min-cut solver
+//!   (§7.1);
+//! * [`witness_map`] — query mappings onto the hard core queries
+//!   (Definition 2, §4.2.3), yielding machine-checkable NP-hardness
+//!   certificates.
+
+pub mod decide;
+pub mod hierarchy;
+pub mod linear;
+pub mod roles;
+pub mod strand;
+pub mod structure;
+pub mod triad;
+pub mod witness_map;
+
+pub use decide::{is_ptime, is_ptime_trace, DecisionStep, DecisionTrace};
+pub use hierarchy::is_hierarchical;
+pub use linear::find_linear_order;
+pub use roles::{dominated_atoms, endogenous_atoms, singleton_atom};
+pub use strand::find_strand;
+pub use structure::{find_hard_structures, has_hard_structure, HardStructure};
+pub use triad::{find_triad, find_triad_like};
+pub use witness_map::{hardness_certificate, validate_mapping, CoreQuery, HardnessCertificate, HardnessWitness, QueryMapping, Target};

@@ -1,0 +1,192 @@
+//! Atom roles: endogenous/exogenous (Appendix A), dominated (Definitions
+//! 6/7), and the singleton base case (Definition 10).
+
+use crate::query::Query;
+use adp_engine::schema::Attr;
+
+/// True per atom if the atom is **endogenous** (paper Appendix A):
+/// `Rj` is *exogenous* iff some other atom `Ri` has `attr(Ri) ⊊ attr(Rj)`;
+/// among atoms with identical attribute sets, the first is endogenous and
+/// the rest exogenous. Optimal ADP solutions only ever delete tuples from
+/// endogenous atoms (Lemma 13).
+pub fn endogenous_atoms(q: &Query) -> Vec<bool> {
+    let n = q.atom_count();
+    let sets: Vec<Vec<&Attr>> = q
+        .atoms()
+        .iter()
+        .map(|a| {
+            let mut v: Vec<&Attr> = a.attrs().iter().collect();
+            v.sort();
+            v
+        })
+        .collect();
+    (0..n)
+        .map(|j| {
+            let dup_earlier = (0..j).any(|i| sets[i] == sets[j]);
+            let strict_subset_exists = (0..n).any(|i| i != j && is_strict_subset(&sets[i], &sets[j]));
+            !(dup_earlier || strict_subset_exists)
+        })
+        .collect()
+}
+
+/// True per atom if the atom is **dominated** (Definition 7; Definition 6
+/// is the special case of a full CQ). `Rj` is dominated by `Ri` iff
+///
+/// 1. `attr(Ri) ⊆ attr(Rj)` (strict, with equal sets handled by the
+///    dedup rule below),
+/// 2. for every `Rk` with `attr(Ri) − attr(Rk) ≠ ∅`:
+///    `attr(Rj) ∩ attr(Rk) ⊆ attr(Ri) ∩ head(Q)`,
+/// 3. `attr(Ri) ⊆ head(Q)` or `head(Q) ⊆ attr(Ri)`.
+///
+/// Atoms with identical attribute sets: the first is non-dominated, the
+/// rest dominated.
+pub fn dominated_atoms(q: &Query) -> Vec<bool> {
+    let n = q.atom_count();
+    let sets: Vec<Vec<&Attr>> = q
+        .atoms()
+        .iter()
+        .map(|a| {
+            let mut v: Vec<&Attr> = a.attrs().iter().collect();
+            v.sort();
+            v
+        })
+        .collect();
+    let head: Vec<&Attr> = q.head().iter().collect();
+    (0..n)
+        .map(|j| {
+            if (0..j).any(|i| sets[i] == sets[j]) {
+                return true; // duplicate attribute set
+            }
+            (0..n).any(|i| {
+                i != j
+                    && is_strict_subset(&sets[i], &sets[j])
+                    && cond2(&sets, i, j, &head)
+                    && cond3(&sets[i], &head)
+            })
+        })
+        .collect()
+}
+
+fn cond2(sets: &[Vec<&Attr>], i: usize, j: usize, head: &[&Attr]) -> bool {
+    let ri_cap_head: Vec<&Attr> = sets[i]
+        .iter()
+        .filter(|a| head.contains(a))
+        .copied()
+        .collect();
+    (0..sets.len()).all(|k| {
+        if k == i || k == j {
+            return true;
+        }
+        let ri_minus_rk_nonempty = sets[i].iter().any(|a| !sets[k].contains(a));
+        if !ri_minus_rk_nonempty {
+            return true;
+        }
+        // attr(Rj) ∩ attr(Rk) ⊆ attr(Ri) ∩ head(Q)
+        sets[j]
+            .iter()
+            .filter(|a| sets[k].contains(a))
+            .all(|a| ri_cap_head.contains(a))
+    })
+}
+
+fn cond3(ri: &[&Attr], head: &[&Attr]) -> bool {
+    ri.iter().all(|a| head.contains(a)) || head.iter().all(|a| ri.contains(a))
+}
+
+fn is_strict_subset(a: &[&Attr], b: &[&Attr]) -> bool {
+    a.len() < b.len() && a.iter().all(|x| b.contains(x))
+}
+
+/// If the query is a **singleton** (Definition 10), returns the index of
+/// the witnessing atom `Ri`: `attr(Ri) ⊆ attr(Rj)` for every other atom,
+/// and `attr(Ri) ⊆ head(Q)` or `head(Q) ⊆ attr(Ri)`.
+pub fn singleton_atom(q: &Query) -> Option<usize> {
+    let head = q.head();
+    q.atoms().iter().enumerate().find_map(|(i, ri)| {
+        let subset_of_all = q
+            .atoms()
+            .iter()
+            .enumerate()
+            .all(|(j, rj)| j == i || ri.attrs().iter().all(|a| rj.contains(a)));
+        let head_cond = ri.attrs().iter().all(|a| head.contains(a))
+            || head.iter().all(|a| ri.contains(a));
+        (subset_of_all && head_cond).then_some(i)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+
+    fn q(text: &str) -> Query {
+        parse_query(text).unwrap()
+    }
+
+    #[test]
+    fn endogenous_in_qpath() {
+        // R2(A,B) ⊋ R1(A): R2 exogenous; R1, R3 endogenous.
+        let q = q("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+        assert_eq!(endogenous_atoms(&q), vec![true, false, true]);
+    }
+
+    #[test]
+    fn duplicate_attr_sets_keep_one_endogenous() {
+        // Appendix A example: R1 and any one of R3,R4,R5 endogenous.
+        let q = q("Q() :- R1(A), R2(A,B), R3(B,C), R4(B,C), R5(B,C)");
+        assert_eq!(
+            endogenous_atoms(&q),
+            vec![true, false, true, false, false]
+        );
+    }
+
+    #[test]
+    fn qpath_has_no_dominated_atoms() {
+        let q = q("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+        assert_eq!(dominated_atoms(&q), vec![false, false, false]);
+    }
+
+    #[test]
+    fn figure5_r4_dominated() {
+        // Fig 5 hierarchical full CQ: R4(A,E,H) dominated by R3(A,E).
+        let q = q("Q(A,B,C,E,F,H) :- R1(A,B,C), R2(A,B,F), R3(A,E), R4(A,E,H)");
+        assert_eq!(dominated_atoms(&q), vec![false, false, false, true]);
+    }
+
+    #[test]
+    fn vacuum_atom_dominates_everything() {
+        let q = q("Q(A) :- V(), R(A), S(A,B)");
+        let dom = dominated_atoms(&q);
+        assert!(!dom[0], "vacuum atom itself non-dominated");
+        assert!(dom[1] && dom[2], "everything else dominated (Lemma 15)");
+    }
+
+    #[test]
+    fn domination_needs_head_condition() {
+        // Qswing: R3(B) ⊊ R2(A,B) but attr(R3)={B} vs head={A}: neither
+        // containment holds, so R2 is NOT dominated (and ADP is hard).
+        let q = q("Q(A) :- R2(A,B), R3(B)");
+        assert_eq!(dominated_atoms(&q), vec![false, false]);
+    }
+
+    #[test]
+    fn singleton_detection() {
+        // Paper Q6(A,B) :- R1(A), R2(A,B): R1 subset of all, attrs ⊆ head.
+        assert_eq!(singleton_atom(&q("Q(A,B) :- R1(A), R2(A,B)")), Some(0));
+        // Q7: R1(A,B,C) ⊆ everyone, attr(R1) ⊆ head.
+        let q7 = q("Q7(A,B,C,D,E,F,G) :- R1(A,B,C), R2(A,B,C,D,E), R3(A,B,C,D,G), R4(A,B,C,F)");
+        assert_eq!(singleton_atom(&q7), Some(0));
+        // chain is not a singleton
+        assert_eq!(
+            singleton_atom(&q("Q(A,E) :- R1(A,B), R2(B,C), R3(C,E)")),
+            None
+        );
+        // head ⊆ attr(Ri) direction
+        assert_eq!(singleton_atom(&q("Q(A) :- R1(A,B), R2(A,B,C)")), Some(0));
+    }
+
+    #[test]
+    fn qswing_not_singleton() {
+        assert_eq!(singleton_atom(&q("Q(A) :- R2(A,B), R3(B)")), None);
+    }
+}

@@ -1,0 +1,88 @@
+//! Strands (Definition 8): a pair of *non-dominated* atoms `Ri, Rj` with
+//!
+//! 1. `head(Q) ∩ attr(Ri) ≠ head(Q) ∩ attr(Rj)`, and
+//! 2. `(attr(Ri) ∩ attr(Rj)) − head(Q) ≠ ∅`.
+//!
+//! A strand makes ADP NP-hard even when the boolean and full projections
+//! of the query are individually easy (paper §5.2.3).
+
+use super::roles::dominated_atoms;
+use crate::query::Query;
+use adp_engine::schema::Attr;
+
+/// Finds a strand, returning the two atom indices.
+pub fn find_strand(q: &Query) -> Option<(usize, usize)> {
+    let dom = dominated_atoms(q);
+    let head = q.head();
+    let idx: Vec<usize> = (0..q.atom_count()).filter(|&i| !dom[i]).collect();
+    for (a, &i) in idx.iter().enumerate() {
+        for &j in idx.iter().skip(a + 1) {
+            let ri = q.atoms()[i].attrs();
+            let rj = q.atoms()[j].attrs();
+            let head_i: Vec<&Attr> = ri.iter().filter(|x| head.contains(x)).collect();
+            let head_j: Vec<&Attr> = rj.iter().filter(|x| head.contains(x)).collect();
+            let mut hi = head_i.clone();
+            let mut hj = head_j.clone();
+            hi.sort();
+            hj.sort();
+            let differing_heads = hi != hj;
+            let shared_existential = ri
+                .iter()
+                .any(|x| rj.contains(x) && !head.contains(x));
+            if differing_heads && shared_existential {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+
+    fn q(text: &str) -> Query {
+        parse_query(text).unwrap()
+    }
+
+    #[test]
+    fn section523_example_is_a_strand() {
+        // Q(A,B,C) :- R1(A,B,E), R2(A,C,E) is NP-hard via a strand.
+        assert_eq!(
+            find_strand(&q("Q(A,B,C) :- R1(A,B,E), R2(A,C,E)")),
+            Some((0, 1))
+        );
+    }
+
+    #[test]
+    fn qswing_and_qseesaw_contain_strands() {
+        assert!(find_strand(&q("Q(A) :- R2(A,B), R3(B)")).is_some());
+        assert!(find_strand(&q("Q(A) :- R1(A), R2(A,B), R3(B)")).is_some());
+    }
+
+    #[test]
+    fn full_projection_only_no_strand() {
+        // Shared attribute is an output: condition (2) fails.
+        assert_eq!(find_strand(&q("Q(A,B,C) :- R1(A,B), R2(A,C)")), None);
+    }
+
+    #[test]
+    fn equal_head_intersections_no_strand() {
+        // Both atoms expose the same head attributes: condition (1) fails.
+        assert_eq!(find_strand(&q("Q(A) :- R1(A,E), R2(A,E,F)")), None);
+    }
+
+    #[test]
+    fn dominated_atoms_cannot_form_strands() {
+        // Q(A) :- R1(A), R2(A,B): R2 is dominated by R1 (attr(R1) ⊆ head,
+        // cond2 vacuous), so the pair is not a strand and ADP stays easy.
+        assert_eq!(find_strand(&q("Q(A) :- R1(A), R2(A,B)")), None);
+    }
+
+    #[test]
+    fn boolean_queries_have_no_strands() {
+        // head = ∅ means condition (1) can never hold.
+        assert_eq!(find_strand(&q("Q() :- R1(A,B), R2(B,C)")), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! The structural dichotomy (Theorem 3): `ADP(Q, D, k)` is NP-hard iff
+//! the query contains a *triad-like* structure, a *strand*, or the head
+//! join of its non-dominated relations is *non-hierarchical*.
+//!
+//! This complements the procedural [`super::decide::is_ptime`]; the
+//! equivalence of the two characterizations (proved in the paper's
+//! Appendix D) is enforced here by property tests.
+
+use super::hierarchy::hierarchy_violation;
+use super::roles::dominated_atoms;
+use super::strand::find_strand;
+use super::triad::find_triad_like;
+use crate::query::Query;
+use adp_engine::schema::RelationSchema;
+
+/// A witness of NP-hardness per Theorem 3.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HardStructure {
+    /// A triad-like triple of endogenous atoms (Definition 4).
+    TriadLike([usize; 3]),
+    /// A strand: a pair of non-dominated atoms (Definition 8).
+    Strand(usize, usize),
+    /// The head join of non-dominated atoms violates the hierarchical
+    /// property at this attribute pair (Definitions 5–7).
+    NonHierarchicalHeadJoin(String, String),
+}
+
+/// Finds every hard structure present in `Q` (possibly several kinds).
+pub fn find_hard_structures(q: &Query) -> Vec<HardStructure> {
+    let mut out = Vec::new();
+    if let Some(t) = find_triad_like(q) {
+        out.push(HardStructure::TriadLike(t));
+    }
+    if let Some((i, j)) = find_strand(q) {
+        out.push(HardStructure::Strand(i, j));
+    }
+    let dom = dominated_atoms(q);
+    let head = q.head().to_vec();
+    let non_dominated_head_join: Vec<RelationSchema> = q
+        .atoms()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !dom[*i])
+        .map(|(_, a)| {
+            let existential: Vec<_> = a
+                .attrs()
+                .iter()
+                .filter(|x| !head.contains(x))
+                .cloned()
+                .collect();
+            a.without_attrs(&existential)
+        })
+        .collect();
+    if let Err((a, b)) = hierarchy_violation(&non_dominated_head_join) {
+        out.push(HardStructure::NonHierarchicalHeadJoin(
+            a.name().to_owned(),
+            b.name().to_owned(),
+        ));
+    }
+    out
+}
+
+/// True iff some hard structure is present — by Theorem 3, exactly when
+/// `ADP(Q, D, k)` is NP-hard, i.e. iff [`super::decide::is_ptime`] is
+/// false.
+pub fn has_hard_structure(q: &Query) -> bool {
+    !find_hard_structures(q).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::decide::is_ptime;
+    use crate::query::parse_query;
+
+    fn q(text: &str) -> Query {
+        parse_query(text).unwrap()
+    }
+
+    #[test]
+    fn qpath_is_non_hierarchical() {
+        let hs = find_hard_structures(&q("Q(A,B) :- R1(A), R2(A,B), R3(B)"));
+        assert!(hs
+            .iter()
+            .any(|h| matches!(h, HardStructure::NonHierarchicalHeadJoin(_, _))));
+    }
+
+    #[test]
+    fn qswing_and_qseesaw_are_strands() {
+        for text in ["Q(A) :- R2(A,B), R3(B)", "Q(A) :- R1(A), R2(A,B), R3(B)"] {
+            let hs = find_hard_structures(&q(text));
+            assert!(
+                hs.iter().any(|h| matches!(h, HardStructure::Strand(_, _))),
+                "{text}: {hs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn triad_like_example() {
+        let hs = find_hard_structures(&q("Q(E,F,G) :- R1(A,B,E), R2(B,C,F), R3(C,A,G)"));
+        assert!(hs
+            .iter()
+            .any(|h| matches!(h, HardStructure::TriadLike(_))));
+    }
+
+    #[test]
+    fn easy_queries_have_no_hard_structures() {
+        for text in [
+            "Q(A,B) :- R1(A), R2(A,B)",
+            "Q(A,B,C,E,F,H) :- R1(A,B,C), R2(A,B,F), R3(A,E), R4(A,E,H)",
+            "Q(A) :- R1(A,C,E), R2(A,E,F), R3(A,F,H)",
+            "Q() :- R1(A,B), R2(B,C), R3(C,E)",
+            "Q(A) :- R(A,B), V()",
+            "Q(A,B,C) :- R1(A,B), R2(A,C)",
+        ] {
+            assert!(
+                find_hard_structures(&q(text)).is_empty(),
+                "{text} should be structure-free"
+            );
+        }
+    }
+
+    /// Theorem 2 ≡ Theorem 3 on a catalogue of queries from the paper.
+    #[test]
+    fn dichotomies_agree_on_paper_catalogue() {
+        for text in [
+            "Q(A,B) :- R1(A), R2(A,B), R3(B)",
+            "Q(A) :- R2(A,B), R3(B)",
+            "Q(A) :- R1(A), R2(A,B), R3(B)",
+            "Q() :- R1(A,B), R2(B,C), R3(C,A)",
+            "Q() :- R1(A,B,C), R2(A), R3(B), R4(C)",
+            "Q() :- R1(A,B), R2(B,C), R3(C,E)",
+            "Q(A,F,G,H) :- R1(A,B), R2(F,G), R3(B,C), R4(C), R5(G,H)",
+            "Q(E,F,G) :- R1(A,B,E), R2(B,C,F), R3(C,A,G)",
+            "Q(A,B,C) :- R1(A,B,E), R2(A,C,E)",
+            "Q(A,B,C) :- R1(A,B), R2(A,C)",
+            "Q(A,B,E) :- R1(A,E), R2(A,B,E), R3(B,E), R4(E)",
+            "Q(A,B) :- R1(A,C,E), R2(A,B,E,F), R3(B,F,H)",
+            "Q(A) :- R1(A,C,E), R2(A,E,F), R3(A,F,H)",
+            "Q(A,B,C,E,F,H) :- R1(A,B,C), R2(A,B,F), R3(A,E), R4(A,E,H)",
+            "Q2(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)",
+            "Q3(A,B,C) :- R1(A,B), R2(B,C), R3(C,A)",
+            "Q4(A,C,E,G) :- R1(A,B), R2(B,C), R3(E,F), R4(F,G)",
+            "Q5(A,B,C) :- R1(A,E), R2(B,E), R3(C,E)",
+            "Q(A,B) :- R1(A), R2(A,B)",
+            "Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)",
+            "Q8(A1,B1,A2,B2) :- R11(A1), R12(A1,B1), R21(A2), R22(A2,B2)",
+            "Q(A) :- R(A,B), V()",
+        ] {
+            let query = q(text);
+            assert_eq!(
+                is_ptime(&query),
+                !has_hard_structure(&query),
+                "dichotomies disagree on {text}"
+            );
+        }
+    }
+}

@@ -1,0 +1,523 @@
+//! Query mappings and NP-hardness certificates (Definition 2, §4.2.2–4.2.3).
+//!
+//! When `IsPtime(Q)` is false, the paper proves NP-hardness by exhibiting
+//! a *query mapping* from a simplified subquery of `Q` onto one of three
+//! core hard queries:
+//!
+//! ```text
+//! Q_path(A,B)  :- R1(A), R2(A,B), R3(B)     (aka Q_cover)
+//! Q_swing(A)   :- R2(A,B), R3(B)
+//! Q_seesaw(A)  :- R1(A), R2(A,B), R3(B)
+//! ```
+//!
+//! [`hardness_certificate`] reproduces that construction: it follows the
+//! `IsPtime` simplification steps to a hard connected subquery and builds
+//! a mapping per the Case 1/2/3 analysis of §4.2.3 (with an exhaustive
+//! search fallback over the constant-size attribute space), then checks
+//! the mapping against Definition 2. The result is a machine-checkable
+//! witness of hardness.
+
+use crate::analysis::decide::is_ptime;
+use crate::query::Query;
+use adp_engine::schema::Attr;
+use std::collections::BTreeSet;
+
+/// The three core hard queries of §4.2.1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreQuery {
+    /// `Q_path(A,B) :- R1(A), R2(A,B), R3(B)` (also called `Q_cover`);
+    /// equivalent to partial vertex cover on bipartite graphs.
+    Path,
+    /// `Q_swing(A) :- R2(A,B), R3(B)`; equivalent to k-minimum coverage.
+    Swing,
+    /// `Q_seesaw(A) :- R1(A), R2(A,B), R3(B)`; the side-constrained
+    /// bipartite vertex cover problem.
+    Seesaw,
+}
+
+impl CoreQuery {
+    /// Atom attribute sets of the core query, as (uses A, uses B) flags.
+    fn atom_shapes(self) -> Vec<(bool, bool)> {
+        match self {
+            CoreQuery::Path | CoreQuery::Seesaw => {
+                vec![(true, false), (true, true), (false, true)]
+            }
+            CoreQuery::Swing => vec![(true, true), (false, true)],
+        }
+    }
+
+    /// Is `B` an output attribute of the core query?
+    fn b_is_output(self) -> bool {
+        matches!(self, CoreQuery::Path)
+    }
+}
+
+/// Where an attribute of the source query is sent by the mapping `f`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// mapped to the core attribute `A`
+    A,
+    /// mapped to the core attribute `B`
+    B,
+    /// mapped to `∗` (dropped)
+    Star,
+}
+
+/// A query mapping `f : attr(Q) → {A, B, ∗}` onto a core query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryMapping {
+    /// The core query targeted.
+    pub core: CoreQuery,
+    /// The attribute assignment, sorted by attribute.
+    pub assignment: Vec<(Attr, Target)>,
+}
+
+impl QueryMapping {
+    /// The target of attribute `a` (defaults to `∗` for unknown attrs).
+    pub fn target(&self, a: &Attr) -> Target {
+        self.assignment
+            .iter()
+            .find(|(x, _)| x == a)
+            .map(|(_, t)| *t)
+            .unwrap_or(Target::Star)
+    }
+}
+
+/// The witness inside a [`HardnessCertificate`].
+#[derive(Clone, Debug)]
+pub enum HardnessWitness {
+    /// A validated query mapping onto a core query (Lemma 6).
+    Mapping(QueryMapping),
+    /// A triad in a boolean subquery (Theorem 4, Freire et al.).
+    Triad([usize; 3]),
+}
+
+/// A machine-checkable NP-hardness witness for a query.
+#[derive(Clone, Debug)]
+pub struct HardnessCertificate {
+    /// Human-readable record of the simplification steps taken (universal
+    /// attribute removals and component selections).
+    pub simplification: Vec<String>,
+    /// The simplified subquery the witness is defined on.
+    pub subquery: Query,
+    /// The hardness witness.
+    pub witness: HardnessWitness,
+}
+
+impl HardnessCertificate {
+    /// The mapping, if the witness is a mapping.
+    pub fn mapping(&self) -> Option<&QueryMapping> {
+        match &self.witness {
+            HardnessWitness::Mapping(m) => Some(m),
+            HardnessWitness::Triad(_) => None,
+        }
+    }
+}
+
+/// Validates a mapping against Definition 2 plus the head-compatibility
+/// conditions required by the Lemma 6 reduction:
+///
+/// * every source atom's image equals the attribute set of some core atom,
+/// * every core atom is the image of at least one source atom,
+/// * no **output** attribute maps to a core *existential* attribute (a
+///   single core output would then correspond to several source outputs),
+/// * every core **output** attribute is hit by at least one source output
+///   attribute (so outputs correspond one-to-one; source existential
+///   attributes may *also* map to core outputs — their values are glued
+///   in the constructed instance, cf. paper Example 6).
+pub fn validate_mapping(q: &Query, m: &QueryMapping) -> bool {
+    let shapes = m.core.atom_shapes();
+    let mut covered = vec![false; shapes.len()];
+    for atom in q.atoms() {
+        let uses_a = atom.attrs().iter().any(|x| m.target(x) == Target::A);
+        let uses_b = atom.attrs().iter().any(|x| m.target(x) == Target::B);
+        match shapes.iter().position(|&s| s == (uses_a, uses_b)) {
+            Some(i) => covered[i] = true,
+            None => return false, // image is ∅ or not a core atom
+        }
+    }
+    if !covered.iter().all(|&c| c) {
+        return false;
+    }
+    // Head compatibility.
+    let head = q.head();
+    let b_output = m.core.b_is_output();
+    // (a) head attributes never map to core existential attributes
+    for (x, t) in &m.assignment {
+        if head.contains(x) && *t == Target::B && !b_output {
+            return false;
+        }
+    }
+    // (b) every core output is hit by a source output attribute
+    let head_hits = |target: Target| {
+        m.assignment
+            .iter()
+            .any(|(x, t)| *t == target && head.contains(x))
+    };
+    if !head_hits(Target::A) {
+        return false;
+    }
+    if b_output && !head_hits(Target::B) {
+        return false;
+    }
+    // (c) core existential attributes still need some preimage (Def 2
+    // condition (ii) at the attribute level) — implied by atom coverage.
+    m.assignment.iter().any(|(_, t)| *t == Target::B)
+}
+
+/// Builds a hardness certificate for `q`, or `None` when `IsPtime(q)` is
+/// true (no certificate exists — the query is poly-time solvable).
+pub fn hardness_certificate(q: &Query) -> Option<HardnessCertificate> {
+    if is_ptime(q) {
+        return None;
+    }
+    let mut steps: Vec<String> = Vec::new();
+    let mut query = q.clone();
+    loop {
+        let universal = query.universal_attrs();
+        if !universal.is_empty() {
+            steps.push(format!(
+                "remove universal attributes {{{}}}",
+                universal
+                    .iter()
+                    .map(|a| a.name().to_owned())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+            query = query.without_attrs(&universal);
+            continue;
+        }
+        if query.is_boolean() {
+            // Hard boolean query: certify with its triad (Theorem 4).
+            let triad = crate::analysis::triad::find_triad(&query)
+                .expect("hard boolean query contains a triad");
+            return Some(HardnessCertificate {
+                simplification: steps,
+                subquery: query,
+                witness: HardnessWitness::Triad(triad),
+            });
+        }
+        let components = query.connected_components();
+        if components.len() > 1 {
+            // recurse into a hard component
+            let hard = components
+                .iter()
+                .find(|c| !is_ptime(&query.subquery(c)))
+                .expect("a hard component exists when IsPtime is false");
+            steps.push(format!(
+                "select hard connected component over atoms {hard:?}"
+            ));
+            query = query.subquery(hard);
+            continue;
+        }
+        break;
+    }
+
+    // `query` is now an "Others" query. Try the constructive recipes
+    // first, then the exhaustive fallback (attribute space is constant).
+    let mapping = recipe_mapping(&query)
+        .filter(|m| validate_mapping(&query, m))
+        .or_else(|| exhaustive_mapping(&query))?;
+    Some(HardnessCertificate {
+        simplification: steps,
+        subquery: query,
+        witness: HardnessWitness::Mapping(mapping),
+    })
+}
+
+/// The Case 1/2/3 construction of §4.2.3 for "Others" queries.
+fn recipe_mapping(q: &Query) -> Option<QueryMapping> {
+    if q.is_boolean() {
+        return None; // triad case: handled by exhaustive fallback
+    }
+    let head: BTreeSet<Attr> = q.head().iter().cloned().collect();
+    let all: BTreeSet<Attr> = q.attrs().into_iter().collect();
+    let existential: BTreeSet<Attr> = all.difference(&head).cloned().collect();
+
+    // Case 1: head join has a vacuum relation (an atom entirely over
+    // existential attributes). I = head, J = existential.
+    let vacuum_in_head_join = q
+        .atoms()
+        .iter()
+        .any(|a| !a.attrs().is_empty() && a.attrs().iter().all(|x| existential.contains(x)));
+    if vacuum_in_head_join {
+        let core = if q
+            .atoms()
+            .iter()
+            .any(|a| a.attrs().iter().all(|x| head.contains(x)))
+        {
+            CoreQuery::Seesaw
+        } else {
+            CoreQuery::Swing
+        };
+        return Some(assign(q, &head, &existential, core));
+    }
+
+    // Head-join connectivity: components of atoms linked by shared head
+    // attributes.
+    let head_join = q.head_join();
+    let hj_components = head_join.connected_components();
+    if hj_components.len() > 1 {
+        // Case 2. For each component C, let I = head attrs in C; try both
+        // orientations and both sub-cases.
+        for comp in &hj_components {
+            let i_set: BTreeSet<Attr> = comp
+                .iter()
+                .flat_map(|&a| q.atoms()[a].attrs().iter())
+                .filter(|x| head.contains(x))
+                .cloned()
+                .collect();
+            if i_set.is_empty() || i_set.len() == head.len() {
+                continue;
+            }
+            let has_ri = q
+                .atoms()
+                .iter()
+                .any(|a| a.attrs().iter().all(|x| i_set.contains(x)));
+            let rest_head: BTreeSet<Attr> = head.difference(&i_set).cloned().collect();
+            let has_rj = q
+                .atoms()
+                .iter()
+                .any(|a| a.attrs().iter().all(|x| rest_head.contains(x)));
+            if has_ri && has_rj {
+                // Case 2.1: J = attr(Q) − I, target Q_path.
+                let j_set: BTreeSet<Attr> = all.difference(&i_set).cloned().collect();
+                return Some(assign(q, &i_set, &j_set, CoreQuery::Path));
+            }
+            // Case 2.2: J = existential attrs; Seesaw if Ri exists else Swing.
+            let core = if has_ri {
+                CoreQuery::Seesaw
+            } else {
+                CoreQuery::Swing
+            };
+            let candidate = assign(q, &i_set, &existential, core);
+            if validate_mapping(q, &candidate) {
+                return Some(candidate);
+            }
+        }
+        return None;
+    }
+
+    // Case 3: head join connected, no vacuum head-join relation.
+    // Case 3.1: a pair of atoms with disjoint head attributes.
+    for (ii, ri) in q.atoms().iter().enumerate() {
+        for rj in q.atoms().iter().skip(ii + 1) {
+            let disjoint_on_head = ri
+                .attrs()
+                .iter()
+                .all(|x| !head.contains(x) || !rj.contains(x));
+            if disjoint_on_head {
+                let i_set: BTreeSet<Attr> = ri
+                    .attrs()
+                    .iter()
+                    .filter(|x| head.contains(x))
+                    .cloned()
+                    .collect();
+                let j_set: BTreeSet<Attr> = head
+                    .iter()
+                    .filter(|x| !ri.contains(x))
+                    .cloned()
+                    .collect();
+                if i_set.is_empty() || j_set.is_empty() {
+                    continue;
+                }
+                let candidate = assign(q, &i_set, &j_set, CoreQuery::Path);
+                if validate_mapping(q, &candidate) {
+                    return Some(candidate);
+                }
+            }
+        }
+    }
+    // Case 3.2 (all pairs share head attributes): delegate to the
+    // exhaustive search — the recipe's tie-breaking is intricate and the
+    // attribute space is tiny.
+    None
+}
+
+fn assign(
+    q: &Query,
+    i_set: &BTreeSet<Attr>,
+    j_set: &BTreeSet<Attr>,
+    core: CoreQuery,
+) -> QueryMapping {
+    let assignment = q
+        .attrs()
+        .into_iter()
+        .map(|a| {
+            let t = if i_set.contains(&a) {
+                Target::A
+            } else if j_set.contains(&a) {
+                Target::B
+            } else {
+                Target::Star
+            };
+            (a, t)
+        })
+        .collect();
+    QueryMapping { core, assignment }
+}
+
+/// Exhaustive fallback: enumerate all assignments `attr → {A,B,∗}` for
+/// each core query. Query sizes are constants, so `3^|attr|` is fine.
+fn exhaustive_mapping(q: &Query) -> Option<QueryMapping> {
+    let attrs = q.attrs();
+    let n = attrs.len();
+    if n > 14 {
+        return None; // defensive cap; realistic queries are far smaller
+    }
+    for core in [CoreQuery::Path, CoreQuery::Swing, CoreQuery::Seesaw] {
+        let mut choice = vec![0u8; n];
+        loop {
+            let assignment: Vec<(Attr, Target)> = attrs
+                .iter()
+                .cloned()
+                .zip(choice.iter().map(|&c| match c {
+                    0 => Target::A,
+                    1 => Target::B,
+                    _ => Target::Star,
+                }))
+                .collect();
+            let m = QueryMapping { core, assignment };
+            if validate_mapping(q, &m) {
+                return Some(m);
+            }
+            // increment base-3 counter
+            let mut i = 0;
+            loop {
+                if i == n {
+                    break;
+                }
+                choice[i] += 1;
+                if choice[i] < 3 {
+                    break;
+                }
+                choice[i] = 0;
+                i += 1;
+            }
+            if i == n {
+                break;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+
+    fn q(text: &str) -> Query {
+        parse_query(text).unwrap()
+    }
+
+    #[test]
+    fn easy_queries_have_no_certificate() {
+        for text in [
+            "Q(A,B) :- R1(A), R2(A,B)",
+            "Q() :- R1(A,B), R2(B,C), R3(C,E)",
+            "Q(A) :- R(A,B), V()",
+        ] {
+            assert!(hardness_certificate(&q(text)).is_none(), "{text}");
+        }
+    }
+
+    #[test]
+    fn core_queries_certify_themselves() {
+        let c = hardness_certificate(&q("Q(A,B) :- R1(A), R2(A,B), R3(B)")).unwrap();
+        assert!(validate_mapping(&c.subquery, c.mapping().unwrap()));
+        let c = hardness_certificate(&q("Q(A) :- R2(A,B), R3(B)")).unwrap();
+        assert!(validate_mapping(&c.subquery, c.mapping().unwrap()));
+        let c = hardness_certificate(&q("Q(A) :- R1(A), R2(A,B), R3(B)")).unwrap();
+        assert!(validate_mapping(&c.subquery, c.mapping().unwrap()));
+    }
+
+    #[test]
+    fn example5_maps_to_seesaw_via_case1() {
+        // Paper Example 5: Q1(A,C,F) with vacuum head-join relation R2(B).
+        let query = q("Q1(A,C,F) :- R1(A,C), R2(B), R3(B,C), R4(C,E,F)");
+        let c = hardness_certificate(&query).unwrap();
+        assert!(validate_mapping(&c.subquery, c.mapping().unwrap()));
+        assert_eq!(c.mapping().unwrap().core, CoreQuery::Seesaw);
+    }
+
+    #[test]
+    fn example5_without_r1_maps_to_swing() {
+        let query = q("Q1(C,F) :- R2(B), R3(B,C), R4(C,E,F)");
+        let c = hardness_certificate(&query).unwrap();
+        assert!(validate_mapping(&c.subquery, c.mapping().unwrap()));
+        assert_eq!(c.mapping().unwrap().core, CoreQuery::Swing);
+    }
+
+    #[test]
+    fn example6_disconnected_head_join_maps_to_path() {
+        // Q2(A,B) :- R1(A), R2(A,C), R3(C,B), R4(B): Case 2.1.
+        let query = q("Q2(A,B) :- R1(A), R2(A,C), R3(C,B), R4(B)");
+        let c = hardness_certificate(&query).unwrap();
+        assert!(validate_mapping(&c.subquery, c.mapping().unwrap()));
+        assert_eq!(c.mapping().unwrap().core, CoreQuery::Path);
+    }
+
+    #[test]
+    fn example7_full_cq_case31() {
+        // Q3(A,B,C,E) :- R1(A,C), R2(C,E), R3(E,B): maps to Q_path.
+        let query = q("Q3(A,B,C,E) :- R1(A,C), R2(C,E), R3(E,B)");
+        let c = hardness_certificate(&query).unwrap();
+        assert!(validate_mapping(&c.subquery, c.mapping().unwrap()));
+        assert_eq!(c.mapping().unwrap().core, CoreQuery::Path);
+    }
+
+    #[test]
+    fn example7_case32() {
+        // Q4(A,B,C,E,F) :- R1(A,B,C,E,F), R2(B,C,E), R3(A,C): Case 3.2.
+        let query = q("Q4(A,B,C,E,F) :- R1(A,B,C,E,F), R2(B,C,E), R3(A,C)");
+        let c = hardness_certificate(&query).unwrap();
+        assert!(validate_mapping(&c.subquery, c.mapping().unwrap()));
+        assert_eq!(c.mapping().unwrap().core, CoreQuery::Path);
+    }
+
+    #[test]
+    fn certificate_traces_simplifications() {
+        // Example 4: certificate should pick the hard component.
+        let query = q("Q(A,F,G,H) :- R1(A,B), R2(F,G), R3(B,C), R4(C), R5(G,H)");
+        let c = hardness_certificate(&query).unwrap();
+        assert!(!c.simplification.is_empty());
+        assert!(validate_mapping(&c.subquery, c.mapping().unwrap()));
+    }
+
+    #[test]
+    fn snap_queries_have_certificates() {
+        for text in [
+            "Q2(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)",
+            "Q5(A,B,C) :- R1(A,E), R2(B,E), R3(C,E)",
+        ] {
+            let c = hardness_certificate(&q(text)).unwrap();
+            assert!(validate_mapping(&c.subquery, c.mapping().unwrap()), "{text}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_mappings() {
+        let query = q("Q(A,B) :- R1(A), R2(A,B), R3(B)");
+        // everything to ∗: invalid
+        let bad = QueryMapping {
+            core: CoreQuery::Path,
+            assignment: query
+                .attrs()
+                .into_iter()
+                .map(|a| (a, Target::Star))
+                .collect(),
+        };
+        assert!(!validate_mapping(&query, &bad));
+        // existential-to-output violation on Q_swing-shaped query
+        let swing = q("Q(A) :- R2(A,B), R3(B)");
+        let bad = QueryMapping {
+            core: CoreQuery::Path, // B would have to be an output
+            assignment: vec![
+                (adp_engine::schema::Attr::new("A"), Target::A),
+                (adp_engine::schema::Attr::new("B"), Target::B),
+            ],
+        };
+        assert!(!validate_mapping(&swing, &bad));
+    }
+}

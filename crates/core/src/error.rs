@@ -1,0 +1,79 @@
+//! Error types for query construction and solving.
+
+use std::fmt;
+
+/// Errors raised while building or parsing queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query body is empty.
+    EmptyBody,
+    /// Two atoms reference the same relation (self-joins are out of scope).
+    SelfJoin(String),
+    /// A head attribute does not occur in the body.
+    HeadNotInBody(String),
+    /// Parse failure with a human-readable message.
+    Parse(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::EmptyBody => write!(f, "query body must contain at least one atom"),
+            QueryError::SelfJoin(r) => write!(
+                f,
+                "relation {r} appears twice; self-join-free CQs only (paper scope)"
+            ),
+            QueryError::HeadNotInBody(a) => {
+                write!(f, "head attribute {a} does not appear in the body")
+            }
+            QueryError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Errors raised by the ADP solver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// `k` exceeds `|Q(D)|`: the requested number of output deletions is
+    /// unattainable (the paper requires `1 ≤ k ≤ |Q(D)|`).
+    KTooLarge {
+        /// requested deletions
+        k: u64,
+        /// available outputs
+        available: u64,
+    },
+    /// `k = 0` is trivial; the caller probably made an off-by-one error.
+    KZero,
+    /// An exact dynamic program would exceed the configured memory budget
+    /// (dense table larger than [`crate::solver::AdpOptions::dense_limit`]).
+    BudgetExceeded(String),
+    /// Under the given deletion policy (frozen relations) no deletion set
+    /// can remove `k` outputs.
+    Infeasible {
+        /// requested deletions
+        k: u64,
+        /// outputs removable under the policy
+        removable: u64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::KTooLarge { k, available } => write!(
+                f,
+                "cannot remove {k} outputs: only {available} outputs exist"
+            ),
+            SolveError::KZero => write!(f, "k must be at least 1"),
+            SolveError::BudgetExceeded(what) => write!(f, "memory budget exceeded: {what}"),
+            SolveError::Infeasible { k, removable } => write!(
+                f,
+                "cannot remove {k} outputs: the deletion policy only allows removing {removable}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}

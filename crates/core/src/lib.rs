@@ -1,0 +1,57 @@
+//! # adp-core
+//!
+//! A complete implementation of **Aggregated Deletion Propagation for
+//! Counting Conjunctive Query Answers** (Hu, Sun, Patwa, Panigrahi, Roy;
+//! VLDB 2020, arXiv:2010.08694).
+//!
+//! Given a self-join-free conjunctive query `Q`, a database `D`, and an
+//! integer `k`, `ADP(Q, D, k)` asks for the minimum number of input
+//! tuples whose deletion removes at least `k` tuples from `Q(D)`.
+//!
+//! The crate provides:
+//!
+//! * [`query`] — the CQ model and a datalog-style parser;
+//! * [`analysis`] — both dichotomies: the procedural
+//!   [`analysis::is_ptime`] (Theorem 2) and the structural
+//!   [`analysis::has_hard_structure`] (Theorem 3), plus machine-checkable
+//!   [`analysis::hardness_certificate`]s (Lemma 6);
+//! * [`solver`] — the unified [`solver::compute_adp`] (Algorithm 2):
+//!   exact on poly-time queries, greedy heuristic on NP-hard ones, with
+//!   counting and reporting modes;
+//! * [`approx`] — the Partial-Set-Cover approximation algorithms for
+//!   full CQs (Theorem 5);
+//! * [`selection`] — CQs with selection predicates (§7.5, Lemma 12).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use adp_core::query::parse_query;
+//! use adp_core::analysis::is_ptime;
+//! use adp_core::solver::{compute_adp, AdpOptions};
+//! use adp_engine::database::Database;
+//! use adp_engine::schema::attrs;
+//!
+//! // The paper's waitlist query (Example 1).
+//! let q = parse_query("QWL(S,C) :- Major(S,M), Req(M,C), NoSeat(C)").unwrap();
+//! assert!(!is_ptime(&q)); // NP-hard in general
+//!
+//! let mut db = Database::new();
+//! db.add_relation("Major", attrs(&["S", "M"]), &[&[1, 10], &[2, 10]]);
+//! db.add_relation("Req", attrs(&["M", "C"]), &[&[10, 100], &[10, 101]]);
+//! db.add_relation("NoSeat", attrs(&["C"]), &[&[100], &[101]]);
+//!
+//! // Shrink the waitlist by 2 entries with minimum intervention.
+//! let out = compute_adp(&q, &db, 2, &AdpOptions::default()).unwrap();
+//! assert!(out.cost >= 1 && out.achieved >= 2);
+//! ```
+
+pub mod analysis;
+pub mod approx;
+pub mod error;
+pub mod query;
+pub mod selection;
+pub mod solver;
+
+pub use error::{QueryError, SolveError};
+pub use query::{parse_query, Query};
+pub use solver::{compute_adp, compute_adp_rc, AdpOptions, AdpOutcome, Mode};

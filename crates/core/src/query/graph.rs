@@ -1,0 +1,146 @@
+//! The query graph `G_Q` (paper §3.1, Figure 2): one vertex per relation,
+//! an edge whenever two relations share an attribute. Also the
+//! attribute-restricted reachability used by triad detection (§5).
+
+use adp_engine::schema::{Attr, RelationSchema};
+
+/// Connected components of `G_Q` as sorted lists of atom indices,
+/// deterministically ordered by smallest member.
+pub fn connected_components(atoms: &[RelationSchema]) -> Vec<Vec<usize>> {
+    let n = atoms.len();
+    let mut comp: Vec<Option<usize>> = vec![None; n];
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    for start in 0..n {
+        if comp[start].is_some() {
+            continue;
+        }
+        let id = out.len();
+        let mut stack = vec![start];
+        let mut members = Vec::new();
+        comp[start] = Some(id);
+        while let Some(u) = stack.pop() {
+            members.push(u);
+            for v in 0..n {
+                if comp[v].is_none() && shares_attr(&atoms[u], &atoms[v]) {
+                    comp[v] = Some(id);
+                    stack.push(v);
+                }
+            }
+        }
+        members.sort_unstable();
+        out.push(members);
+    }
+    out
+}
+
+/// Do two atoms share at least one attribute?
+pub fn shares_attr(a: &RelationSchema, b: &RelationSchema) -> bool {
+    a.attrs().iter().any(|x| b.contains(x))
+}
+
+/// Do two atoms share at least one attribute **outside** `excluded`?
+pub fn shares_attr_outside(a: &RelationSchema, b: &RelationSchema, excluded: &[Attr]) -> bool {
+    a.attrs()
+        .iter()
+        .any(|x| b.contains(x) && !excluded.contains(x))
+}
+
+/// Is there a path (sequence of atoms, consecutive pairs sharing an
+/// attribute outside `excluded`) from atom `from` to atom `to`? Both
+/// endpoints may themselves contain excluded attributes; only the
+/// *connections* are restricted, matching the paper's path definition for
+/// triads ("a path from R1 to R2 only using attributes in
+/// attr(Q) − attr(R3)").
+pub fn connected_avoiding(
+    atoms: &[RelationSchema],
+    from: usize,
+    to: usize,
+    excluded: &[Attr],
+) -> bool {
+    if from == to {
+        return true;
+    }
+    let n = atoms.len();
+    let mut seen = vec![false; n];
+    seen[from] = true;
+    let mut stack = vec![from];
+    while let Some(u) = stack.pop() {
+        for v in 0..n {
+            if !seen[v] && shares_attr_outside(&atoms[u], &atoms[v], excluded) {
+                if v == to {
+                    return true;
+                }
+                seen[v] = true;
+                stack.push(v);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_engine::schema::attrs;
+
+    fn chain() -> Vec<RelationSchema> {
+        vec![
+            RelationSchema::new("R1", attrs(&["A", "B"])),
+            RelationSchema::new("R2", attrs(&["B", "C"])),
+            RelationSchema::new("R3", attrs(&["C", "E"])),
+        ]
+    }
+
+    #[test]
+    fn chain_is_connected() {
+        assert_eq!(connected_components(&chain()), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn figure2_graph_components() {
+        // Figure 2 of the paper: one connected query.
+        let atoms = vec![
+            RelationSchema::new("R1", attrs(&["A", "B", "C"])),
+            RelationSchema::new("R2", attrs(&["A", "H"])),
+            RelationSchema::new("R3", attrs(&["B", "E", "F"])),
+            RelationSchema::new("R4", attrs(&["E", "K"])),
+            RelationSchema::new("R5", attrs(&["K", "I"])),
+            RelationSchema::new("R6", attrs(&["C", "I", "J"])),
+        ];
+        assert_eq!(connected_components(&atoms).len(), 1);
+    }
+
+    #[test]
+    fn avoiding_attrs_breaks_paths() {
+        let atoms = chain();
+        // R1–R3 connected in general...
+        assert!(connected_avoiding(&atoms, 0, 2, &[]));
+        // ...but not when the only bridge attributes are excluded.
+        assert!(!connected_avoiding(&atoms, 0, 2, &attrs(&["B"])));
+        assert!(!connected_avoiding(&atoms, 0, 2, &attrs(&["C"])));
+    }
+
+    #[test]
+    fn triangle_has_two_routes() {
+        let atoms = vec![
+            RelationSchema::new("R1", attrs(&["A", "B"])),
+            RelationSchema::new("R2", attrs(&["B", "C"])),
+            RelationSchema::new("R3", attrs(&["C", "A"])),
+        ];
+        // excluding C still leaves the direct A/B connections
+        assert!(connected_avoiding(&atoms, 0, 1, &attrs(&["C"])));
+        // excluding B forces the route through R3
+        assert!(connected_avoiding(&atoms, 0, 1, &attrs(&["B"])));
+        // excluding both disconnects R1 from R2
+        assert!(!connected_avoiding(&atoms, 0, 1, &attrs(&["B", "A", "C"])));
+    }
+
+    #[test]
+    fn vacuum_atoms_are_isolated() {
+        let atoms = vec![
+            RelationSchema::new("V", vec![]),
+            RelationSchema::new("R", attrs(&["A"])),
+        ];
+        assert_eq!(connected_components(&atoms).len(), 2);
+    }
+}

@@ -1,0 +1,305 @@
+//! Conjunctive queries without self-joins (paper §3.1).
+//!
+//! A [`Query`] is a head (output attribute set) plus a body of atoms, each
+//! an [`RelationSchema`]. Transformations used throughout the paper —
+//! residual queries `Q^{-A}`, head joins, connected components — live
+//! here; complexity analyses live in [`crate::analysis`].
+
+pub mod graph;
+pub mod parser;
+
+use crate::error::QueryError;
+use adp_engine::schema::{Attr, RelationSchema};
+use std::collections::BTreeSet;
+use std::fmt;
+
+pub use parser::parse_query;
+
+/// A self-join-free conjunctive query `Q(head) :- R1(..), ..., Rp(..)`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Query {
+    name: String,
+    head: Vec<Attr>,
+    atoms: Vec<RelationSchema>,
+}
+
+impl Query {
+    /// Builds a query, validating the paper's standing assumptions:
+    /// non-empty body, no self-joins, head ⊆ body attributes.
+    pub fn new(name: &str, head: Vec<Attr>, atoms: Vec<RelationSchema>) -> Result<Self, QueryError> {
+        if atoms.is_empty() {
+            return Err(QueryError::EmptyBody);
+        }
+        for (i, a) in atoms.iter().enumerate() {
+            if atoms[..i].iter().any(|b| b.name() == a.name()) {
+                return Err(QueryError::SelfJoin(a.name().to_owned()));
+            }
+        }
+        let mut head_set: Vec<Attr> = head;
+        head_set.sort();
+        head_set.dedup();
+        for h in &head_set {
+            if !atoms.iter().any(|a| a.contains(h)) {
+                return Err(QueryError::HeadNotInBody(h.to_string()));
+            }
+        }
+        Ok(Query {
+            name: name.to_owned(),
+            head: head_set,
+            atoms,
+        })
+    }
+
+    /// The query's name (used for display only).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Output attributes (`head(Q)`), sorted.
+    pub fn head(&self) -> &[Attr] {
+        &self.head
+    }
+
+    /// Body atoms (`rels(Q)`).
+    pub fn atoms(&self) -> &[RelationSchema] {
+        &self.atoms
+    }
+
+    /// Number of atoms (`p`).
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// All attributes appearing in the body (`attr(Q)`), sorted.
+    pub fn attrs(&self) -> Vec<Attr> {
+        let set: BTreeSet<Attr> = self
+            .atoms
+            .iter()
+            .flat_map(|a| a.attrs().iter().cloned())
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// Non-output (existential) attributes, sorted.
+    pub fn existential_attrs(&self) -> Vec<Attr> {
+        self.attrs()
+            .into_iter()
+            .filter(|a| !self.head.contains(a))
+            .collect()
+    }
+
+    /// True if the query has no output attributes (`head(Q) = ∅`).
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// True if every body attribute is an output attribute (full CQ —
+    /// the natural join).
+    pub fn is_full(&self) -> bool {
+        self.attrs().iter().all(|a| self.head.contains(a))
+    }
+
+    /// True if some atom is vacuum (zero attributes).
+    pub fn has_vacuum_atom(&self) -> bool {
+        self.atoms.iter().any(|a| a.is_vacuum())
+    }
+
+    /// The relations containing attribute `a` (`rels(A)`), as atom indices.
+    pub fn rels_with(&self, a: &Attr) -> Vec<usize> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.contains(a))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Universal attributes: **output** attributes appearing in *every*
+    /// atom (paper §4: "an attribute is universal if it is an output
+    /// attribute appearing in all relations").
+    pub fn universal_attrs(&self) -> Vec<Attr> {
+        self.head
+            .iter()
+            .filter(|h| self.atoms.iter().all(|a| a.contains(h)))
+            .cloned()
+            .collect()
+    }
+
+    /// Residual query `Q^{-A}`: `remove` dropped from the head and from
+    /// every atom (paper Lemma 2 / §7.5).
+    pub fn without_attrs(&self, remove: &[Attr]) -> Query {
+        Query {
+            name: format!("{}^-", self.name),
+            head: self
+                .head
+                .iter()
+                .filter(|h| !remove.contains(h))
+                .cloned()
+                .collect(),
+            atoms: self.atoms.iter().map(|a| a.without_attrs(remove)).collect(),
+        }
+    }
+
+    /// The *head join* `Q_head`: the residual query after removing all
+    /// non-output attributes from all atoms (paper §4.2.3 / §5.2.2).
+    pub fn head_join(&self) -> Query {
+        self.without_attrs(&self.existential_attrs())
+    }
+
+    /// The subquery on a subset of atoms, keeping only head attributes
+    /// that occur in those atoms. Panics on an empty selection.
+    pub fn subquery(&self, atom_indices: &[usize]) -> Query {
+        assert!(!atom_indices.is_empty(), "subquery needs at least one atom");
+        let atoms: Vec<RelationSchema> = atom_indices
+            .iter()
+            .map(|&i| self.atoms[i].clone())
+            .collect();
+        let head: Vec<Attr> = self
+            .head
+            .iter()
+            .filter(|h| atoms.iter().any(|a| a.contains(h)))
+            .cloned()
+            .collect();
+        Query {
+            name: format!("{}[{}]", self.name, atoms.len()),
+            head,
+            atoms,
+        }
+    }
+
+    /// Connected components of the query graph `G_Q`, as sets of atom
+    /// indices (paper §3.1). Sorted for determinism.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        graph::connected_components(&self.atoms)
+    }
+
+    /// True if `G_Q` is connected.
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() == 1
+    }
+}
+
+impl fmt::Debug for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, h) in self.head.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{h}")?;
+        }
+        write!(f, ") :- ")?;
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_engine::schema::attrs;
+
+    fn q(text: &str) -> Query {
+        parse_query(text).unwrap()
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert_eq!(
+            Query::new("Q", vec![], vec![]).unwrap_err(),
+            QueryError::EmptyBody
+        );
+        let r = RelationSchema::new("R", attrs(&["A"]));
+        assert!(matches!(
+            Query::new("Q", vec![], vec![r.clone(), r.clone()]).unwrap_err(),
+            QueryError::SelfJoin(_)
+        ));
+        assert!(matches!(
+            Query::new("Q", attrs(&["Z"]), vec![r]).unwrap_err(),
+            QueryError::HeadNotInBody(_)
+        ));
+    }
+
+    #[test]
+    fn attr_sets() {
+        let q = q("Q(A,E) :- R1(A,B), R2(B,C), R3(C,E)");
+        assert_eq!(q.attrs(), attrs(&["A", "B", "C", "E"]));
+        assert_eq!(q.existential_attrs(), attrs(&["B", "C"]));
+        assert!(!q.is_boolean());
+        assert!(!q.is_full());
+    }
+
+    #[test]
+    fn full_and_boolean_flags() {
+        assert!(q("Q(A,B) :- R1(A,B)").is_full());
+        assert!(q("Q() :- R1(A,B)").is_boolean());
+    }
+
+    #[test]
+    fn universal_attrs_must_be_output_and_everywhere() {
+        // B is everywhere but not output; A is output and everywhere.
+        let q = q("Q(A) :- R1(A,B), R2(A,B,C)");
+        assert_eq!(q.universal_attrs(), attrs(&["A"]));
+        // nothing universal in a chain
+        assert!(q2_chain().universal_attrs().is_empty());
+    }
+
+    fn q2_chain() -> Query {
+        q("Q(A,E) :- R1(A,B), R2(B,C), R3(C,E)")
+    }
+
+    #[test]
+    fn residual_query_drops_attr_everywhere() {
+        let q = q("Q(A,B) :- R1(A,B), R2(A,C)");
+        let r = q.without_attrs(&attrs(&["A"]));
+        assert_eq!(r.head(), &attrs(&["B"])[..]);
+        assert_eq!(r.atoms()[0].attrs(), &attrs(&["B"])[..]);
+        assert_eq!(r.atoms()[1].attrs(), &attrs(&["C"])[..]);
+    }
+
+    #[test]
+    fn head_join_keeps_only_output_attrs() {
+        let q = q2_chain();
+        let hj = q.head_join();
+        assert_eq!(hj.atoms()[0].attrs(), &attrs(&["A"])[..]);
+        assert!(hj.atoms()[1].is_vacuum());
+        assert_eq!(hj.atoms()[2].attrs(), &attrs(&["E"])[..]);
+    }
+
+    #[test]
+    fn example4_components() {
+        // Paper Example 4.
+        let q = q("Q(A,F,G,H) :- R1(A,B), R2(F,G), R3(B,C), R4(C), R5(G,H)");
+        let mut comps = q.connected_components();
+        comps.sort();
+        assert_eq!(comps, vec![vec![0, 2, 3], vec![1, 4]]);
+        assert!(!q.is_connected());
+        let sub = q.subquery(&[1, 4]);
+        assert_eq!(sub.head(), &attrs(&["F", "G", "H"])[..]);
+    }
+
+    #[test]
+    fn vacuum_detection() {
+        let q = Query::new(
+            "Q",
+            vec![],
+            vec![
+                RelationSchema::new("V", vec![]),
+                RelationSchema::new("R", attrs(&["A"])),
+            ],
+        )
+        .unwrap();
+        assert!(q.has_vacuum_atom());
+    }
+}

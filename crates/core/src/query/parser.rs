@@ -1,0 +1,196 @@
+//! A small datalog-style parser for conjunctive queries.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! query  :=  name '(' attrlist? ')' (':-' | '<-') atom (',' atom)*
+//! atom   :=  name '(' attrlist? ')'
+//! attrlist := ident (',' ident)*
+//! ```
+//!
+//! Examples from the paper parse directly:
+//!
+//! ```
+//! use adp_core::query::parse_query;
+//! let q = parse_query("QWL(S,C) :- Major(S,M), Req(M,C), NoSeat(C)").unwrap();
+//! assert_eq!(q.atom_count(), 3);
+//! assert_eq!(q.head().len(), 2);
+//! ```
+
+use super::Query;
+use crate::error::QueryError;
+use adp_engine::schema::{Attr, RelationSchema};
+
+/// Parses a query from its datalog-ish text form.
+pub fn parse_query(text: &str) -> Result<Query, QueryError> {
+    let (head_part, body_part) = split_rule(text)?;
+    let (qname, head_attrs) = parse_atom_text(head_part)?;
+    let mut atoms = Vec::new();
+    for atom_text in split_atoms(body_part)? {
+        let (rname, rattrs) = parse_atom_text(&atom_text)?;
+        atoms.push(RelationSchema::new(
+            &rname,
+            rattrs.into_iter().map(|a| Attr::new(&a)).collect(),
+        ));
+    }
+    Query::new(
+        &qname,
+        head_attrs.into_iter().map(|a| Attr::new(&a)).collect(),
+        atoms,
+    )
+}
+
+fn split_rule(text: &str) -> Result<(&str, &str), QueryError> {
+    for sep in [":-", "<-"] {
+        if let Some(pos) = text.find(sep) {
+            return Ok((&text[..pos], &text[pos + sep.len()..]));
+        }
+    }
+    Err(QueryError::Parse(format!(
+        "missing ':-' separator in {text:?}"
+    )))
+}
+
+/// Splits the body into atom strings, respecting parentheses.
+fn split_atoms(body: &str) -> Result<Vec<String>, QueryError> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for c in body.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| QueryError::Parse("unbalanced ')'".into()))?;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_owned());
+                }
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if depth != 0 {
+        return Err(QueryError::Parse("unbalanced '('".into()));
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_owned());
+    }
+    if out.is_empty() {
+        return Err(QueryError::EmptyBody);
+    }
+    Ok(out)
+}
+
+/// Parses `Name(A,B,C)` (or `Name()` / `Name` for vacuum) into the name
+/// and attribute list.
+fn parse_atom_text(text: &str) -> Result<(String, Vec<String>), QueryError> {
+    let text = text.trim();
+    let Some(open) = text.find('(') else {
+        // bare name, vacuum atom
+        if text.is_empty() || !is_ident(text) {
+            return Err(QueryError::Parse(format!("bad atom {text:?}")));
+        }
+        return Ok((text.to_owned(), Vec::new()));
+    };
+    let name = text[..open].trim();
+    if name.is_empty() || !is_ident(name) {
+        return Err(QueryError::Parse(format!("bad relation name in {text:?}")));
+    }
+    let close = text
+        .rfind(')')
+        .ok_or_else(|| QueryError::Parse(format!("missing ')' in {text:?}")))?;
+    let inner = text[open + 1..close].trim();
+    if inner.is_empty() {
+        return Ok((name.to_owned(), Vec::new()));
+    }
+    let mut attrs = Vec::new();
+    for part in inner.split(',') {
+        let a = part.trim();
+        if a.is_empty() || !is_ident(a) {
+            return Err(QueryError::Parse(format!("bad attribute {a:?} in {text:?}")));
+        }
+        attrs.push(a.to_owned());
+    }
+    Ok((name.to_owned(), attrs))
+}
+
+fn is_ident(s: &str) -> bool {
+    s.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_engine::schema::attrs;
+
+    #[test]
+    fn parses_paper_examples() {
+        for text in [
+            "QWL(S,C) :- Major(S,M), Req(M,C), NoSeat(C)",
+            "QPossible(C) :- Teaches(P,C), NotOnLeave(P)",
+            "Q3path(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)",
+            "Qcover(A,B) :- R1(A), R2(A,B), R3(B)",
+            "Qswing(A) :- R2(A,B), R3(B)",
+            "Qseesaw(A) :- R1(A), R2(A,B), R3(B)",
+        ] {
+            parse_query(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+    }
+
+    #[test]
+    fn boolean_head() {
+        let q = parse_query("Q() :- R(A,B), S(B)").unwrap();
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn vacuum_atom_forms() {
+        let q = parse_query("Q(A) :- R(A), V()").unwrap();
+        assert!(q.has_vacuum_atom());
+        let q = parse_query("Q(A) :- R(A), V").unwrap();
+        assert!(q.has_vacuum_atom());
+    }
+
+    #[test]
+    fn arrow_separator() {
+        assert!(parse_query("Q(A) <- R(A)").is_ok());
+    }
+
+    #[test]
+    fn head_sorted_and_deduped() {
+        let q = parse_query("Q(B,A,B) :- R(A,B)").unwrap();
+        assert_eq!(q.head(), &attrs(&["A", "B"])[..]);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(
+            parse_query("Q(A) R(A)"),
+            Err(QueryError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_query("Q(A) :- R(A), R(A)"),
+            Err(QueryError::SelfJoin(_))
+        ));
+        assert!(matches!(
+            parse_query("Q(Z) :- R(A)"),
+            Err(QueryError::HeadNotInBody(_))
+        ));
+        assert!(matches!(
+            parse_query("Q(A) :- "),
+            Err(QueryError::EmptyBody)
+        ));
+        assert!(matches!(
+            parse_query("Q(A) :- R(A"),
+            Err(QueryError::Parse(_))
+        ));
+    }
+}

@@ -1,0 +1,185 @@
+//! The `BruteForce` baseline (paper §8): enumerate deletion sets in
+//! increasing size until one removes at least `k` outputs.
+//!
+//! The paper's implementation issued one SQL query per subset (up to
+//! `2^500`); ours evaluates candidate sets against an in-memory
+//! [`ProvenanceIndex`], with the same search order (increasing size,
+//! first feasible set wins), so the *answers* coincide while probes are
+//! micro-seconds. Restricting candidates to endogenous relations is sound
+//! by Lemma 13 and matches the optimized baseline.
+
+use crate::analysis::roles::endogenous_atoms;
+use crate::error::SolveError;
+use crate::query::Query;
+use adp_engine::database::Database;
+use adp_engine::join::evaluate;
+use adp_engine::provenance::{ProvenanceIndex, TupleRef};
+
+/// Exhaustive-search options.
+#[derive(Clone, Copy, Debug)]
+pub struct BruteForceOptions {
+    /// Only consider deletions from endogenous relations (Lemma 13).
+    pub endogenous_only: bool,
+    /// Abort if the number of candidate sets at some size exceeds this.
+    pub max_subsets: u128,
+}
+
+impl Default for BruteForceOptions {
+    fn default() -> Self {
+        BruteForceOptions {
+            endogenous_only: true,
+            max_subsets: 500_000_000,
+        }
+    }
+}
+
+/// Finds a minimum deletion set removing at least `k` outputs by
+/// exhaustive search. Exact but exponential — use on small instances.
+pub fn brute_force(
+    query: &Query,
+    db: &Database,
+    k: u64,
+    opts: &BruteForceOptions,
+) -> Result<(u64, Vec<TupleRef>), SolveError> {
+    if k == 0 {
+        return Err(SolveError::KZero);
+    }
+    let eval = evaluate(db, query.atoms(), query.head());
+    let total = eval.output_count();
+    if k > total {
+        return Err(SolveError::KTooLarge { k, available: total });
+    }
+    let prov = ProvenanceIndex::new(&eval);
+
+    let endo = endogenous_atoms(query);
+    let mut candidates: Vec<TupleRef> = Vec::new();
+    for (atom, schema) in query.atoms().iter().enumerate() {
+        if opts.endogenous_only && !endo[atom] {
+            continue;
+        }
+        let rel = db.expect(schema.name());
+        for idx in 0..rel.len() as u32 {
+            candidates.push(TupleRef::new(atom, idx));
+        }
+    }
+
+    let n = candidates.len();
+    let mut subset: Vec<TupleRef> = Vec::new();
+    for size in 1..=n {
+        let combos = binomial(n as u128, size as u128);
+        if combos > opts.max_subsets {
+            return Err(SolveError::BudgetExceeded(format!(
+                "brute force would enumerate {combos} subsets of size {size}"
+            )));
+        }
+        // enumerate size-combinations in lexicographic order
+        let mut idx: Vec<usize> = (0..size).collect();
+        loop {
+            subset.clear();
+            subset.extend(idx.iter().map(|&i| candidates[i]));
+            if prov.killed_by_set(&subset) >= k {
+                return Ok((size as u64, subset));
+            }
+            if !next_combination(&mut idx, n) {
+                break;
+            }
+        }
+    }
+    unreachable!("deleting all candidate tuples removes every output");
+}
+
+/// Advances `idx` to the next size-|idx| combination of `0..n` in
+/// lexicographic order; returns `false` when exhausted.
+fn next_combination(idx: &mut [usize], n: usize) -> bool {
+    let size = idx.len();
+    let mut i = size;
+    while i > 0 {
+        i -= 1;
+        if idx[i] < n - size + i {
+            idx[i] += 1;
+            for j in i + 1..size {
+                idx[j] = idx[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+fn binomial(n: u128, k: u128) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut r: u128 = 1;
+    for i in 0..k {
+        r = r.saturating_mul(n - i) / (i + 1);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+    use adp_engine::schema::attrs;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_relation("R1", attrs(&["A"]), &[&[1], &[2]]);
+        db.add_relation("R2", attrs(&["A", "B"]), &[&[1, 1], &[1, 2], &[2, 1]]);
+        db.add_relation("R3", attrs(&["B"]), &[&[1], &[2]]);
+        db
+    }
+
+    #[test]
+    fn brute_force_on_qpath() {
+        // Q(A,B): outputs (1,1),(1,2),(2,1). k=2: deleting R1(1) removes 2.
+        let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+        let (cost, sol) = brute_force(&q, &db(), 2, &BruteForceOptions::default()).unwrap();
+        assert_eq!(cost, 1);
+        assert_eq!(sol.len(), 1);
+        // k=3: need 2 deletions (e.g. both R1 tuples).
+        let (cost, _) = brute_force(&q, &db(), 3, &BruteForceOptions::default()).unwrap();
+        assert_eq!(cost, 2);
+    }
+
+    #[test]
+    fn endogenous_restriction_matches_unrestricted() {
+        let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+        for k in 1..=3 {
+            let a = brute_force(&q, &db(), k, &BruteForceOptions::default()).unwrap();
+            let b = brute_force(
+                &q,
+                &db(),
+                k,
+                &BruteForceOptions {
+                    endogenous_only: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(a.0, b.0, "k={k}");
+        }
+    }
+
+    #[test]
+    fn k_bounds_checked() {
+        let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+        assert!(matches!(
+            brute_force(&q, &db(), 0, &BruteForceOptions::default()),
+            Err(SolveError::KZero)
+        ));
+        assert!(matches!(
+            brute_force(&q, &db(), 99, &BruteForceOptions::default()),
+            Err(SolveError::KTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn binomial_sanity() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(3, 5), 0);
+    }
+}

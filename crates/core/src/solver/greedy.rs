@@ -1,0 +1,276 @@
+//! Greedy heuristics for NP-hard leaves (paper §7.4).
+//!
+//! * `solve_greedy` — `GreedyForCQ` (Algorithm 6): repeatedly delete
+//!   the endogenous tuple removing the most remaining outputs. On full
+//!   CQs this is the classic `O(log k)`-approximate partial-set-cover
+//!   greedy (Theorem 5); with projections it is a heuristic.
+//! * `solve_drastic` — `DrasticGreedyForFullCQ` (Algorithm 7): compute
+//!   profits once per endogenous relation, then delete a prefix of one
+//!   relation only. Much faster, full CQs only.
+
+use super::profile::CostProfile;
+use super::solved::{Extractor, Solved, Step};
+use super::view::View;
+use crate::analysis::roles::endogenous_atoms;
+use crate::error::SolveError;
+use adp_engine::join::EvalResult;
+use adp_engine::provenance::{ProvenanceIndex, TupleRef};
+
+/// `GreedyForCQ` (Algorithm 6). The view's query must be connected and
+/// non-boolean... in fact any query works; it is simply not optimal.
+pub(crate) fn solve_greedy(view: &View, eval: &EvalResult, cap: u64) -> Result<Solved, SolveError> {
+    let deletable = vec![true; view.query.atom_count()];
+    solve_greedy_filtered(view, eval, cap, &deletable)
+}
+
+/// [`solve_greedy`] restricted to deletable atoms (deletion policies,
+/// paper §9 future work). Without a policy, candidates are the
+/// endogenous atoms (Lemma 13); with frozen atoms the endogenous
+/// restriction is no longer sound (the Lemma-13 swap may land in a
+/// frozen relation), so every deletable atom becomes a candidate. The
+/// loop stops early if no candidate remains.
+pub(crate) fn solve_greedy_filtered(
+    view: &View,
+    eval: &EvalResult,
+    cap: u64,
+    deletable: &[bool],
+) -> Result<Solved, SolveError> {
+    let mut prov = ProvenanceIndex::new(eval);
+    let total = eval.output_count();
+    let policy_active = deletable.iter().any(|&d| !d);
+    let endo: Vec<bool> = endogenous_atoms(&view.query)
+        .into_iter()
+        .zip(deletable)
+        .map(|(e, &d)| if policy_active { d } else { e })
+        .collect();
+    let cap = cap.min(total);
+
+    let mut steps: Vec<Step> = Vec::new();
+    let (mut removed, mut cost) = (0u64, 0u64);
+    while removed < cap && prov.live_outputs() > 0 {
+        // Profit of each endogenous tuple under the current deletions.
+        let profits = prov.profits();
+        let mut best: Option<(u64, usize, u32)> = None; // (profit, atom, idx)
+        for (atom, map) in profits.iter().enumerate() {
+            if !endo[atom] {
+                continue;
+            }
+            for (&idx, &p) in map {
+                if p == 0 {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((bp, ba, bi)) => (p, std::cmp::Reverse((atom, idx)))
+                        > (bp, std::cmp::Reverse((ba, bi))),
+                };
+                if better {
+                    best = Some((p, atom, idx));
+                }
+            }
+        }
+        let (atom, idx) = match best {
+            Some((_, a, i)) => (a, i),
+            None => {
+                // No sole killer exists: make progress by deleting the
+                // endogenous tuple on the most live witnesses.
+                let counts = prov.live_counts();
+                let mut pick: Option<(u64, usize, u32)> = None;
+                for (atom, map) in counts.iter().enumerate() {
+                    if !endo[atom] {
+                        continue;
+                    }
+                    for (&idx, &c) in map {
+                        let better = match pick {
+                            None => true,
+                            Some((bc, ba, bi)) => (c, std::cmp::Reverse((atom, idx)))
+                                > (bc, std::cmp::Reverse((ba, bi))),
+                        };
+                        if better {
+                            pick = Some((c, atom, idx));
+                        }
+                    }
+                }
+                match pick {
+                    Some((_, a, i)) => (a, i),
+                    None => break, // no deletable candidate remains
+                }
+            }
+        };
+        let died = prov.kill(TupleRef::new(atom, idx));
+        removed += died;
+        cost += 1;
+        steps.push(Step {
+            tuples: vec![view.to_original(atom, idx)],
+            removed_cum: removed,
+            cost_cum: cost,
+        });
+    }
+
+    let profile = CostProfile::from_pairs(steps.iter().map(|s| (s.cost_cum, s.removed_cum)));
+    Ok(Solved::eager(profile, Extractor::Steps(steps), false, total))
+}
+
+/// `DrasticGreedyForFullCQ` (Algorithm 7). Requires a full CQ: witnesses
+/// and outputs coincide, so profits within one relation are additive.
+pub(crate) fn solve_drastic(
+    view: &View,
+    eval: &EvalResult,
+    cap: u64,
+) -> Result<Solved, SolveError> {
+    assert!(
+        view.query.is_full(),
+        "DrasticGreedyForFullCQ requires a full CQ (paper §7.4)"
+    );
+    let prov = ProvenanceIndex::new(eval);
+    let total = eval.output_count();
+    let cap = cap.min(total);
+    let endo = endogenous_atoms(&view.query);
+    let counts = prov.live_counts(); // witness count per tuple = profit
+
+    // For each endogenous relation: sort by profit, find the prefix
+    // reaching the cap; pick the relation with the smallest prefix.
+    // (prefix length needed, atom, profit-sorted tuple order)
+    type Candidate = (usize, usize, Vec<(u32, u64)>);
+    let mut best: Option<Candidate> = None;
+    for (atom, map) in counts.iter().enumerate() {
+        if !endo[atom] {
+            continue;
+        }
+        let mut order: Vec<(u32, u64)> = map.iter().map(|(&i, &c)| (i, c)).collect();
+        order.sort_by_key(|&(i, c)| (std::cmp::Reverse(c), i));
+        let mut cum = 0u64;
+        let mut needed = order.len();
+        for (pos, &(_, c)) in order.iter().enumerate() {
+            cum += c;
+            if cum >= cap {
+                needed = pos + 1;
+                break;
+            }
+        }
+        if cum < cap {
+            continue; // cannot reach the cap inside this relation
+        }
+        if best.as_ref().map(|(n, _, _)| needed < *n).unwrap_or(true) {
+            best = Some((needed, atom, order));
+        }
+    }
+    let Some((_, atom, order)) = best else {
+        return Ok(Solved::empty());
+    };
+
+    let mut steps = Vec::new();
+    let (mut removed, mut cost) = (0u64, 0u64);
+    for (idx, profit) in order {
+        removed += profit;
+        cost += 1;
+        steps.push(Step {
+            tuples: vec![view.to_original(atom, idx)],
+            removed_cum: removed,
+            cost_cum: cost,
+        });
+        if removed >= cap {
+            break;
+        }
+    }
+    let profile = CostProfile::from_pairs(steps.iter().map(|s| (s.cost_cum, s.removed_cum)));
+    Ok(Solved::eager(profile, Extractor::Steps(steps), false, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+    use adp_engine::database::Database;
+    use adp_engine::join::evaluate;
+    use adp_engine::schema::attrs;
+    use std::rc::Rc;
+
+    fn chain_db() -> Database {
+        let mut db = Database::new();
+        db.add_relation("S", attrs(&["NK", "SK"]), &[&[1, 1], &[2, 2]]);
+        db.add_relation("PS", attrs(&["SK", "PK"]), &[&[1, 1], &[1, 2], &[2, 1]]);
+        db.add_relation("L", attrs(&["OK", "PK"]), &[&[7, 1], &[8, 2]]);
+        db
+    }
+
+    #[test]
+    fn greedy_is_feasible_and_monotone() {
+        let q = parse_query("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
+        let view = View::root(q.clone(), Rc::new(chain_db()));
+        let eval = evaluate(&view.db, q.atoms(), q.head());
+        let total = eval.output_count();
+        let s = solve_greedy(&view, &eval, total).unwrap();
+        assert_eq!(s.total_outputs, total);
+        assert_eq!(s.max_removable(), total, "greedy can always finish");
+        assert!(!s.exact);
+        // costs are monotone in m
+        let mut last = 0;
+        for m in 1..=total {
+            let c = s.min_cost(m).unwrap().unwrap();
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn greedy_picks_high_profit_tuples_first() {
+        // One S tuple covers 2 witnesses, the other 1. Removing 2 outputs
+        // should cost 1 (the high-profit tuple), not 2.
+        let q = parse_query("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
+        let view = View::root(q.clone(), Rc::new(chain_db()));
+        let eval = evaluate(&view.db, q.atoms(), q.head());
+        let s = solve_greedy(&view, &eval, 2).unwrap();
+        assert_eq!(s.min_cost(2).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn greedy_handles_projection_without_sole_killers() {
+        // Q(A) with two witnesses per output disagreeing on every atom:
+        // no sole killer initially.
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A", "B"]), &[&[1, 1], &[1, 2]]);
+        db.add_relation("S", attrs(&["B"]), &[&[1], &[2]]);
+        let q = parse_query("Q(A) :- R(A,B), S(B)").unwrap();
+        let view = View::root(q.clone(), Rc::new(db));
+        let eval = evaluate(&view.db, q.atoms(), q.head());
+        let s = solve_greedy(&view, &eval, 1).unwrap();
+        // output a=1 needs both branches cut: cost 2
+        assert_eq!(s.min_cost(1).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn drastic_stays_in_one_relation() {
+        let q = parse_query("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
+        let view = View::root(q.clone(), Rc::new(chain_db()));
+        let eval = evaluate(&view.db, q.atoms(), q.head());
+        let s = solve_drastic(&view, &eval, 3).unwrap();
+        let sol = s.extract(3).unwrap();
+        let atoms: std::collections::HashSet<usize> = sol.iter().map(|t| t.atom).collect();
+        assert_eq!(atoms.len(), 1, "drastic deletes from a single relation");
+        assert!(!s.exact);
+    }
+
+    #[test]
+    fn drastic_matches_greedy_on_disjoint_profits() {
+        let q = parse_query("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
+        let view = View::root(q.clone(), Rc::new(chain_db()));
+        let eval = evaluate(&view.db, q.atoms(), q.head());
+        let g = solve_greedy(&view, &eval, 2).unwrap();
+        let d = solve_drastic(&view, &eval, 2).unwrap();
+        assert_eq!(
+            g.min_cost(2).unwrap(),
+            d.min_cost(2).unwrap(),
+            "both remove 2 outputs with 1 supplier tuple"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "full CQ")]
+    fn drastic_rejects_projections() {
+        let q = parse_query("Q(NK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
+        let view = View::root(q.clone(), Rc::new(chain_db()));
+        let eval = evaluate(&view.db, q.atoms(), q.head());
+        let _ = solve_drastic(&view, &eval, 1);
+    }
+}

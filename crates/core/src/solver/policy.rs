@@ -1,0 +1,205 @@
+//! Deletion policies: restricting which relations may lose tuples.
+//!
+//! The paper's future-work section (§9) proposes "a scenario where only a
+//! subset of input tuples can be removed, and the remaining input tuples
+//! cannot be deleted". This module implements the relation-granularity
+//! version of that extension:
+//!
+//! * frozen relations behave like exogenous atoms — the boolean min-cut
+//!   assigns their tuples infinite capacity (exact), and the greedy
+//!   heuristics never pick them;
+//! * non-boolean queries under a policy are solved with the greedy
+//!   heuristic (the dichotomy of the unrestricted problem does not carry
+//!   over, so exactness is not claimed);
+//! * infeasibility (the removable outputs fall short of `k`) is reported
+//!   as [`SolveError::Infeasible`].
+
+use super::greedy::solve_greedy_filtered;
+use super::view::View;
+use super::{boolean, AdpOptions, AdpOutcome, Mode};
+use crate::error::SolveError;
+use crate::query::Query;
+use adp_engine::database::Database;
+use adp_engine::join::evaluate;
+use std::rc::Rc;
+
+/// A deletion policy: which relations are **frozen** (undeletable).
+#[derive(Clone, Debug, Default)]
+pub struct DeletionPolicy {
+    frozen: Vec<String>,
+}
+
+impl DeletionPolicy {
+    /// No restrictions.
+    pub fn unrestricted() -> Self {
+        Self::default()
+    }
+
+    /// Freezes a relation: its tuples can never be deleted.
+    pub fn freeze(mut self, relation: &str) -> Self {
+        if !self.frozen.iter().any(|r| r == relation) {
+            self.frozen.push(relation.to_owned());
+        }
+        self
+    }
+
+    /// Is the relation frozen?
+    pub fn is_frozen(&self, relation: &str) -> bool {
+        self.frozen.iter().any(|r| r == relation)
+    }
+
+    /// The frozen relation names.
+    pub fn frozen(&self) -> &[String] {
+        &self.frozen
+    }
+
+    /// Per-atom deletability mask for a query (true = deletable).
+    pub fn deletable_atoms(&self, query: &Query) -> Vec<bool> {
+        query
+            .atoms()
+            .iter()
+            .map(|a| !self.is_frozen(a.name()))
+            .collect()
+    }
+}
+
+/// Solves `ADP(Q, D, k)` under a deletion policy. Boolean queries are
+/// solved exactly (min-cut with infinite capacities on frozen atoms);
+/// non-boolean queries use the policy-aware greedy heuristic.
+pub fn compute_adp_with_policy(
+    query: &Query,
+    db: &Database,
+    k: u64,
+    policy: &DeletionPolicy,
+    opts: &AdpOptions,
+) -> Result<AdpOutcome, SolveError> {
+    if k == 0 {
+        return Err(SolveError::KZero);
+    }
+    if policy.frozen().is_empty() {
+        return super::compute_adp(query, db, k, opts);
+    }
+    let view = View::root(query.clone(), Rc::new(db.clone()));
+    let deletable = policy.deletable_atoms(query);
+    if deletable.iter().all(|&d| !d) {
+        // nothing may be deleted at all
+        let total = super::count_outputs(&view);
+        if k > total {
+            return Err(SolveError::KTooLarge { k, available: total });
+        }
+        return Err(SolveError::Infeasible { k, removable: 0 });
+    }
+
+    let solved = if query.is_boolean() {
+        boolean::solve_boolean_with_policy(&view, opts, &deletable)?
+    } else {
+        let eval = evaluate(&view.db, query.atoms(), query.head());
+        solve_greedy_filtered(&view, &eval, k, &deletable)?
+    };
+    if k > solved.total_outputs {
+        return Err(SolveError::KTooLarge {
+            k,
+            available: solved.total_outputs,
+        });
+    }
+    let cost = solved
+        .min_cost(k)?
+        .ok_or(SolveError::Infeasible {
+            k,
+            removable: solved.max_removable(),
+        })?;
+    let solution = match opts.mode {
+        Mode::Report => Some({
+            let mut s = solved.extract(k)?;
+            s.sort_unstable();
+            s.dedup();
+            s
+        }),
+        Mode::Count => None,
+    };
+    Ok(AdpOutcome {
+        cost,
+        achieved: k,
+        exact: solved.exact,
+        output_count: solved.total_outputs,
+        solution,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+    use adp_engine::schema::attrs;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.add_relation("R1", attrs(&["A"]), &[&[1], &[2]]);
+        db.add_relation("R2", attrs(&["A", "B"]), &[&[1, 1], &[1, 2], &[2, 1]]);
+        db.add_relation("R3", attrs(&["B"]), &[&[1], &[2]]);
+        db
+    }
+
+    #[test]
+    fn unrestricted_policy_delegates() {
+        let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+        let out = compute_adp_with_policy(
+            &q,
+            &db(),
+            2,
+            &DeletionPolicy::unrestricted(),
+            &AdpOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(out.cost, 1);
+    }
+
+    #[test]
+    fn frozen_relations_never_appear_in_solutions() {
+        let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+        let policy = DeletionPolicy::unrestricted().freeze("R1");
+        for k in 1..=3 {
+            let out =
+                compute_adp_with_policy(&q, &db(), k, &policy, &AdpOptions::default()).unwrap();
+            for t in out.solution.unwrap() {
+                assert_ne!(t.atom, 0, "frozen R1 must not be touched (k={k})");
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_with_frozen_endogenous_atom_is_exact() {
+        // Q() :- R1(A), R2(A,B), R3(B): freezing R3 forces the cut to R1
+        // (or R2); the min-cut stays exact.
+        let q = parse_query("Q() :- R1(A), R2(A,B), R3(B)").unwrap();
+        let policy = DeletionPolicy::unrestricted().freeze("R3");
+        let out = compute_adp_with_policy(&q, &db(), 1, &policy, &AdpOptions::default()).unwrap();
+        assert!(out.exact);
+        assert_eq!(out.cost, 2, "both R1 values must go");
+        for t in out.solution.unwrap() {
+            assert_ne!(t.atom, 2);
+        }
+    }
+
+    #[test]
+    fn all_frozen_is_infeasible() {
+        let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+        let policy = DeletionPolicy::unrestricted()
+            .freeze("R1")
+            .freeze("R2")
+            .freeze("R3");
+        assert!(matches!(
+            compute_adp_with_policy(&q, &db(), 1, &policy, &AdpOptions::default()),
+            Err(SolveError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn policy_mask() {
+        let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+        let policy = DeletionPolicy::unrestricted().freeze("R2");
+        assert_eq!(policy.deletable_atoms(&q), vec![true, false, true]);
+        assert!(policy.is_frozen("R2"));
+        assert!(!policy.is_frozen("R1"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Cost profiles: the currency exchanged between ADP sub-solvers.
+//!
+//! A [`CostProfile`] is the Pareto frontier of "spend `c` input-tuple
+//! deletions, remove up to `r` output tuples". Every exact sub-solver
+//! (Boolean, Singleton, the Universe/Decompose DPs) produces one; the
+//! dynamic programs of §7.3 consume them. Representing the frontier by
+//! its breakpoints — instead of a dense array indexed by `k` — is what
+//! keeps the counting version scalable: the number of breakpoints is
+//! bounded by the number of input tuples, not by `|Q(D)|`.
+
+/// A Pareto-optimal point: spending `cost` deletions removes up to
+/// `removed` outputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProfilePoint {
+    /// Number of input tuples deleted.
+    pub cost: u64,
+    /// Maximum number of output tuples removable at this cost.
+    pub removed: u64,
+}
+
+/// A monotone step function `cost ↦ max removable outputs`, stored as its
+/// Pareto breakpoints (strictly increasing in both coordinates). The
+/// point `(0, 0)` is implicit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CostProfile {
+    points: Vec<ProfilePoint>,
+}
+
+impl CostProfile {
+    /// The profile of a query with nothing removable.
+    pub fn empty() -> Self {
+        CostProfile { points: Vec::new() }
+    }
+
+    /// A single-point profile (e.g. boolean resilience: `cost` deletions
+    /// remove the one output).
+    pub fn single(cost: u64, removed: u64) -> Self {
+        if removed == 0 {
+            return Self::empty();
+        }
+        CostProfile {
+            points: vec![ProfilePoint { cost, removed }],
+        }
+    }
+
+    /// Builds a profile from arbitrary `(cost, removed)` pairs, keeping
+    /// only Pareto-optimal points.
+    pub fn from_pairs<I: IntoIterator<Item = (u64, u64)>>(pairs: I) -> Self {
+        let mut pts: Vec<ProfilePoint> = pairs
+            .into_iter()
+            .filter(|&(_, r)| r > 0)
+            .map(|(cost, removed)| ProfilePoint { cost, removed })
+            .collect();
+        pts.sort_by_key(|p| (p.cost, std::cmp::Reverse(p.removed)));
+        let mut out: Vec<ProfilePoint> = Vec::with_capacity(pts.len());
+        for p in pts {
+            match out.last() {
+                Some(last) if p.removed <= last.removed => {} // dominated
+                Some(last) if p.cost == last.cost => {
+                    // same cost, more removed: replace
+                    let i = out.len() - 1;
+                    out[i] = p;
+                }
+                _ => out.push(p),
+            }
+        }
+        CostProfile { points: out }
+    }
+
+    /// The Pareto breakpoints (excluding the implicit `(0,0)`).
+    pub fn points(&self) -> &[ProfilePoint] {
+        &self.points
+    }
+
+    /// Breakpoints including the implicit origin.
+    pub fn points_with_origin(&self) -> impl Iterator<Item = ProfilePoint> + '_ {
+        std::iter::once(ProfilePoint {
+            cost: 0,
+            removed: 0,
+        })
+        .chain(self.points.iter().copied())
+    }
+
+    /// Maximum removable outputs at any cost.
+    pub fn total_removable(&self) -> u64 {
+        self.points.last().map(|p| p.removed).unwrap_or(0)
+    }
+
+    /// Minimum cost to remove at least `m` outputs (`Some(0)` for `m=0`),
+    /// or `None` if `m` exceeds [`Self::total_removable`].
+    pub fn min_cost(&self, m: u64) -> Option<u64> {
+        if m == 0 {
+            return Some(0);
+        }
+        // first point with removed >= m
+        let idx = self.points.partition_point(|p| p.removed < m);
+        self.points.get(idx).map(|p| p.cost)
+    }
+
+    /// Maximum outputs removable with budget `cost`.
+    pub fn max_removed(&self, cost: u64) -> u64 {
+        let idx = self.points.partition_point(|p| p.cost <= cost);
+        if idx == 0 {
+            0
+        } else {
+            self.points[idx - 1].removed
+        }
+    }
+
+    /// Clamps the `removed` coordinate at `cap`, dropping points that
+    /// become dominated. Used to keep DP state spaces bounded by `k`.
+    pub fn clamp_removed(&self, cap: u64) -> CostProfile {
+        CostProfile::from_pairs(
+            self.points
+                .iter()
+                .map(|p| (p.cost, p.removed.min(cap))),
+        )
+    }
+
+    /// Number of breakpoints.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if nothing is removable.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Checks the strict-monotonicity invariant (for tests).
+    pub fn is_valid(&self) -> bool {
+        self.points.windows(2).all(|w| {
+            w[0].cost < w[1].cost && w[0].removed < w[1].removed
+        }) && self.points.iter().all(|p| p.removed > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_profile() {
+        let p = CostProfile::empty();
+        assert_eq!(p.total_removable(), 0);
+        assert_eq!(p.min_cost(0), Some(0));
+        assert_eq!(p.min_cost(1), None);
+        assert_eq!(p.max_removed(100), 0);
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn from_pairs_keeps_pareto_frontier() {
+        let p = CostProfile::from_pairs(vec![(3, 5), (1, 2), (2, 2), (4, 4), (3, 6)]);
+        // (2,2) dominated by (1,2); (4,4) dominated by (3,6); (3,5) by (3,6)
+        assert_eq!(
+            p.points(),
+            &[
+                ProfilePoint { cost: 1, removed: 2 },
+                ProfilePoint { cost: 3, removed: 6 },
+            ]
+        );
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn min_cost_queries() {
+        let p = CostProfile::from_pairs(vec![(1, 2), (3, 6), (7, 10)]);
+        assert_eq!(p.min_cost(1), Some(1));
+        assert_eq!(p.min_cost(2), Some(1));
+        assert_eq!(p.min_cost(3), Some(3));
+        assert_eq!(p.min_cost(6), Some(3));
+        assert_eq!(p.min_cost(7), Some(7));
+        assert_eq!(p.min_cost(10), Some(7));
+        assert_eq!(p.min_cost(11), None);
+    }
+
+    #[test]
+    fn max_removed_queries() {
+        let p = CostProfile::from_pairs(vec![(1, 2), (3, 6)]);
+        assert_eq!(p.max_removed(0), 0);
+        assert_eq!(p.max_removed(1), 2);
+        assert_eq!(p.max_removed(2), 2);
+        assert_eq!(p.max_removed(3), 6);
+        assert_eq!(p.max_removed(99), 6);
+    }
+
+    #[test]
+    fn clamp_removes_dominated_tails() {
+        let p = CostProfile::from_pairs(vec![(1, 2), (3, 6), (7, 10)]);
+        let c = p.clamp_removed(6);
+        assert_eq!(c.total_removable(), 6);
+        assert_eq!(c.len(), 2);
+        assert!(c.is_valid());
+    }
+
+    #[test]
+    fn zero_removed_points_dropped() {
+        let p = CostProfile::from_pairs(vec![(5, 0)]);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn single_constructor() {
+        let p = CostProfile::single(4, 1);
+        assert_eq!(p.min_cost(1), Some(4));
+        assert!(CostProfile::single(4, 0).is_empty());
+    }
+}

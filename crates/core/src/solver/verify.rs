@@ -1,0 +1,75 @@
+//! Solution verification: apply a deletion set and measure its effect.
+//!
+//! Used by the test suite (every reported solution must actually remove
+//! ≥ k outputs) and by the experiment harness when reporting quality.
+
+use crate::query::Query;
+use adp_engine::database::Database;
+use adp_engine::join::evaluate;
+use adp_engine::provenance::TupleRef;
+use adp_engine::relation::RelationInstance;
+
+/// Returns a copy of `db` with the given tuples (in query-atom
+/// coordinates) deleted.
+pub fn apply_deletions(query: &Query, db: &Database, deletions: &[TupleRef]) -> Database {
+    let mut out = Database::new();
+    for (atom, schema) in query.atoms().iter().enumerate() {
+        let rel = db.expect(schema.name());
+        let dead: std::collections::HashSet<u32> = deletions
+            .iter()
+            .filter(|t| t.atom == atom)
+            .map(|t| t.index)
+            .collect();
+        let mut inst = RelationInstance::new(rel.schema().clone());
+        for idx in 0..rel.len() as u32 {
+            if !dead.contains(&idx) {
+                inst.insert(rel.tuple(idx));
+            }
+        }
+        out.add(inst);
+    }
+    out
+}
+
+/// Number of outputs removed by deleting `deletions` from `db`:
+/// `|Q(D)| − |Q(D − S)|`.
+pub fn removed_outputs(query: &Query, db: &Database, deletions: &[TupleRef]) -> u64 {
+    let before = evaluate(db, query.atoms(), query.head()).output_count();
+    let after_db = apply_deletions(query, db, deletions);
+    let after = evaluate(&after_db, query.atoms(), query.head()).output_count();
+    before - after
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+    use adp_engine::schema::attrs;
+
+    #[test]
+    fn apply_and_measure() {
+        let q = parse_query("Q(A,B) :- R(A), S(A,B)").unwrap();
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A"]), &[&[1], &[2]]);
+        db.add_relation("S", attrs(&["A", "B"]), &[&[1, 1], &[1, 2], &[2, 1]]);
+        // deleting R(1) removes outputs (1,1) and (1,2)
+        let removed = removed_outputs(&q, &db, &[TupleRef::new(0, 0)]);
+        assert_eq!(removed, 2);
+        // empty deletion removes nothing
+        assert_eq!(removed_outputs(&q, &db, &[]), 0);
+    }
+
+    #[test]
+    fn deletions_respect_atom_coordinates() {
+        let q = parse_query("Q(A,B) :- R(A), S(A,B)").unwrap();
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A"]), &[&[1], &[2]]);
+        db.add_relation("S", attrs(&["A", "B"]), &[&[1, 1], &[2, 9]]);
+        // index 0 of atom 1 is S(1,1), not R(1)
+        let removed = removed_outputs(&q, &db, &[TupleRef::new(1, 0)]);
+        assert_eq!(removed, 1);
+        let after = apply_deletions(&q, &db, &[TupleRef::new(1, 0)]);
+        assert_eq!(after.expect("R").len(), 2);
+        assert_eq!(after.expect("S").len(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Views: a (sub)query plus a transformed database, with bookkeeping that
+//! maps every tuple back to the **original** database.
+//!
+//! The `ComputeADP` recursion transforms its input — dropping universal
+//! attributes, filtering partitions, selecting connected components,
+//! applying selection predicates — and solutions must nevertheless be
+//! reported against the caller's database. A [`View`] carries:
+//!
+//! * `atom_map[i]`  — the original atom index behind view atom `i`,
+//! * `tuple_map[i]` — per view atom, new-tuple-index → original-tuple-index
+//!   (`None` = identity).
+//!
+//! All transformations used by the solver are tuple-injective (partition
+//! groups share a universal-attribute value before projection; selections
+//! fix the selected attributes), so the maps stay simple vectors.
+
+use crate::query::Query;
+use adp_engine::database::Database;
+use adp_engine::provenance::TupleRef;
+use std::rc::Rc;
+
+/// A query over a transformed database with provenance back to the
+/// original database.
+#[derive(Clone)]
+pub struct View {
+    /// The (sub)query evaluated by this view.
+    pub query: Query,
+    /// The database the view's query runs against.
+    pub db: Rc<Database>,
+    /// View atom index → original atom index.
+    pub atom_map: Vec<usize>,
+    /// Per view atom: new tuple index → original tuple index (`None` =
+    /// identity).
+    pub tuple_map: Vec<Option<Vec<u32>>>,
+}
+
+impl View {
+    /// The root view: the user's query over the user's database.
+    pub fn root(query: Query, db: Rc<Database>) -> Self {
+        let n = query.atom_count();
+        View {
+            query,
+            db,
+            atom_map: (0..n).collect(),
+            tuple_map: vec![None; n],
+        }
+    }
+
+    /// Translates a view-local tuple reference into original coordinates.
+    pub fn to_original(&self, atom: usize, index: u32) -> TupleRef {
+        let orig_atom = self.atom_map[atom];
+        let orig_index = match &self.tuple_map[atom] {
+            None => index,
+            Some(map) => map[index as usize],
+        };
+        TupleRef::new(orig_atom, orig_index)
+    }
+
+    /// Derives a view over a subset of atoms (connected components). The
+    /// database is shared; tuple maps are inherited.
+    pub fn subview(&self, atom_indices: &[usize]) -> View {
+        View {
+            query: self.query.subquery(atom_indices),
+            db: Rc::clone(&self.db),
+            atom_map: atom_indices.iter().map(|&i| self.atom_map[i]).collect(),
+            tuple_map: atom_indices
+                .iter()
+                .map(|&i| self.tuple_map[i].clone())
+                .collect(),
+        }
+    }
+
+    /// Derives a view with a new database and fresh per-atom tuple maps
+    /// (new index → index in *this* view's db); composes them with this
+    /// view's maps so the result again points at the original database.
+    pub fn rebased(&self, query: Query, db: Database, new_maps: Vec<Option<Vec<u32>>>) -> View {
+        assert_eq!(new_maps.len(), self.tuple_map.len());
+        let tuple_map = new_maps
+            .into_iter()
+            .zip(&self.tuple_map)
+            .map(|(new, old)| match (new, old) {
+                (None, old) => old.clone(),
+                (Some(n), None) => Some(n),
+                (Some(n), Some(o)) => Some(n.iter().map(|&i| o[i as usize]).collect()),
+            })
+            .collect();
+        View {
+            query,
+            db: Rc::new(db),
+            atom_map: self.atom_map.clone(),
+            tuple_map,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+    use adp_engine::schema::attrs;
+
+    fn setup() -> View {
+        let q = parse_query("Q(A,B) :- R(A), S(A,B)").unwrap();
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A"]), &[&[1], &[2], &[3]]);
+        db.add_relation("S", attrs(&["A", "B"]), &[&[1, 5], &[2, 6]]);
+        View::root(q, Rc::new(db))
+    }
+
+    #[test]
+    fn root_is_identity() {
+        let v = setup();
+        assert_eq!(v.to_original(1, 1), TupleRef::new(1, 1));
+    }
+
+    #[test]
+    fn subview_remaps_atoms() {
+        let v = setup();
+        let s = v.subview(&[1]);
+        assert_eq!(s.query.atoms()[0].name(), "S");
+        assert_eq!(s.to_original(0, 0), TupleRef::new(1, 0));
+    }
+
+    #[test]
+    fn rebased_composes_tuple_maps() {
+        let v = setup();
+        // filter R to indices [1,2] of the original
+        let mut db2 = Database::new();
+        db2.add_relation("R", attrs(&["A"]), &[&[2], &[3]]);
+        db2.add_relation("S", attrs(&["A", "B"]), &[&[1, 5], &[2, 6]]);
+        let q = v.query.clone();
+        let v2 = v.rebased(q, db2, vec![Some(vec![1, 2]), None]);
+        assert_eq!(v2.to_original(0, 0), TupleRef::new(0, 1));
+        assert_eq!(v2.to_original(0, 1), TupleRef::new(0, 2));
+        // compose once more: filter again
+        let mut db3 = Database::new();
+        db3.add_relation("R", attrs(&["A"]), &[&[3]]);
+        db3.add_relation("S", attrs(&["A", "B"]), &[&[2, 6]]);
+        let q = v2.query.clone();
+        let v3 = v2.rebased(q, db3, vec![Some(vec![1]), Some(vec![1])]);
+        assert_eq!(v3.to_original(0, 0), TupleRef::new(0, 2));
+        assert_eq!(v3.to_original(1, 0), TupleRef::new(1, 1));
+    }
+}

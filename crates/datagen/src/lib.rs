@@ -1,0 +1,29 @@
+//! # adp-datagen
+//!
+//! Deterministic workload generators reproducing the paper's evaluation
+//! datasets (§8.1):
+//!
+//! * [`tpch`] — a TPC-H-shaped Supplier/PartSupp/LineItem chain (we
+//!   cannot ship `dbgen` output, so a seeded synthetic generator
+//!   reproduces the schema and foreign-key fan-out);
+//! * [`ego`] — a planted-circle social graph standing in for the SNAP
+//!   Facebook ego-network 414 (150 nodes, 3386 edges, 7 circles), with
+//!   bi-directed edges dealt into `R1..R4` by rank mod 4;
+//! * [`zipf`] — the §8.4 synthetic data: `R2(A,B)` with Zipf(α) degrees
+//!   on `A`, uniform on `B`, `0.2·N` distinct values per side;
+//! * [`uniform`] — the §8.5 synthetic data for `Q7`/`Q8`: uniform random
+//!   tuples over small integer domains.
+//!
+//! Every generator takes an explicit seed; identical seeds give identical
+//! databases on every platform.
+
+pub mod ego;
+pub mod queries;
+pub mod tpch;
+pub mod uniform;
+pub mod zipf;
+
+pub use ego::ego_network;
+pub use tpch::tpch_chain;
+pub use uniform::uniform_db;
+pub use zipf::zipf_pair;

@@ -1,0 +1,79 @@
+//! The paper's evaluation queries (§8.1), ready-parsed.
+
+use adp_core::query::{parse_query, Query};
+
+/// `Q1(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)` — TPC-H chain
+/// (NP-hard without selection).
+pub fn q1() -> Query {
+    parse_query("Q1(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap()
+}
+
+/// `Q2(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)` — length-3 path.
+pub fn q2() -> Query {
+    parse_query("Q2(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)").unwrap()
+}
+
+/// `Q3(A,B,C) :- R1(A,B), R2(B,C), R3(C,A)` — triangle.
+pub fn q3() -> Query {
+    parse_query("Q3(A,B,C) :- R1(A,B), R2(B,C), R3(C,A)").unwrap()
+}
+
+/// `Q4(A,C,E,G) :- R1(A,B), R2(B,C), R3(E,F), R4(F,G)` — two 2-paths.
+pub fn q4() -> Query {
+    parse_query("Q4(A,C,E,G) :- R1(A,B), R2(B,C), R3(E,F), R4(F,G)").unwrap()
+}
+
+/// `Q5(A,B,C) :- R1(A,E), R2(B,E), R3(C,E)` — common friend.
+pub fn q5() -> Query {
+    parse_query("Q5(A,B,C) :- R1(A,E), R2(B,E), R3(C,E)").unwrap()
+}
+
+/// `Q6(A,B) :- R1(A), R2(A,B)` — poly-time singleton (§8.4).
+pub fn q6() -> Query {
+    parse_query("Q6(A,B) :- R1(A), R2(A,B)").unwrap()
+}
+
+/// `Q_path(A,B) :- R1(A), R2(A,B), R3(B)` — NP-hard core (§8.4).
+pub fn qpath() -> Query {
+    parse_query("Qpath(A,B) :- R1(A), R2(A,B), R3(B)").unwrap()
+}
+
+/// `Q7` — singleton query with three universal attributes (§8.5).
+pub fn q7() -> Query {
+    parse_query(
+        "Q7(A,B,C,D,E,F,G) :- R1(A,B,C), R2(A,B,C,D,E), R3(A,B,C,D,G), R4(A,B,C,F)",
+    )
+    .unwrap()
+}
+
+/// `Q8` — disconnected query with three easy components (§8.5).
+pub fn q8() -> Query {
+    parse_query(
+        "Q8(A1,B1,A2,B2,A3,B3) :- R11(A1), R12(A1,B1), R21(A2), R22(A2,B2), R31(A3), R32(A3,B3)",
+    )
+    .unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_core::analysis::is_ptime;
+
+    #[test]
+    fn hardness_matches_paper() {
+        // §8.1: Q1..Q5 and Qpath are NP-hard; Q6, Q7, Q8 are poly-time.
+        for (q, hard) in [
+            (q1(), true),
+            (q2(), true),
+            (q3(), true),
+            (q4(), true),
+            (q5(), true),
+            (qpath(), true),
+            (q6(), false),
+            (q7(), false),
+            (q8(), false),
+        ] {
+            assert_eq!(is_ptime(&q), !hard, "{q}");
+        }
+    }
+}

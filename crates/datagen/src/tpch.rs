@@ -1,0 +1,187 @@
+//! TPC-H-shaped chain workload (paper §8.1).
+//!
+//! Schema: `Supplier(NK, SK)`, `PartSupp(SK, PK)`, `LineItem(OK, PK)` —
+//! the three-relation chain behind the paper's `Q1`. The generator
+//! reproduces the shape the paper's experiments depend on: a supplier
+//! pool, parts supplied by multiple suppliers, and line items referencing
+//! parts with a configurable hot part (for the `σ PK = hot` experiments).
+
+use adp_engine::database::Database;
+use adp_engine::schema::attrs;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the TPC-H-like chain generator.
+#[derive(Clone, Debug)]
+pub struct TpchConfig {
+    /// Total tuples across the three relations (roughly evenly split).
+    pub total_tuples: usize,
+    /// Number of distinct parts.
+    pub parts: usize,
+    /// Number of distinct suppliers.
+    pub suppliers: usize,
+    /// Number of distinct nations.
+    pub nations: usize,
+    /// Fraction (0..=1) of PartSupp/LineItem rows pinned to the hot part
+    /// (`PK = 0`), used by the selection experiments.
+    pub hot_part_share: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TpchConfig {
+    /// A laptop-scale default mirroring the paper's proportions.
+    pub fn scaled(total_tuples: usize, seed: u64) -> Self {
+        TpchConfig {
+            total_tuples,
+            parts: (total_tuples / 10).max(4),
+            suppliers: (total_tuples / 6).max(4),
+            nations: 25,
+            hot_part_share: 0.02,
+            seed,
+        }
+    }
+}
+
+/// Generates the Supplier/PartSupp/LineItem chain database.
+pub fn tpch_chain(cfg: &TpchConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_each = (cfg.total_tuples / 3).max(1);
+    let mut db = Database::new();
+
+    let mut supplier = Vec::with_capacity(n_each);
+    for sk in 0..n_each as u64 {
+        let sk = sk % cfg.suppliers as u64;
+        let nk = rng.gen_range(0..cfg.nations as u64);
+        supplier.push(vec![nk, sk]);
+    }
+
+    let mut partsupp = Vec::with_capacity(n_each);
+    for _ in 0..n_each {
+        let sk = rng.gen_range(0..cfg.suppliers as u64);
+        let pk = if rng.gen_bool(cfg.hot_part_share) {
+            0
+        } else {
+            rng.gen_range(0..cfg.parts as u64)
+        };
+        partsupp.push(vec![sk, pk]);
+    }
+
+    let mut lineitem = Vec::with_capacity(n_each);
+    for ok in 0..n_each as u64 {
+        let pk = if rng.gen_bool(cfg.hot_part_share) {
+            0
+        } else {
+            rng.gen_range(0..cfg.parts as u64)
+        };
+        lineitem.push(vec![ok, pk]);
+    }
+
+    let s = db.create(adp_engine::schema::RelationSchema::new(
+        "S",
+        attrs(&["NK", "SK"]),
+    ));
+    let ps = db.create(adp_engine::schema::RelationSchema::new(
+        "PS",
+        attrs(&["SK", "PK"]),
+    ));
+    let l = db.create(adp_engine::schema::RelationSchema::new(
+        "L",
+        attrs(&["OK", "PK"]),
+    ));
+    let _ = (s, ps, l);
+    db.relation_mut("S").unwrap().extend(supplier);
+    db.relation_mut("PS").unwrap().extend(partsupp);
+    db.relation_mut("L").unwrap().extend(lineitem);
+    db
+}
+
+/// Generates the *post-selection* workload of §8.2: `N` surviving tuples
+/// after `σ PK = 0` (every PartSupp/LineItem row references the hot
+/// part). The paper's Figure 7–9 x-axis "input size" is exactly this
+/// survivor count.
+pub fn tpch_selected(n: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_each = (n / 3).max(1);
+    let suppliers = (n_each / 2).max(2);
+    let nations = 25u64;
+    let mut db = Database::new();
+    db.create(adp_engine::schema::RelationSchema::new(
+        "S",
+        attrs(&["NK", "SK"]),
+    ));
+    db.create(adp_engine::schema::RelationSchema::new(
+        "PS",
+        attrs(&["SK", "PK"]),
+    ));
+    db.create(adp_engine::schema::RelationSchema::new(
+        "L",
+        attrs(&["OK", "PK"]),
+    ));
+    for sk in 0..n_each as u64 {
+        let sk = sk % suppliers as u64;
+        db.insert("S", &[rng.gen_range(0..nations), sk]);
+    }
+    for sk in 0..n_each as u64 {
+        db.insert("PS", &[sk % suppliers as u64, 0]);
+    }
+    for ok in 0..n_each as u64 {
+        db.insert("L", &[ok, 0]);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selected_is_all_hot() {
+        let db = tpch_selected(300, 3);
+        assert!(db.expect("PS").tuples().iter().all(|t| t[1] == 0));
+        assert!(db.expect("L").tuples().iter().all(|t| t[1] == 0));
+        assert_eq!(db.expect("L").len(), 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = TpchConfig::scaled(300, 7);
+        let a = tpch_chain(&cfg);
+        let b = tpch_chain(&cfg);
+        for name in ["S", "PS", "L"] {
+            assert_eq!(a.expect(name).tuples(), b.expect(name).tuples());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = tpch_chain(&TpchConfig::scaled(300, 1));
+        let b = tpch_chain(&TpchConfig::scaled(300, 2));
+        assert_ne!(a.expect("PS").tuples(), b.expect("PS").tuples());
+    }
+
+    #[test]
+    fn hot_part_is_present() {
+        let cfg = TpchConfig {
+            hot_part_share: 0.5,
+            ..TpchConfig::scaled(600, 3)
+        };
+        let db = tpch_chain(&cfg);
+        let hot = db
+            .expect("PS")
+            .tuples()
+            .iter()
+            .filter(|t| t[1] == 0)
+            .count();
+        assert!(hot > 50, "hot part should dominate: {hot}");
+    }
+
+    #[test]
+    fn sizes_roughly_even() {
+        let db = tpch_chain(&TpchConfig::scaled(900, 5));
+        // dedup can shrink relations slightly
+        assert!(db.expect("S").len() <= 300);
+        assert!(db.expect("L").len() == 300);
+        assert!(db.total_tuples() > 600);
+    }
+}

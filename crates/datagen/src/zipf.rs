@@ -1,0 +1,158 @@
+//! Zipfian synthetic data (paper §8.4).
+//!
+//! Generates the relations behind `Q6(A,B) :- R1(A), R2(A,B)` and
+//! `Q_path(A,B) :- R1(A), R2(A,B), R3(B)`: `R2` has `N` tuples whose `A`
+//! degrees follow Zipf(α) over `0.2·N` distinct values, `B` uniform over
+//! `0.2·N` values; `R1`/`R3` enumerate the distinct values.
+
+use adp_engine::database::Database;
+use adp_engine::schema::{attrs, RelationSchema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the Zipf generator.
+#[derive(Clone, Debug)]
+pub struct ZipfConfig {
+    /// Number of `R2` tuples (`N`).
+    pub n: usize,
+    /// Zipf skew parameter α (0 = uniform).
+    pub alpha: f64,
+    /// Distinct-value fraction for each side (paper: 0.2).
+    pub distinct_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Include the `R3(B)` relation (for `Q_path`); `Q6` omits it.
+    pub with_r3: bool,
+}
+
+impl ZipfConfig {
+    /// Paper defaults: 0.2·N distinct values per side.
+    pub fn new(n: usize, alpha: f64, seed: u64, with_r3: bool) -> Self {
+        ZipfConfig {
+            n,
+            alpha,
+            distinct_fraction: 0.2,
+            seed,
+            with_r3,
+        }
+    }
+}
+
+/// Samples an index in `0..n` with probability proportional to
+/// `(i+1)^{-alpha}`, via an inverse-CDF table.
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler for `n` ranks with skew `alpha`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().unwrap();
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draws a rank.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Generates the Zipfian database: `R1(A)`, `R2(A,B)` and optionally
+/// `R3(B)`.
+pub fn zipf_pair(cfg: &ZipfConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let distinct = ((cfg.n as f64 * cfg.distinct_fraction) as usize).max(2);
+    let zipf = ZipfSampler::new(distinct, cfg.alpha);
+
+    let mut db = Database::new();
+    db.create(RelationSchema::new("R1", attrs(&["A"])));
+    db.create(RelationSchema::new("R2", attrs(&["A", "B"])));
+    if cfg.with_r3 {
+        db.create(RelationSchema::new("R3", attrs(&["B"])));
+    }
+    for a in 0..distinct as u64 {
+        db.insert("R1", &[a]);
+    }
+    if cfg.with_r3 {
+        for b in 0..distinct as u64 {
+            db.insert("R3", &[b]);
+        }
+    }
+    for _ in 0..cfg.n {
+        let a = zipf.sample(&mut rng) as u64;
+        let b = rng.gen_range(0..distinct as u64);
+        db.insert("R2", &[a, b]);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_zero_is_roughly_uniform() {
+        let db = zipf_pair(&ZipfConfig::new(5000, 0.0, 1, true));
+        let r2 = db.expect("R2");
+        let distinct = db.expect("R1").len() as u64;
+        let mut degree = vec![0u64; distinct as usize];
+        for t in r2.tuples() {
+            degree[t[0] as usize] += 1;
+        }
+        let max = *degree.iter().max().unwrap();
+        let min = *degree.iter().min().unwrap();
+        assert!(max < min * 10 + 20, "uniform-ish degrees: {min}..{max}");
+    }
+
+    #[test]
+    fn high_alpha_skews_hard() {
+        let db = zipf_pair(&ZipfConfig::new(5000, 1.5, 1, false));
+        let r2 = db.expect("R2");
+        let head = r2.tuples().iter().filter(|t| t[0] == 0).count();
+        assert!(
+            head > r2.len() / 5,
+            "rank-0 should dominate under α=1.5: {head}/{}",
+            r2.len()
+        );
+    }
+
+    #[test]
+    fn with_r3_toggle() {
+        assert!(zipf_pair(&ZipfConfig::new(100, 0.5, 2, true))
+            .relation("R3")
+            .is_some());
+        assert!(zipf_pair(&ZipfConfig::new(100, 0.5, 2, false))
+            .relation("R3")
+            .is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = zipf_pair(&ZipfConfig::new(500, 1.0, 9, true));
+        let b = zipf_pair(&ZipfConfig::new(500, 1.0, 9, true));
+        assert_eq!(a.expect("R2").tuples(), b.expect("R2").tuples());
+    }
+
+    #[test]
+    fn sampler_distribution_monotone() {
+        let s = ZipfSampler::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u64; 10];
+        for _ in 0..20000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[1] > counts[9]);
+    }
+}

@@ -1,0 +1,137 @@
+//! A database: a collection of named relation instances.
+
+use crate::relation::RelationInstance;
+use crate::schema::{Attr, RelationSchema};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// An in-memory database instance `D`.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: Vec<RelationInstance>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an empty relation with the given schema, returning its slot.
+    /// Panics if the name is already taken.
+    pub fn create(&mut self, schema: RelationSchema) -> usize {
+        assert!(
+            !self.by_name.contains_key(schema.name()),
+            "relation {} already exists",
+            schema.name()
+        );
+        let slot = self.relations.len();
+        self.by_name.insert(schema.name().to_owned(), slot);
+        self.relations.push(RelationInstance::new(schema));
+        slot
+    }
+
+    /// Adds a pre-built relation instance.
+    pub fn add(&mut self, rel: RelationInstance) -> usize {
+        assert!(
+            !self.by_name.contains_key(rel.name()),
+            "relation {} already exists",
+            rel.name()
+        );
+        let slot = self.relations.len();
+        self.by_name.insert(rel.name().to_owned(), slot);
+        self.relations.push(rel);
+        slot
+    }
+
+    /// Convenience: create a relation and fill it with tuples.
+    pub fn add_relation(&mut self, name: &str, attrs: Vec<Attr>, tuples: &[&[Value]]) -> usize {
+        let slot = self.create(RelationSchema::new(name, attrs));
+        for t in tuples {
+            self.relations[slot].insert(t);
+        }
+        slot
+    }
+
+    /// Looks a relation up by name.
+    pub fn relation(&self, name: &str) -> Option<&RelationInstance> {
+        self.by_name.get(name).map(|&i| &self.relations[i])
+    }
+
+    /// Mutable lookup by name.
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut RelationInstance> {
+        let i = *self.by_name.get(name)?;
+        Some(&mut self.relations[i])
+    }
+
+    /// Looks a relation up by name, panicking with a clear message if absent.
+    pub fn expect(&self, name: &str) -> &RelationInstance {
+        self.relation(name)
+            .unwrap_or_else(|| panic!("relation {name} not in database"))
+    }
+
+    /// All relations in insertion order.
+    pub fn relations(&self) -> &[RelationInstance] {
+        &self.relations
+    }
+
+    /// Names of all relations, in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.iter().map(|r| r.name())
+    }
+
+    /// Total number of stored tuples across all relations (`|D|`).
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(|r| r.len()).sum()
+    }
+
+    /// Inserts a tuple into a named relation, creating nothing: the
+    /// relation must exist. Returns the tuple index.
+    pub fn insert(&mut self, name: &str, tuple: &[Value]) -> u32 {
+        self.relation_mut(name)
+            .unwrap_or_else(|| panic!("relation {name} not in database"))
+            .insert(tuple)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::attrs;
+
+    #[test]
+    fn create_insert_lookup() {
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A", "B"]), &[&[1, 2], &[3, 4]]);
+        assert_eq!(db.expect("R").len(), 2);
+        assert_eq!(db.total_tuples(), 2);
+        assert!(db.relation("S").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_relation_rejected() {
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A"]), &[]);
+        db.add_relation("R", attrs(&["B"]), &[]);
+    }
+
+    #[test]
+    fn insert_by_name() {
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A"]), &[]);
+        let idx = db.insert("R", &[7]);
+        assert_eq!(idx, 0);
+        assert_eq!(db.expect("R").tuple(0), &[7]);
+    }
+
+    #[test]
+    fn names_in_insertion_order() {
+        let mut db = Database::new();
+        db.add_relation("S", attrs(&["A"]), &[]);
+        db.add_relation("R", attrs(&["B"]), &[]);
+        let names: Vec<_> = db.names().collect();
+        assert_eq!(names, vec!["S", "R"]);
+    }
+}

@@ -1,0 +1,409 @@
+//! Multiway natural join with witness provenance.
+//!
+//! Evaluating a conjunctive query body over a [`Database`] produces:
+//!
+//! * the set of *witnesses* — full-join rows, each identified by the input
+//!   tuple it uses in every atom (this is the provenance the ADP
+//!   algorithms consume),
+//! * the distinct *outputs* — projections of witnesses onto the head
+//!   attributes (`Q(D)` with set semantics),
+//! * the incidence between the two.
+//!
+//! The executor is a classic left-deep backtracking hash join. Atoms are
+//! ordered greedily (smallest relation first, preferring atoms connected
+//! to the already-bound attributes) and each non-leading atom gets a hash
+//! index on its bound attributes.
+
+use crate::database::Database;
+use crate::schema::{Attr, RelationSchema};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// One full-join row: the index of the participating tuple in every atom,
+/// in *query atom order* (not join order).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Witness {
+    /// `tuples[i]` is the tuple index within the relation of atom `i`.
+    pub tuples: Box<[u32]>,
+}
+
+/// Result of evaluating a conjunctive query body.
+#[derive(Clone, Debug, Default)]
+pub struct EvalResult {
+    /// Relation name per atom, in query order.
+    pub atom_names: Vec<String>,
+    /// Head attributes the outputs are projected on.
+    pub head: Vec<Attr>,
+    /// All witnesses (full-join rows).
+    pub witnesses: Vec<Witness>,
+    /// Distinct output tuples (projections of witnesses on `head`).
+    pub outputs: Vec<Box<[Value]>>,
+    /// For each witness, the output it projects to.
+    pub witness_output: Vec<u32>,
+    /// For each output, the witnesses projecting to it.
+    pub output_witnesses: Vec<Vec<u32>>,
+}
+
+impl EvalResult {
+    /// `|Q(D)|` — the number of distinct output tuples.
+    pub fn output_count(&self) -> u64 {
+        self.outputs.len() as u64
+    }
+
+    /// Number of full-join rows.
+    pub fn witness_count(&self) -> u64 {
+        self.witnesses.len() as u64
+    }
+}
+
+/// Evaluates the conjunctive body `atoms` over `db`, projecting on `head`.
+///
+/// Every atom's relation must exist in `db` with the same attribute set.
+/// `head` must be a subset of the body attributes. An empty `head` gives
+/// boolean semantics: at most one output, the empty tuple.
+pub fn evaluate(db: &Database, atoms: &[RelationSchema], head: &[Attr]) -> EvalResult {
+    assert!(!atoms.is_empty(), "cannot evaluate a query with no atoms");
+    let instances: Vec<_> = atoms
+        .iter()
+        .map(|a| {
+            let inst = db.expect(a.name());
+            let mut want: Vec<&Attr> = a.attrs().iter().collect();
+            let mut have: Vec<&Attr> = inst.schema().attrs().iter().collect();
+            want.sort();
+            have.sort();
+            assert_eq!(
+                want, have,
+                "schema mismatch for {}: query says {:?}, database says {:?}",
+                a.name(),
+                a,
+                inst.schema()
+            );
+            inst
+        })
+        .collect();
+
+    let mut result = EvalResult {
+        atom_names: atoms.iter().map(|a| a.name().to_owned()).collect(),
+        head: head.to_vec(),
+        ..Default::default()
+    };
+
+    // Empty relation anywhere => empty result.
+    if instances.iter().any(|r| r.is_empty()) {
+        return result;
+    }
+
+    let order = join_order(atoms, &instances.iter().map(|r| r.len()).collect::<Vec<_>>());
+
+    // Attribute slots: dense positions in the binding array, assigned in
+    // first-seen order along the join order.
+    let mut slot_of: HashMap<Attr, usize> = HashMap::new();
+    // For each atom (join order): (bound attr positions within the atom,
+    // their binding slots) and (free attr positions, their new slots).
+    struct Step {
+        atom: usize,
+        bound_pos: Vec<usize>,
+        bound_slot: Vec<usize>,
+        free_pos: Vec<usize>,
+        free_slot: Vec<usize>,
+        /// tuples grouped by bound-attr key (None for the leading atom)
+        index: Option<HashMap<Vec<Value>, Vec<u32>>>,
+    }
+    let mut steps: Vec<Step> = Vec::with_capacity(order.len());
+    for &ai in &order {
+        let schema = &atoms[ai];
+        let inst = instances[ai];
+        let mut bound_pos = Vec::new();
+        let mut bound_slot = Vec::new();
+        let mut free_pos = Vec::new();
+        let mut free_slot = Vec::new();
+        for (pos, a) in schema.attrs().iter().enumerate() {
+            // positions are w.r.t. the *instance* schema ordering
+            let ipos = inst.schema().position(a).expect("checked above");
+            if let Some(&s) = slot_of.get(a) {
+                bound_pos.push(ipos);
+                bound_slot.push(s);
+            } else {
+                let s = slot_of.len();
+                slot_of.insert(a.clone(), s);
+                free_pos.push(ipos);
+                free_slot.push(s);
+            }
+            let _ = pos;
+        }
+        let index = if steps.is_empty() {
+            None
+        } else {
+            let mut map: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+            for idx in 0..inst.len() as u32 {
+                let t = inst.tuple(idx);
+                let key: Vec<Value> = bound_pos.iter().map(|&p| t[p]).collect();
+                map.entry(key).or_default().push(idx);
+            }
+            Some(map)
+        };
+        steps.push(Step {
+            atom: ai,
+            bound_pos,
+            bound_slot,
+            free_pos,
+            free_slot,
+            index,
+        });
+    }
+
+    let head_slots: Vec<usize> = head
+        .iter()
+        .map(|a| {
+            *slot_of
+                .get(a)
+                .unwrap_or_else(|| panic!("head attribute {a} not in query body"))
+        })
+        .collect();
+
+    let mut binding: Vec<Value> = vec![0; slot_of.len()];
+    let mut chosen: Vec<u32> = vec![0; atoms.len()];
+    let mut output_dedup: HashMap<Box<[Value]>, u32> = HashMap::new();
+
+    // Iterative backtracking over the join order.
+    // frame state: candidate list + cursor per depth.
+    let mut cand: Vec<Vec<u32>> = vec![Vec::new(); steps.len()];
+    let mut cursor: Vec<usize> = vec![0; steps.len()];
+    let mut depth: usize = 0;
+    cand[0] = (0..instances[steps[0].atom].len() as u32).collect();
+    cursor[0] = 0;
+
+    loop {
+        if cursor[depth] >= cand[depth].len() {
+            if depth == 0 {
+                break;
+            }
+            depth -= 1;
+            continue;
+        }
+        let step = &steps[depth];
+        let inst = instances[step.atom];
+        let idx = cand[depth][cursor[depth]];
+        cursor[depth] += 1;
+        let t = inst.tuple(idx);
+        // bound attrs are guaranteed to match (candidates filtered by index
+        // or depth==0 with no bound attrs — except depth==0 never has bound).
+        for (i, &p) in step.free_pos.iter().enumerate() {
+            binding[step.free_slot[i]] = t[p];
+        }
+        debug_assert!(step
+            .bound_pos
+            .iter()
+            .zip(&step.bound_slot)
+            .all(|(&p, &s)| t[p] == binding[s]));
+        chosen[step.atom] = idx;
+
+        if depth + 1 == steps.len() {
+            // Complete witness.
+            let w = Witness {
+                tuples: chosen.clone().into_boxed_slice(),
+            };
+            let out_key: Box<[Value]> = head_slots.iter().map(|&s| binding[s]).collect();
+            let next_id = output_dedup.len() as u32;
+            let out_id = *output_dedup.entry(out_key.clone()).or_insert(next_id);
+            if out_id == next_id {
+                result.outputs.push(out_key);
+                result.output_witnesses.push(Vec::new());
+            }
+            let wid = result.witnesses.len() as u32;
+            result.witnesses.push(w);
+            result.witness_output.push(out_id);
+            result.output_witnesses[out_id as usize].push(wid);
+            continue;
+        }
+
+        // Descend.
+        let next = &steps[depth + 1];
+        let key: Vec<Value> = next.bound_slot.iter().map(|&s| binding[s]).collect();
+        let matches = next
+            .index
+            .as_ref()
+            .expect("non-leading steps have indexes")
+            .get(&key);
+        match matches {
+            Some(list) => {
+                depth += 1;
+                cand[depth] = list.clone();
+                cursor[depth] = 0;
+            }
+            None => continue,
+        }
+    }
+
+    result
+}
+
+/// Greedy join order: smallest relation first, then repeatedly the
+/// smallest atom sharing an attribute with the bound set (falling back to
+/// the smallest remaining atom for disconnected queries).
+fn join_order(atoms: &[RelationSchema], sizes: &[usize]) -> Vec<usize> {
+    let n = atoms.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut bound: Vec<Attr> = Vec::new();
+
+    let first = *remaining
+        .iter()
+        .min_by_key(|&&i| (sizes[i], i))
+        .expect("non-empty");
+    remaining.retain(|&i| i != first);
+    bound.extend(atoms[first].attrs().iter().cloned());
+    order.push(first);
+
+    while !remaining.is_empty() {
+        let connected: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| atoms[i].attrs().iter().any(|a| bound.contains(a)))
+            .collect();
+        let pool = if connected.is_empty() {
+            &remaining
+        } else {
+            &connected
+        };
+        let next = *pool.iter().min_by_key(|&&i| (sizes[i], i)).unwrap();
+        remaining.retain(|&i| i != next);
+        for a in atoms[next].attrs() {
+            if !bound.contains(a) {
+                bound.push(a.clone());
+            }
+        }
+        order.push(next);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{attrs, RelationSchema};
+
+    /// The running example from Figure 1 of the paper.
+    fn figure1_db() -> Database {
+        let mut db = Database::new();
+        db.add_relation(
+            "R1",
+            attrs(&["A", "B"]),
+            &[&[1, 1], &[2, 2], &[3, 3]], // (a1,b1),(a2,b2),(a3,b3)
+        );
+        db.add_relation(
+            "R2",
+            attrs(&["B", "C"]),
+            &[&[1, 1], &[2, 2], &[2, 3], &[3, 3]],
+        );
+        db.add_relation("R3", attrs(&["C", "E"]), &[&[1, 1], &[2, 3], &[3, 3]]);
+        db
+    }
+
+    fn figure1_atoms() -> Vec<RelationSchema> {
+        vec![
+            RelationSchema::new("R1", attrs(&["A", "B"])),
+            RelationSchema::new("R2", attrs(&["B", "C"])),
+            RelationSchema::new("R3", attrs(&["C", "E"])),
+        ]
+    }
+
+    #[test]
+    fn full_join_matches_figure1_q1() {
+        let db = figure1_db();
+        let r = evaluate(&db, &figure1_atoms(), &attrs(&["A", "B", "C", "E"]));
+        // Q1(D) has 4 tuples in the paper.
+        assert_eq!(r.output_count(), 4);
+        assert_eq!(r.witness_count(), 4);
+        let mut outs: Vec<Vec<Value>> = r.outputs.iter().map(|o| o.to_vec()).collect();
+        outs.sort();
+        assert_eq!(
+            outs,
+            vec![
+                vec![1, 1, 1, 1],
+                vec![2, 2, 2, 3],
+                vec![2, 2, 3, 3],
+                vec![3, 3, 3, 3],
+            ]
+        );
+    }
+
+    #[test]
+    fn projection_matches_figure1_q2() {
+        let db = figure1_db();
+        let r = evaluate(&db, &figure1_atoms(), &attrs(&["A", "E"]));
+        // Q2(D) = {(a1,e1),(a2,e3),(a3,e3)} — 3 distinct outputs, 4 witnesses.
+        assert_eq!(r.output_count(), 3);
+        assert_eq!(r.witness_count(), 4);
+        // a2 output has two witnesses (through c2 and c3).
+        let a2 = r
+            .outputs
+            .iter()
+            .position(|o| o.as_ref() == [2, 3])
+            .expect("a2,e3 present");
+        assert_eq!(r.output_witnesses[a2].len(), 2);
+    }
+
+    #[test]
+    fn boolean_head_gives_single_output() {
+        let db = figure1_db();
+        let r = evaluate(&db, &figure1_atoms(), &[]);
+        assert_eq!(r.output_count(), 1);
+        assert_eq!(r.witness_count(), 4);
+        assert!(r.outputs[0].is_empty());
+    }
+
+    #[test]
+    fn empty_relation_empties_result() {
+        let mut db = figure1_db();
+        db.relation_mut("R2").unwrap(); // keep borrowck happy
+        let mut db2 = Database::new();
+        db2.add_relation("R1", attrs(&["A", "B"]), &[&[1, 1]]);
+        db2.add_relation("R2", attrs(&["B", "C"]), &[]);
+        db2.add_relation("R3", attrs(&["C", "E"]), &[&[1, 1]]);
+        let r = evaluate(&db2, &figure1_atoms(), &attrs(&["A"]));
+        assert_eq!(r.output_count(), 0);
+        let _ = db;
+    }
+
+    #[test]
+    fn witnesses_reference_query_atom_order() {
+        let db = figure1_db();
+        let r = evaluate(&db, &figure1_atoms(), &attrs(&["A"]));
+        for w in &r.witnesses {
+            assert_eq!(w.tuples.len(), 3);
+            // every witness joins: R1[t0].B == R2[t1].B etc.
+            let t0 = db.expect("R1").tuple(w.tuples[0]);
+            let t1 = db.expect("R2").tuple(w.tuples[1]);
+            let t2 = db.expect("R3").tuple(w.tuples[2]);
+            assert_eq!(t0[1], t1[0]);
+            assert_eq!(t1[1], t2[0]);
+        }
+    }
+
+    #[test]
+    fn cross_product_for_disconnected_query() {
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A"]), &[&[1], &[2]]);
+        db.add_relation("S", attrs(&["B"]), &[&[10], &[20], &[30]]);
+        let atoms = vec![
+            RelationSchema::new("R", attrs(&["A"])),
+            RelationSchema::new("S", attrs(&["B"])),
+        ];
+        let r = evaluate(&db, &atoms, &attrs(&["A", "B"]));
+        assert_eq!(r.output_count(), 6);
+    }
+
+    #[test]
+    fn vacuum_atom_joins_trivially() {
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A"]), &[&[1], &[2]]);
+        db.add_relation("V", vec![], &[&[]]);
+        let atoms = vec![
+            RelationSchema::new("R", attrs(&["A"])),
+            RelationSchema::new("V", vec![]),
+        ];
+        let r = evaluate(&db, &atoms, &attrs(&["A"]));
+        assert_eq!(r.output_count(), 2);
+    }
+}

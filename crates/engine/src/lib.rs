@@ -1,0 +1,38 @@
+//! # adp-engine
+//!
+//! In-memory relational substrate for the Aggregated Deletion Propagation
+//! (ADP) library. The VLDB 2020 paper executes its algorithms over
+//! PostgreSQL; this crate provides the equivalent capabilities as a pure
+//! in-memory engine:
+//!
+//! * [`value`] — the dense integer [`Value`] type plus an
+//!   [`Interner`] for symbolic data,
+//! * [`schema`] — attributes and relation schemas,
+//! * [`relation`] / [`database`] — tuple storage,
+//! * [`join`] — multiway natural join with *witness* (full-join row)
+//!   provenance and distinct head projection,
+//! * [`provenance`] — the witness/output/input incidence structure with
+//!   `kill` semantics used by the greedy ADP heuristics,
+//! * [`semijoin`] — GYO ear decomposition and a Yannakakis-style full
+//!   reducer for dangling-tuple removal.
+//!
+//! The engine is deliberately small but complete: every operation the
+//! paper issues as a SQL query (full join, distinct projection counting,
+//! per-tuple "profit" computation, dangling tuple removal) has a
+//! first-class, tested counterpart here.
+
+pub mod database;
+pub mod join;
+pub mod naive;
+pub mod provenance;
+pub mod relation;
+pub mod schema;
+pub mod semijoin;
+pub mod value;
+
+pub use database::Database;
+pub use join::{evaluate, EvalResult, Witness};
+pub use provenance::{ProvenanceIndex, TupleRef};
+pub use relation::RelationInstance;
+pub use schema::{Attr, RelationSchema};
+pub use value::{Interner, Value};

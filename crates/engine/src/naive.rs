@@ -1,0 +1,202 @@
+//! A nested-loop reference executor.
+//!
+//! Deliberately brute-force: enumerate the full cartesian product of all
+//! atoms and filter on shared attributes. Exponentially slower than
+//! [`crate::join::evaluate`] but obviously correct — used to
+//! differentially test the hash-join executor (and available to callers
+//! who want a second opinion on tiny instances).
+
+use crate::database::Database;
+use crate::join::{EvalResult, Witness};
+use crate::schema::{Attr, RelationSchema};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Evaluates the body by nested loops. Same contract as
+/// [`crate::join::evaluate`]; witness/output order may differ, contents
+/// are identical up to reordering.
+pub fn evaluate_nested_loop(
+    db: &Database,
+    atoms: &[RelationSchema],
+    head: &[Attr],
+) -> EvalResult {
+    assert!(!atoms.is_empty(), "cannot evaluate a query with no atoms");
+    let instances: Vec<_> = atoms.iter().map(|a| db.expect(a.name())).collect();
+
+    let mut result = EvalResult {
+        atom_names: atoms.iter().map(|a| a.name().to_owned()).collect(),
+        head: head.to_vec(),
+        ..Default::default()
+    };
+    if instances.iter().any(|r| r.is_empty()) {
+        return result;
+    }
+
+    let mut output_dedup: HashMap<Box<[Value]>, u32> = HashMap::new();
+    let mut chosen = vec![0u32; atoms.len()];
+    nested(
+        db,
+        atoms,
+        head,
+        0,
+        &mut chosen,
+        &mut result,
+        &mut output_dedup,
+    );
+    result
+}
+
+fn nested(
+    db: &Database,
+    atoms: &[RelationSchema],
+    head: &[Attr],
+    depth: usize,
+    chosen: &mut [u32],
+    result: &mut EvalResult,
+    output_dedup: &mut HashMap<Box<[Value]>, u32>,
+) {
+    if depth == atoms.len() {
+        if !consistent(db, atoms, chosen) {
+            return;
+        }
+        // project the (consistent) assignment onto the head
+        let out_key: Box<[Value]> = head
+            .iter()
+            .map(|a| {
+                let (i, pos) = atoms
+                    .iter()
+                    .enumerate()
+                    .find_map(|(i, s)| {
+                        db.expect(s.name()).schema().position(a).map(|p| (i, p))
+                    })
+                    .expect("head attr occurs in the body");
+                db.expect(atoms[i].name()).tuple(chosen[i])[pos]
+            })
+            .collect();
+        let next_id = output_dedup.len() as u32;
+        let out_id = *output_dedup.entry(out_key.clone()).or_insert(next_id);
+        if out_id == next_id {
+            result.outputs.push(out_key);
+            result.output_witnesses.push(Vec::new());
+        }
+        let wid = result.witnesses.len() as u32;
+        result.witnesses.push(Witness {
+            tuples: chosen.to_vec().into_boxed_slice(),
+        });
+        result.witness_output.push(out_id);
+        result.output_witnesses[out_id as usize].push(wid);
+        return;
+    }
+    let rel = db.expect(atoms[depth].name());
+    for idx in 0..rel.len() as u32 {
+        chosen[depth] = idx;
+        nested(db, atoms, head, depth + 1, chosen, result, output_dedup);
+    }
+}
+
+/// Do the chosen tuples agree on every shared attribute?
+fn consistent(db: &Database, atoms: &[RelationSchema], chosen: &[u32]) -> bool {
+    let mut bound: HashMap<&Attr, Value> = HashMap::new();
+    for (i, schema) in atoms.iter().enumerate() {
+        let rel = db.expect(schema.name());
+        let t = rel.tuple(chosen[i]);
+        for (pos, a) in rel.schema().attrs().iter().enumerate() {
+            match bound.get(a) {
+                Some(&v) if v != t[pos] => return false,
+                Some(_) => {}
+                None => {
+                    bound.insert(a, t[pos]);
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::evaluate;
+    use crate::schema::attrs;
+
+    fn sorted_outputs(r: &EvalResult) -> Vec<Vec<Value>> {
+        let mut v: Vec<Vec<Value>> = r.outputs.iter().map(|o| o.to_vec()).collect();
+        v.sort();
+        v
+    }
+
+    fn sorted_witnesses(r: &EvalResult) -> Vec<Vec<u32>> {
+        let mut v: Vec<Vec<u32>> = r.witnesses.iter().map(|w| w.tuples.to_vec()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn agrees_with_hash_join_on_chain() {
+        let mut db = Database::new();
+        db.add_relation("R1", attrs(&["A", "B"]), &[&[1, 1], &[2, 2], &[3, 3]]);
+        db.add_relation(
+            "R2",
+            attrs(&["B", "C"]),
+            &[&[1, 1], &[2, 2], &[2, 3], &[3, 3]],
+        );
+        db.add_relation("R3", attrs(&["C", "E"]), &[&[1, 1], &[2, 3], &[3, 3]]);
+        let atoms = vec![
+            RelationSchema::new("R1", attrs(&["A", "B"])),
+            RelationSchema::new("R2", attrs(&["B", "C"])),
+            RelationSchema::new("R3", attrs(&["C", "E"])),
+        ];
+        for head in [attrs(&["A", "E"]), attrs(&["A", "B", "C", "E"]), vec![]] {
+            let a = evaluate(&db, &atoms, &head);
+            let b = evaluate_nested_loop(&db, &atoms, &head);
+            assert_eq!(sorted_outputs(&a), sorted_outputs(&b));
+            assert_eq!(sorted_witnesses(&a), sorted_witnesses(&b));
+        }
+    }
+
+    #[test]
+    fn agrees_on_random_instances() {
+        // deterministic LCG
+        let mut state = 0xDEADBEEFu64;
+        let mut rng = move |m: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % m
+        };
+        let atoms = vec![
+            RelationSchema::new("R1", attrs(&["A", "B"])),
+            RelationSchema::new("R2", attrs(&["B", "C"])),
+            RelationSchema::new("R3", attrs(&["A", "C"])),
+        ];
+        for _ in 0..20 {
+            let mut db = Database::new();
+            for schema in &atoms {
+                let mut inst = crate::relation::RelationInstance::new(schema.clone());
+                for _ in 0..rng(6) {
+                    inst.insert(&[rng(3), rng(3)]);
+                }
+                db.add(inst);
+            }
+            let head = attrs(&["A"]);
+            let a = evaluate(&db, &atoms, &head);
+            let b = evaluate_nested_loop(&db, &atoms, &head);
+            assert_eq!(sorted_outputs(&a), sorted_outputs(&b));
+            assert_eq!(a.witness_count(), b.witness_count());
+        }
+    }
+
+    #[test]
+    fn cross_product_matches() {
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A"]), &[&[1], &[2]]);
+        db.add_relation("S", attrs(&["B"]), &[&[7], &[8], &[9]]);
+        let atoms = vec![
+            RelationSchema::new("R", attrs(&["A"])),
+            RelationSchema::new("S", attrs(&["B"])),
+        ];
+        let a = evaluate(&db, &atoms, &attrs(&["A", "B"]));
+        let b = evaluate_nested_loop(&db, &atoms, &attrs(&["A", "B"]));
+        assert_eq!(sorted_outputs(&a), sorted_outputs(&b));
+    }
+}

@@ -1,0 +1,339 @@
+//! Witness/output/input incidence with deletion ("kill") semantics.
+//!
+//! The ADP heuristics repeatedly ask two questions the paper answers with
+//! SQL round-trips:
+//!
+//! 1. *profit*: how many **outputs** disappear if input tuple `t` is
+//!    deleted (`|Q(D−S)| − |Q(D−S−t)|`, Algorithm 6)?
+//! 2. *kill*: actually delete `t` and update the remaining result.
+//!
+//! [`ProvenanceIndex`] answers both in memory. An output tuple dies when
+//! **all** of its witnesses die; a witness dies when any of its input
+//! tuples is deleted. For queries with projection an input tuple is a
+//! *sole killer* of an output iff every live witness of that output uses
+//! the tuple — computed by a per-output agreement scan (`profits`).
+
+use crate::join::EvalResult;
+use std::collections::HashMap;
+
+/// A reference to an input tuple: query atom position + tuple index within
+/// that atom's relation instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleRef {
+    /// Index of the atom in the query body (atoms are distinct relations —
+    /// no self-joins — so this also identifies the relation).
+    pub atom: usize,
+    /// Tuple index within the relation instance.
+    pub index: u32,
+}
+
+impl TupleRef {
+    /// Convenience constructor.
+    pub fn new(atom: usize, index: u32) -> Self {
+        TupleRef { atom, index }
+    }
+}
+
+/// Incidence structure over an [`EvalResult`] supporting deletion.
+#[derive(Clone, Debug)]
+pub struct ProvenanceIndex {
+    /// witness → tuple index per atom (copied from the eval result).
+    witness_tuples: Vec<Box<[u32]>>,
+    witness_output: Vec<u32>,
+    witness_alive: Vec<bool>,
+    /// output → live witness count.
+    output_live: Vec<u32>,
+    /// output → its witnesses (static).
+    output_witnesses: Vec<Vec<u32>>,
+    /// per atom: tuple index → witnesses containing it.
+    tuple_witnesses: Vec<HashMap<u32, Vec<u32>>>,
+    live_outputs: u64,
+    n_atoms: usize,
+}
+
+impl ProvenanceIndex {
+    /// Builds the index from an evaluation result.
+    pub fn new(result: &EvalResult) -> Self {
+        let n_atoms = result.atom_names.len();
+        let mut tuple_witnesses: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); n_atoms];
+        for (wid, w) in result.witnesses.iter().enumerate() {
+            for (atom, &t) in w.tuples.iter().enumerate() {
+                tuple_witnesses[atom]
+                    .entry(t)
+                    .or_default()
+                    .push(wid as u32);
+            }
+        }
+        ProvenanceIndex {
+            witness_tuples: result.witnesses.iter().map(|w| w.tuples.clone()).collect(),
+            witness_output: result.witness_output.clone(),
+            witness_alive: vec![true; result.witnesses.len()],
+            output_live: result
+                .output_witnesses
+                .iter()
+                .map(|ws| ws.len() as u32)
+                .collect(),
+            output_witnesses: result.output_witnesses.clone(),
+            tuple_witnesses,
+            live_outputs: result.outputs.len() as u64,
+            n_atoms,
+        }
+    }
+
+    /// Number of atoms in the underlying query.
+    pub fn atom_count(&self) -> usize {
+        self.n_atoms
+    }
+
+    /// Outputs still alive (`|Q(D − deleted)|`).
+    pub fn live_outputs(&self) -> u64 {
+        self.live_outputs
+    }
+
+    /// Witnesses still alive.
+    pub fn live_witnesses(&self) -> u64 {
+        self.witness_alive.iter().filter(|&&a| a).count() as u64
+    }
+
+    /// Is the given input tuple used by at least one live witness?
+    pub fn is_live(&self, t: TupleRef) -> bool {
+        self.tuple_witnesses[t.atom]
+            .get(&t.index)
+            .map(|ws| ws.iter().any(|&w| self.witness_alive[w as usize]))
+            .unwrap_or(false)
+    }
+
+    /// The input tuples that participate in at least one witness (the
+    /// *non-dangling* tuples), per atom.
+    pub fn participating_tuples(&self) -> Vec<Vec<u32>> {
+        self.tuple_witnesses
+            .iter()
+            .map(|m| {
+                let mut v: Vec<u32> = m.keys().copied().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+
+    /// Deletes an input tuple: kills every live witness using it. Returns
+    /// the number of outputs that died as a consequence.
+    pub fn kill(&mut self, t: TupleRef) -> u64 {
+        let Some(ws) = self.tuple_witnesses[t.atom].get(&t.index) else {
+            return 0;
+        };
+        let mut died = 0;
+        for &w in ws {
+            let w = w as usize;
+            if !self.witness_alive[w] {
+                continue;
+            }
+            self.witness_alive[w] = false;
+            let out = self.witness_output[w] as usize;
+            self.output_live[out] -= 1;
+            if self.output_live[out] == 0 {
+                died += 1;
+            }
+        }
+        self.live_outputs -= died;
+        died
+    }
+
+    /// Profit of every input tuple under the *current* deletion state:
+    /// `profit(t) = #outputs all of whose live witnesses use t` — exactly
+    /// `|Q(D−S)| − |Q(D−S−{t})|`. Returned as one map per atom.
+    ///
+    /// Cost: one pass over live witnesses, `O(live_witnesses · p)`.
+    pub fn profits(&self) -> Vec<HashMap<u32, u64>> {
+        let mut profits: Vec<HashMap<u32, u64>> = vec![HashMap::new(); self.n_atoms];
+        // For each output: find, per atom, whether all live witnesses agree
+        // on the tuple used. Agreeing tuples are sole killers.
+        for (out, ws) in self.output_witnesses.iter().enumerate() {
+            if self.output_live[out] == 0 {
+                continue;
+            }
+            let mut agreed: Option<Vec<Option<u32>>> = None;
+            for &w in ws {
+                let w = w as usize;
+                if !self.witness_alive[w] {
+                    continue;
+                }
+                let tuples = &self.witness_tuples[w];
+                match agreed.as_mut() {
+                    None => {
+                        agreed = Some(tuples.iter().map(|&t| Some(t)).collect());
+                    }
+                    Some(a) => {
+                        for (atom, slot) in a.iter_mut().enumerate() {
+                            if let Some(t) = *slot {
+                                if t != tuples[atom] {
+                                    *slot = None;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(a) = agreed {
+                for (atom, slot) in a.into_iter().enumerate() {
+                    if let Some(t) = slot {
+                        *profits[atom].entry(t).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        profits
+    }
+
+    /// Number of live witnesses each input tuple participates in, per
+    /// atom. Used as a greedy tie-breaker when no tuple is a sole killer.
+    pub fn live_counts(&self) -> Vec<HashMap<u32, u64>> {
+        let mut counts: Vec<HashMap<u32, u64>> = vec![HashMap::new(); self.n_atoms];
+        for (w, tuples) in self.witness_tuples.iter().enumerate() {
+            if !self.witness_alive[w] {
+                continue;
+            }
+            for (atom, &t) in tuples.iter().enumerate() {
+                *counts[atom].entry(t).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// How many outputs would die if the whole `set` were removed at once,
+    /// without mutating the index. Used by the brute-force baseline.
+    pub fn killed_by_set(&self, set: &[TupleRef]) -> u64 {
+        let mut dead_live: HashMap<u32, u32> = HashMap::new(); // output -> newly dead witnesses
+        let mut seen: Vec<bool> = vec![false; self.witness_tuples.len()];
+        for t in set {
+            if let Some(ws) = self.tuple_witnesses[t.atom].get(&t.index) {
+                for &w in ws {
+                    let wi = w as usize;
+                    if !self.witness_alive[wi] || seen[wi] {
+                        continue;
+                    }
+                    seen[wi] = true;
+                    *dead_live.entry(self.witness_output[w as usize]).or_insert(0) += 1;
+                }
+            }
+        }
+        dead_live
+            .into_iter()
+            .filter(|&(out, dead)| self.output_live[out as usize] == dead)
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::join::evaluate;
+    use crate::schema::{attrs, RelationSchema};
+
+    /// Figure 1 database with Q2(A,E) (projection query).
+    fn q2_index() -> (Database, ProvenanceIndex) {
+        let mut db = Database::new();
+        db.add_relation("R1", attrs(&["A", "B"]), &[&[1, 1], &[2, 2], &[3, 3]]);
+        db.add_relation(
+            "R2",
+            attrs(&["B", "C"]),
+            &[&[1, 1], &[2, 2], &[2, 3], &[3, 3]],
+        );
+        db.add_relation("R3", attrs(&["C", "E"]), &[&[1, 1], &[2, 3], &[3, 3]]);
+        let atoms = vec![
+            RelationSchema::new("R1", attrs(&["A", "B"])),
+            RelationSchema::new("R2", attrs(&["B", "C"])),
+            RelationSchema::new("R3", attrs(&["C", "E"])),
+        ];
+        let r = evaluate(&db, &atoms, &attrs(&["A", "E"]));
+        let p = ProvenanceIndex::new(&r);
+        (db, p)
+    }
+
+    #[test]
+    fn initial_counts() {
+        let (_, p) = q2_index();
+        assert_eq!(p.live_outputs(), 3);
+        assert_eq!(p.live_witnesses(), 4);
+    }
+
+    #[test]
+    fn killing_r3_c3e3_removes_two_outputs_of_q1() {
+        // Paper §3.2: ADP(Q1, D, 2) removes R3(c3,e3) — it kills the last
+        // two Q1 outputs. Under Q1 (full CQ) every witness is an output.
+        let mut db = Database::new();
+        db.add_relation("R1", attrs(&["A", "B"]), &[&[1, 1], &[2, 2], &[3, 3]]);
+        db.add_relation(
+            "R2",
+            attrs(&["B", "C"]),
+            &[&[1, 1], &[2, 2], &[2, 3], &[3, 3]],
+        );
+        db.add_relation("R3", attrs(&["C", "E"]), &[&[1, 1], &[2, 3], &[3, 3]]);
+        let atoms = vec![
+            RelationSchema::new("R1", attrs(&["A", "B"])),
+            RelationSchema::new("R2", attrs(&["B", "C"])),
+            RelationSchema::new("R3", attrs(&["C", "E"])),
+        ];
+        let r = evaluate(&db, &atoms, &attrs(&["A", "B", "C", "E"]));
+        let mut p = ProvenanceIndex::new(&r);
+        let c3e3 = db.expect("R3").index_of(&[3, 3]).unwrap();
+        let died = p.kill(TupleRef::new(2, c3e3));
+        assert_eq!(died, 2);
+        assert_eq!(p.live_outputs(), 2);
+    }
+
+    #[test]
+    fn profit_counts_sole_killers_under_projection() {
+        let (db, p) = q2_index();
+        let profits = p.profits();
+        // Output (a2,e3) has two witnesses (via c2 and c3), so neither R2
+        // nor R3 tuple alone kills it, but R1(a2,b2) does.
+        let a2b2 = db.expect("R1").index_of(&[2, 2]).unwrap();
+        assert_eq!(profits[0].get(&a2b2), Some(&1));
+        let b2c2 = db.expect("R2").index_of(&[2, 2]).unwrap();
+        assert_eq!(profits[1].get(&b2c2), None, "not a sole killer");
+        // R3(c3,e3) solely kills only (a3,e3): (a2,e3) survives via c2.
+        let c3e3 = db.expect("R3").index_of(&[3, 3]).unwrap();
+        assert_eq!(profits[2].get(&c3e3), Some(&1));
+    }
+
+    #[test]
+    fn kill_then_profit_updates() {
+        let (db, mut p) = q2_index();
+        // Kill R2(b2,c2): output (a2,e3) now has a single witness via c3,
+        // so R3(c3,e3) becomes a sole killer of both (a2,e3) and (a3,e3).
+        let b2c2 = db.expect("R2").index_of(&[2, 2]).unwrap();
+        let died = p.kill(TupleRef::new(1, b2c2));
+        assert_eq!(died, 0, "output survives through the other witness");
+        let profits = p.profits();
+        let c3e3 = db.expect("R3").index_of(&[3, 3]).unwrap();
+        assert_eq!(profits[2].get(&c3e3), Some(&2));
+    }
+
+    #[test]
+    fn killed_by_set_is_pure() {
+        let (db, p) = q2_index();
+        let r1 = db.expect("R1");
+        let all_r1: Vec<TupleRef> = (0..r1.len() as u32).map(|i| TupleRef::new(0, i)).collect();
+        assert_eq!(p.killed_by_set(&all_r1), 3);
+        assert_eq!(p.live_outputs(), 3, "no mutation");
+        assert_eq!(p.killed_by_set(&[]), 0);
+    }
+
+    #[test]
+    fn participating_tuples_reports_non_dangling() {
+        let mut db = Database::new();
+        db.add_relation("R1", attrs(&["A"]), &[&[1], &[2], &[9]]); // 9 dangles
+        db.add_relation("R2", attrs(&["A", "B"]), &[&[1, 5], &[2, 6]]);
+        let atoms = vec![
+            RelationSchema::new("R1", attrs(&["A"])),
+            RelationSchema::new("R2", attrs(&["A", "B"])),
+        ];
+        let r = evaluate(&db, &atoms, &attrs(&["A", "B"]));
+        let p = ProvenanceIndex::new(&r);
+        let parts = p.participating_tuples();
+        assert_eq!(parts[0], vec![0, 1]);
+        assert_eq!(parts[1], vec![0, 1]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Relation instances: a schema plus a tuple store.
+
+use crate::schema::{Attr, RelationSchema};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A stored tuple. Arity always matches the owning relation's schema.
+pub type Tuple = Box<[Value]>;
+
+/// A relation instance: schema + tuples.
+///
+/// Tuples are deduplicated on insert (set semantics, as in the paper).
+/// Tuple *indices* are stable: deletions used by the solvers are expressed
+/// as "alive" masks layered on top (see [`crate::provenance`]), so an index
+/// handed out once always refers to the same tuple.
+#[derive(Clone, Debug)]
+pub struct RelationInstance {
+    schema: RelationSchema,
+    tuples: Vec<Tuple>,
+    dedup: HashMap<Tuple, u32>,
+}
+
+impl RelationInstance {
+    /// Creates an empty instance of `schema`.
+    pub fn new(schema: RelationSchema) -> Self {
+        RelationInstance {
+            schema,
+            tuples: Vec::new(),
+            dedup: HashMap::new(),
+        }
+    }
+
+    /// The instance's schema.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// Relation name (shorthand for `schema().name()`).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Inserts a tuple, returning its index. Duplicate inserts return the
+    /// existing index. Panics if the arity does not match the schema.
+    pub fn insert(&mut self, tuple: &[Value]) -> u32 {
+        assert_eq!(
+            tuple.len(),
+            self.schema.arity(),
+            "arity mismatch inserting into {}",
+            self.schema
+        );
+        if let Some(&idx) = self.dedup.get(tuple) {
+            return idx;
+        }
+        let idx = self.tuples.len() as u32;
+        let boxed: Tuple = tuple.into();
+        self.tuples.push(boxed.clone());
+        self.dedup.insert(boxed, idx);
+        idx
+    }
+
+    /// Bulk insert.
+    pub fn extend<I: IntoIterator<Item = Vec<Value>>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(&t);
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the instance holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuple at `idx`.
+    pub fn tuple(&self, idx: u32) -> &[Value] {
+        &self.tuples[idx as usize]
+    }
+
+    /// All tuples, in index order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Does the instance contain exactly this tuple?
+    pub fn contains(&self, tuple: &[Value]) -> bool {
+        self.dedup.contains_key(tuple)
+    }
+
+    /// Index of `tuple` if present.
+    pub fn index_of(&self, tuple: &[Value]) -> Option<u32> {
+        self.dedup.get(tuple).copied()
+    }
+
+    /// Projects tuple `idx` onto the attributes `on` (which must all be in
+    /// the schema), in the order given.
+    pub fn project(&self, idx: u32, on: &[Attr]) -> Vec<Value> {
+        let t = self.tuple(idx);
+        on.iter()
+            .map(|a| {
+                let p = self
+                    .schema
+                    .position(a)
+                    .unwrap_or_else(|| panic!("attribute {a} not in {}", self.schema));
+                t[p]
+            })
+            .collect()
+    }
+
+    /// A new instance keeping only the tuples whose index passes `keep`.
+    /// The surviving tuples get fresh dense indices; the returned map sends
+    /// new index → old index.
+    pub fn filter_by_index<F: Fn(u32) -> bool>(&self, keep: F) -> (RelationInstance, Vec<u32>) {
+        let mut out = RelationInstance::new(self.schema.clone());
+        let mut back = Vec::new();
+        for idx in 0..self.tuples.len() as u32 {
+            if keep(idx) {
+                out.insert(self.tuple(idx));
+                back.push(idx);
+            }
+        }
+        (out, back)
+    }
+
+    /// A new instance with the attributes in `remove` projected away.
+    /// Projection can merge tuples; the returned map sends old index → new
+    /// index.
+    pub fn project_away(&self, remove: &[Attr]) -> (RelationInstance, Vec<u32>) {
+        let schema = self.schema.without_attrs(remove);
+        let keep_attrs: Vec<Attr> = schema.attrs().to_vec();
+        let mut out = RelationInstance::new(schema);
+        let mut fwd = Vec::with_capacity(self.tuples.len());
+        for idx in 0..self.tuples.len() as u32 {
+            let proj = self.project(idx, &keep_attrs);
+            fwd.push(out.insert(&proj));
+        }
+        (out, fwd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::attrs;
+
+    fn rel() -> RelationInstance {
+        let mut r = RelationInstance::new(RelationSchema::new("R", attrs(&["A", "B"])));
+        r.insert(&[1, 10]);
+        r.insert(&[2, 20]);
+        r.insert(&[2, 30]);
+        r
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut r = rel();
+        let before = r.len();
+        let idx = r.insert(&[1, 10]);
+        assert_eq!(idx, 0);
+        assert_eq!(r.len(), before);
+    }
+
+    #[test]
+    fn project_orders_by_request() {
+        let r = rel();
+        assert_eq!(r.project(1, &attrs(&["B", "A"])), vec![20, 2]);
+    }
+
+    #[test]
+    fn filter_by_index_keeps_backmap() {
+        let r = rel();
+        let (f, back) = r.filter_by_index(|i| i != 1);
+        assert_eq!(f.len(), 2);
+        assert_eq!(back, vec![0, 2]);
+        assert_eq!(f.tuple(1), &[2, 30]);
+    }
+
+    #[test]
+    fn project_away_merges() {
+        let r = rel();
+        let (p, fwd) = r.project_away(&attrs(&["B"]));
+        assert_eq!(p.schema().attrs(), &attrs(&["A"])[..]);
+        assert_eq!(p.len(), 2); // values 1 and 2
+        assert_eq!(fwd, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn vacuum_relation_roundtrip() {
+        let mut v = RelationInstance::new(RelationSchema::new("V", vec![]));
+        assert!(v.is_empty());
+        v.insert(&[]);
+        assert_eq!(v.len(), 1);
+        v.insert(&[]);
+        assert_eq!(v.len(), 1, "vacuum instance is {{()}} at most");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        rel().insert(&[1]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Attributes and relation schemas.
+//!
+//! Attributes are cheap-to-clone interned strings ([`Attr`]); a
+//! [`RelationSchema`] is a named, ordered list of distinct attributes.
+//! Natural-join semantics (shared attribute names join) are defined on top
+//! of these in [`crate::join`].
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An attribute (column) name. Clones are reference-counted and cheap, so
+/// attributes can be freely copied between queries, schemas and analyses.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Attr(Arc<str>);
+
+impl Attr {
+    /// Creates an attribute from a name.
+    pub fn new(name: &str) -> Self {
+        Attr(Arc::from(name))
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Attr {
+    fn from(s: &str) -> Self {
+        Attr::new(s)
+    }
+}
+
+/// Convenience constructor: `attr("A")`.
+pub fn attr(name: &str) -> Attr {
+    Attr::new(name)
+}
+
+/// Convenience constructor for a list of attributes.
+pub fn attrs(names: &[&str]) -> Vec<Attr> {
+    names.iter().map(|n| Attr::new(n)).collect()
+}
+
+/// A relation schema: a name plus an ordered list of distinct attributes.
+///
+/// A schema with no attributes is *vacuum* (paper §3.1): its instance is
+/// either `{()}` ("true") or `{}` ("false").
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RelationSchema {
+    name: Arc<str>,
+    attrs: Vec<Attr>,
+}
+
+impl RelationSchema {
+    /// Creates a schema. Panics if attribute names repeat — the paper's
+    /// queries never repeat an attribute within one atom.
+    pub fn new(name: &str, attrs: Vec<Attr>) -> Self {
+        for (i, a) in attrs.iter().enumerate() {
+            assert!(
+                !attrs[..i].contains(a),
+                "duplicate attribute {a} in relation {name}"
+            );
+        }
+        RelationSchema {
+            name: Arc::from(name),
+            attrs,
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relation's attributes, in declaration order.
+    pub fn attrs(&self) -> &[Attr] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if the schema has no attributes (paper §3.1).
+    pub fn is_vacuum(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Position of `a` within this schema, if present.
+    pub fn position(&self, a: &Attr) -> Option<usize> {
+        self.attrs.iter().position(|x| x == a)
+    }
+
+    /// True if this schema contains attribute `a`.
+    pub fn contains(&self, a: &Attr) -> bool {
+        self.position(a).is_some()
+    }
+
+    /// A copy of this schema with every attribute in `remove` dropped
+    /// (used for residual queries `Q^{-A}` and head joins).
+    pub fn without_attrs(&self, remove: &[Attr]) -> RelationSchema {
+        RelationSchema {
+            name: self.name.clone(),
+            attrs: self
+                .attrs
+                .iter()
+                .filter(|a| !remove.contains(a))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_equality_is_by_name() {
+        assert_eq!(attr("A"), attr("A"));
+        assert_ne!(attr("A"), attr("B"));
+    }
+
+    #[test]
+    fn schema_basics() {
+        let s = RelationSchema::new("R", attrs(&["A", "B"]));
+        assert_eq!(s.name(), "R");
+        assert_eq!(s.arity(), 2);
+        assert!(!s.is_vacuum());
+        assert_eq!(s.position(&attr("B")), Some(1));
+        assert!(s.contains(&attr("A")));
+        assert!(!s.contains(&attr("C")));
+    }
+
+    #[test]
+    fn vacuum_schema() {
+        let s = RelationSchema::new("V", vec![]);
+        assert!(s.is_vacuum());
+        assert_eq!(s.arity(), 0);
+    }
+
+    #[test]
+    fn without_attrs_projects_schema() {
+        let s = RelationSchema::new("R", attrs(&["A", "B", "C"]));
+        let t = s.without_attrs(&attrs(&["B"]));
+        assert_eq!(t.attrs(), &attrs(&["A", "C"])[..]);
+        assert_eq!(t.name(), "R");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn duplicate_attrs_rejected() {
+        RelationSchema::new("R", attrs(&["A", "A"]));
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = RelationSchema::new("R", attrs(&["A", "B"]));
+        assert_eq!(format!("{s}"), "R(A,B)");
+    }
+}

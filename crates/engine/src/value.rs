@@ -1,0 +1,97 @@
+//! Values and interning.
+//!
+//! The engine stores every attribute value as a dense `u64`. Symbolic data
+//! (student names, part keys, …) is mapped to dense ids through an
+//! [`Interner`], which also supports reverse lookup for presentation.
+
+use std::collections::HashMap;
+
+/// A database value. All columns are value-typed; strings are interned.
+pub type Value = u64;
+
+/// Bidirectional map between symbolic names and dense [`Value`]s.
+///
+/// ```
+/// use adp_engine::value::Interner;
+/// let mut i = Interner::new();
+/// let a = i.intern("alice");
+/// let b = i.intern("bob");
+/// assert_ne!(a, b);
+/// assert_eq!(i.intern("alice"), a);
+/// assert_eq!(i.resolve(a), Some("alice"));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, Value>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning a stable dense id.
+    pub fn intern(&mut self, name: &str) -> Value {
+        if let Some(&v) = self.map.get(name) {
+            return v;
+        }
+        let v = self.names.len() as Value;
+        self.names.push(name.to_owned());
+        self.map.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Looks up an already-interned name without inserting.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.map.get(name).copied()
+    }
+
+    /// Reverse lookup: the name behind a dense id.
+    pub fn resolve(&self, v: Value) -> Option<&str> {
+        self.names.get(v as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        assert_eq!(i.intern("x"), a);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = Interner::new();
+        for s in ["p", "q", "r"] {
+            let v = i.intern(s);
+            assert_eq!(i.resolve(v), Some(s));
+        }
+        assert_eq!(i.resolve(99), None);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("nope"), None);
+        assert!(i.is_empty());
+        i.intern("yes");
+        assert_eq!(i.get("yes"), Some(0));
+    }
+}

@@ -1,0 +1,352 @@
+//! # adp-flow
+//!
+//! Max-flow / min-cut substrate for the ADP boolean resilience solver
+//! (paper §7.1). Provides:
+//!
+//! * [`FlowNetwork`] — a directed network with identified edges,
+//! * [`FlowNetwork::max_flow_dinic`] — Dinic's algorithm (the production
+//!   path; strictly better worst case than the Edmonds–Karp the paper
+//!   cites, identical answers),
+//! * [`FlowNetwork::max_flow_edmonds_karp`] — the paper's Edmonds–Karp,
+//!   kept as a differential-testing reference,
+//! * [`FlowNetwork::min_cut`] — the saturated edges crossing the
+//!   source-side/sink-side partition, mapped back to caller edge ids.
+//!
+//! Capacities are `u64`; [`INF`] marks undeletable (exogenous) tuples.
+
+use std::collections::VecDeque;
+
+/// Effectively-infinite capacity for edges that must never be cut.
+pub const INF: u64 = u64::MAX / 4;
+
+#[derive(Clone, Debug)]
+struct Edge {
+    to: u32,
+    cap: u64,
+    /// index of the reverse edge in `edges`
+    rev: u32,
+    /// caller-supplied id; `u32::MAX` for reverse edges
+    id: u32,
+}
+
+/// A directed flow network over `n` nodes.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    graph: Vec<Vec<u32>>, // node -> edge indices
+    edges: Vec<Edge>,
+}
+
+/// Result of a max-flow computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaxFlow {
+    /// Total flow value (also the min-cut capacity).
+    pub value: u64,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            graph: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Adds a directed edge `from → to` with capacity `cap` and a caller
+    /// id used to report min-cut membership.
+    pub fn add_edge(&mut self, from: u32, to: u32, cap: u64, id: u32) {
+        let e = self.edges.len() as u32;
+        self.graph[from as usize].push(e);
+        self.edges.push(Edge {
+            to,
+            cap,
+            rev: e + 1,
+            id,
+        });
+        self.graph[to as usize].push(e + 1);
+        self.edges.push(Edge {
+            to: from,
+            cap: 0,
+            rev: e,
+            id: u32::MAX,
+        });
+    }
+
+    /// Dinic's algorithm. Mutates residual capacities in place.
+    pub fn max_flow_dinic(&mut self, s: u32, t: u32) -> MaxFlow {
+        assert_ne!(s, t, "source and sink must differ");
+        let n = self.graph.len();
+        let mut flow = 0u64;
+        loop {
+            // BFS level graph
+            let mut level = vec![u32::MAX; n];
+            level[s as usize] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(s);
+            while let Some(u) = q.pop_front() {
+                for &ei in &self.graph[u as usize] {
+                    let e = &self.edges[ei as usize];
+                    if e.cap > 0 && level[e.to as usize] == u32::MAX {
+                        level[e.to as usize] = level[u as usize] + 1;
+                        q.push_back(e.to);
+                    }
+                }
+            }
+            if level[t as usize] == u32::MAX {
+                break;
+            }
+            // DFS blocking flow with iteration pointers
+            let mut it = vec![0usize; n];
+            loop {
+                let pushed = self.dfs(s, t, INF * 4, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+        MaxFlow { value: flow }
+    }
+
+    fn dfs(&mut self, u: u32, t: u32, limit: u64, level: &[u32], it: &mut [usize]) -> u64 {
+        if u == t {
+            return limit;
+        }
+        while it[u as usize] < self.graph[u as usize].len() {
+            let ei = self.graph[u as usize][it[u as usize]] as usize;
+            let (to, cap) = (self.edges[ei].to, self.edges[ei].cap);
+            if cap > 0 && level[to as usize] == level[u as usize] + 1 {
+                let pushed = self.dfs(to, t, limit.min(cap), level, it);
+                if pushed > 0 {
+                    self.edges[ei].cap -= pushed;
+                    let rev = self.edges[ei].rev as usize;
+                    self.edges[rev].cap += pushed;
+                    return pushed;
+                }
+            }
+            it[u as usize] += 1;
+        }
+        0
+    }
+
+    /// Edmonds–Karp (BFS augmenting paths), as cited by the paper.
+    /// Kept for differential testing against Dinic.
+    pub fn max_flow_edmonds_karp(&mut self, s: u32, t: u32) -> MaxFlow {
+        assert_ne!(s, t, "source and sink must differ");
+        let n = self.graph.len();
+        let mut flow = 0u64;
+        loop {
+            let mut pred: Vec<Option<u32>> = vec![None; n]; // edge index into node
+            let mut q = VecDeque::new();
+            q.push_back(s);
+            let mut seen = vec![false; n];
+            seen[s as usize] = true;
+            'bfs: while let Some(u) = q.pop_front() {
+                for &ei in &self.graph[u as usize] {
+                    let e = &self.edges[ei as usize];
+                    if e.cap > 0 && !seen[e.to as usize] {
+                        seen[e.to as usize] = true;
+                        pred[e.to as usize] = Some(ei);
+                        if e.to == t {
+                            break 'bfs;
+                        }
+                        q.push_back(e.to);
+                    }
+                }
+            }
+            if pred[t as usize].is_none() {
+                break;
+            }
+            // find bottleneck
+            let mut bottleneck = u64::MAX;
+            let mut v = t;
+            while v != s {
+                let ei = pred[v as usize].unwrap() as usize;
+                bottleneck = bottleneck.min(self.edges[ei].cap);
+                v = self.edges[self.edges[ei].rev as usize].to;
+            }
+            let mut v = t;
+            while v != s {
+                let ei = pred[v as usize].unwrap() as usize;
+                self.edges[ei].cap -= bottleneck;
+                let rev = self.edges[ei].rev as usize;
+                self.edges[rev].cap += bottleneck;
+                v = self.edges[rev].to;
+            }
+            flow += bottleneck;
+        }
+        MaxFlow { value: flow }
+    }
+
+    /// After a max-flow run, returns the ids of the original edges that
+    /// cross the min cut (source side → sink side, saturated).
+    pub fn min_cut(&self, s: u32) -> Vec<u32> {
+        let n = self.graph.len();
+        let mut reach = vec![false; n];
+        reach[s as usize] = true;
+        let mut q = VecDeque::new();
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &ei in &self.graph[u as usize] {
+                let e = &self.edges[ei as usize];
+                if e.cap > 0 && !reach[e.to as usize] {
+                    reach[e.to as usize] = true;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        let mut cut = Vec::new();
+        for e in &self.edges {
+            if e.id == u32::MAX {
+                continue; // reverse edge
+            }
+            let from = self.edges[e.rev as usize].to;
+            if reach[from as usize] && !reach[e.to as usize] {
+                cut.push(e.id);
+            }
+        }
+        cut.sort_unstable();
+        cut.dedup();
+        cut
+    }
+}
+
+/// Convenience: build a network, run Dinic, return (value, cut edge ids).
+pub fn min_cut_value_and_edges(
+    n: usize,
+    edges: &[(u32, u32, u64, u32)],
+    s: u32,
+    t: u32,
+) -> (u64, Vec<u32>) {
+    let mut net = FlowNetwork::new(n);
+    for &(u, v, c, id) in edges {
+        net.add_edge(u, v, c, id);
+    }
+    let f = net.max_flow_dinic(s, t);
+    (f.value, net.min_cut(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let (v, cut) = min_cut_value_and_edges(2, &[(0, 1, 5, 0)], 0, 1);
+        assert_eq!(v, 5);
+        assert_eq!(cut, vec![0]);
+    }
+
+    #[test]
+    fn parallel_edges_sum() {
+        let (v, cut) = min_cut_value_and_edges(2, &[(0, 1, 2, 0), (0, 1, 3, 1)], 0, 1);
+        assert_eq!(v, 5);
+        assert_eq!(cut, vec![0, 1]);
+    }
+
+    #[test]
+    fn diamond_network() {
+        // s -> a (3), s -> b (2), a -> t (2), b -> t (3): max flow 4
+        let edges = [(0, 1, 3, 0), (0, 2, 2, 1), (1, 3, 2, 2), (2, 3, 3, 3)];
+        let (v, _) = min_cut_value_and_edges(4, &edges, 0, 3);
+        assert_eq!(v, 4);
+    }
+
+    #[test]
+    fn inf_edges_never_cut() {
+        // s -> a (INF), a -> t (1)
+        let edges = [(0, 1, INF, 0), (1, 2, 1, 1)];
+        let (v, cut) = min_cut_value_and_edges(3, &edges, 0, 2);
+        assert_eq!(v, 1);
+        assert_eq!(cut, vec![1]);
+    }
+
+    #[test]
+    fn classic_clrs_example() {
+        // CLRS figure: max flow 23
+        let edges = [
+            (0, 1, 16, 0),
+            (0, 2, 13, 1),
+            (1, 2, 10, 2),
+            (2, 1, 4, 3),
+            (1, 3, 12, 4),
+            (3, 2, 9, 5),
+            (2, 4, 14, 6),
+            (4, 3, 7, 7),
+            (3, 5, 20, 8),
+            (4, 5, 4, 9),
+        ];
+        let (v, _) = min_cut_value_and_edges(6, &edges, 0, 5);
+        assert_eq!(v, 23);
+    }
+
+    #[test]
+    fn dinic_matches_edmonds_karp_on_random_graphs() {
+        // deterministic LCG so this crate keeps zero dependencies
+        let mut state = 0x243F6A8885A308D3u64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..50 {
+            let n = 4 + (rng() % 8) as usize;
+            let m = 5 + (rng() % 20) as usize;
+            let mut edges = Vec::new();
+            for id in 0..m as u32 {
+                let u = rng() % n as u32;
+                let mut v = rng() % n as u32;
+                if u == v {
+                    v = (v + 1) % n as u32;
+                }
+                edges.push((u, v, (rng() % 10 + 1) as u64, id));
+            }
+            let mut a = FlowNetwork::new(n);
+            let mut b = FlowNetwork::new(n);
+            for &(u, v, c, id) in &edges {
+                a.add_edge(u, v, c, id);
+                b.add_edge(u, v, c, id);
+            }
+            let fa = a.max_flow_dinic(0, (n - 1) as u32);
+            let fb = b.max_flow_edmonds_karp(0, (n - 1) as u32);
+            assert_eq!(fa.value, fb.value);
+            // cut capacity equals flow value (strong duality on unit graphs
+            // would need exact edge accounting; here check weak duality)
+            let cut = a.min_cut(0);
+            let cap: u64 = cut
+                .iter()
+                .map(|&id| edges.iter().filter(|e| e.3 == id).map(|e| e.2).sum::<u64>())
+                .sum();
+            assert!(cap >= fa.value);
+        }
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero() {
+        let (v, cut) = min_cut_value_and_edges(3, &[(0, 1, 7, 0)], 0, 2);
+        assert_eq!(v, 0);
+        assert!(cut.is_empty());
+    }
+
+    #[test]
+    fn cut_edges_capacity_equals_flow_on_unit_network() {
+        // bipartite vertex-cover-style network: unit edges only
+        let edges = [
+            (0, 1, 1, 0),
+            (0, 2, 1, 1),
+            (1, 3, 1, 2),
+            (2, 3, 1, 3),
+            (1, 4, 1, 4),
+            (4, 5, 1, 5),
+            (3, 5, 1, 6),
+        ];
+        let (v, cut) = min_cut_value_and_edges(6, &edges, 0, 5);
+        assert_eq!(v as usize, cut.len());
+    }
+}

@@ -1,0 +1,65 @@
+//! Restricted deletions (the paper's §9 future-work scenario): only some
+//! relations may lose tuples.
+//!
+//! Reusing Example 1's waitlist query: suppose degree requirements are
+//! contractual (`Req` frozen) and seat counts are fixed by room sizes
+//! (`NoSeat` frozen) — the only lever left is advising students away
+//! from majors. How much more expensive does the intervention become?
+//!
+//! Run with `cargo run --example deletion_policy`.
+
+use adp::{
+    compute_adp, compute_adp_with_policy, parse_query, AdpOptions, Database, DeletionPolicy,
+};
+use adp::engine::schema::attrs;
+
+fn main() {
+    let q = parse_query("QWL(S,C) :- Major(S,M), Req(M,C), NoSeat(C)").unwrap();
+    let mut db = Database::new();
+    db.add_relation(
+        "Major",
+        attrs(&["S", "M"]),
+        &[&[1, 1], &[2, 1], &[3, 1], &[4, 2], &[5, 2], &[6, 3]],
+    );
+    db.add_relation(
+        "Req",
+        attrs(&["M", "C"]),
+        &[&[1, 10], &[1, 11], &[2, 10], &[2, 12], &[3, 11]],
+    );
+    db.add_relation("NoSeat", attrs(&["C"]), &[&[10], &[11], &[12]]);
+
+    let probe = compute_adp(&q, &db, 1, &AdpOptions::default()).unwrap();
+    println!("waitlist entries: {}", probe.output_count);
+    let k = probe.output_count / 2;
+
+    let unrestricted = compute_adp(&q, &db, k, &AdpOptions::default()).unwrap();
+    println!(
+        "unrestricted: removing ≥{k} entries needs {} change(s)",
+        unrestricted.cost
+    );
+
+    let policy = DeletionPolicy::unrestricted()
+        .freeze("Req")
+        .freeze("NoSeat");
+    let restricted =
+        compute_adp_with_policy(&q, &db, k, &policy, &AdpOptions::default()).unwrap();
+    println!(
+        "with Req+NoSeat frozen: {} change(s), all advising interventions:",
+        restricted.cost
+    );
+    for t in restricted.solution.unwrap() {
+        assert_eq!(t.atom, 0, "policy respected");
+        let tuple = db.expect("Major").tuple(t.index);
+        println!("  steer student {} away from major {}", tuple[0], tuple[1]);
+    }
+    assert!(restricted.cost >= unrestricted.cost);
+
+    // Freezing everything is reported as infeasible, not as a panic.
+    let all_frozen = DeletionPolicy::unrestricted()
+        .freeze("Major")
+        .freeze("Req")
+        .freeze("NoSeat");
+    let err = compute_adp_with_policy(&q, &db, k, &all_frozen, &AdpOptions::default())
+        .unwrap_err();
+    println!("freezing everything: {err}");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: the full ADP workflow on the paper's running example
+//! (Figure 1) — build a database, analyze the query's complexity, solve
+//! ADP, and verify the solution.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use adp::core::analysis;
+use adp::{attrs, compute_adp, parse_query, removed_outputs, AdpOptions, Database};
+
+fn main() {
+    // Figure 1 of the paper: three chained relations.
+    let mut db = Database::new();
+    db.add_relation("R1", attrs(&["A", "B"]), &[&[1, 1], &[2, 2], &[3, 3]]);
+    db.add_relation(
+        "R2",
+        attrs(&["B", "C"]),
+        &[&[1, 1], &[2, 2], &[2, 3], &[3, 3]],
+    );
+    db.add_relation("R3", attrs(&["C", "E"]), &[&[1, 1], &[2, 3], &[3, 3]]);
+
+    // Q1 is the full chain join; Q2 projects onto (A, E).
+    let q1 = parse_query("Q1(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)").unwrap();
+    let q2 = parse_query("Q2(A,E) :- R1(A,B), R2(B,C), R3(C,E)").unwrap();
+
+    for q in [&q1, &q2] {
+        println!("query: {q}");
+        print!("{}", analysis::is_ptime_trace(q).render());
+        for hs in analysis::find_hard_structures(q) {
+            println!("  hard structure: {hs:?}");
+        }
+        if let Some(cert) = analysis::hardness_certificate(q) {
+            println!("  hardness witness: {:?}", cert.witness);
+        }
+    }
+
+    // ADP(Q1, D, 2): remove at least 2 of the 4 outputs.
+    let out = compute_adp(&q1, &db, 2, &AdpOptions::default()).unwrap();
+    println!(
+        "\nADP(Q1, D, 2): delete {} tuple(s) to remove ≥2 of {} outputs (exact: {})",
+        out.cost, out.output_count, out.exact
+    );
+    let solution = out.solution.expect("report mode");
+    for t in &solution {
+        let name = q1.atoms()[t.atom].name();
+        println!("  delete {name}{:?}", db.expect(name).tuple(t.index));
+    }
+
+    // Verify against the engine.
+    let removed = removed_outputs(&q1, &db, &solution);
+    println!("verified: deleting them removes {removed} outputs");
+    assert!(removed >= 2);
+}

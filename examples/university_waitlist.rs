@@ -1,0 +1,79 @@
+//! The paper's Example 1: a university wants to shrink class waitlists.
+//!
+//! `QWL(S, C) :- Major(S, M), Req(M, C), NoSeat(C)` — student `S` is
+//! waitlisted for class `C` when `S` majors in `M`, `M` requires `C`, and
+//! `C` has no seats. Removing input tuples corresponds to steering
+//! students away from majors, relaxing requirements, or adding seats.
+//!
+//! Run with `cargo run --example university_waitlist`.
+
+use adp::{compute_adp, is_ptime, parse_query, AdpOptions, Database, Interner};
+use adp::engine::schema::attrs;
+
+fn main() {
+    let q = parse_query("QWL(S,C) :- Major(S,M), Req(M,C), NoSeat(C)").unwrap();
+    println!("query: {q}");
+    println!("poly-time solvable? {} (NP-hard — heuristic used)\n", is_ptime(&q));
+
+    // Build a small registrar database with readable names.
+    let mut names = Interner::new();
+    let mut db = Database::new();
+    db.add_relation("Major", attrs(&["S", "M"]), &[]);
+    db.add_relation("Req", attrs(&["M", "C"]), &[]);
+    db.add_relation("NoSeat", attrs(&["C"]), &[]);
+
+    let majors = [
+        ("ada", "cs"),
+        ("grace", "cs"),
+        ("alan", "cs"),
+        ("kurt", "math"),
+        ("emmy", "math"),
+        ("rosalind", "bio"),
+        ("ada", "math"), // double major
+    ];
+    let reqs = [
+        ("cs", "algorithms"),
+        ("cs", "databases"),
+        ("math", "algebra"),
+        ("math", "algorithms"),
+        ("bio", "genetics"),
+    ];
+    let noseat = ["algorithms", "databases", "algebra"];
+
+    for (s, m) in majors {
+        let t = [names.intern(s), names.intern(m)];
+        db.insert("Major", &t);
+    }
+    for (m, c) in reqs {
+        let t = [names.intern(m), names.intern(c)];
+        db.insert("Req", &t);
+    }
+    for c in noseat {
+        let t = [names.intern(c)];
+        db.insert("NoSeat", &t);
+    }
+
+    // How large is the waitlist, and what is the cheapest intervention
+    // cutting it by half?
+    let probe = compute_adp(&q, &db, 1, &AdpOptions::default()).unwrap();
+    let waitlist = probe.output_count;
+    println!("waitlist entries: {waitlist}");
+
+    let target = waitlist / 2;
+    let out = compute_adp(&q, &db, target, &AdpOptions::default()).unwrap();
+    println!(
+        "to remove ≥{target} entries: {} intervention(s) (removes {}):",
+        out.cost, out.achieved
+    );
+    for t in out.solution.unwrap() {
+        let rel = q.atoms()[t.atom].name();
+        let tuple = db.expect(rel).tuple(t.index);
+        let pretty: Vec<&str> = tuple.iter().map(|&v| names.resolve(v).unwrap()).collect();
+        match rel {
+            "Major" => println!("  steer {} away from the {} major", pretty[0], pretty[1]),
+            "Req" => println!("  drop {} from the {} requirements", pretty[1], pretty[0]),
+            "NoSeat" => println!("  add seats to {}", pretty[0]),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # adp — Aggregated Deletion Propagation
+//!
+//! A production-quality Rust reproduction of **"Aggregated Deletion
+//! Propagation for Counting Conjunctive Query Answers"** (Hu, Sun, Patwa,
+//! Panigrahi, Roy; VLDB 2020, arXiv:2010.08694).
+//!
+//! `ADP(Q, D, k)`: given a self-join-free conjunctive query `Q`, a
+//! database `D`, and `k ≥ 1`, delete the **fewest input tuples** so that
+//! at least `k` tuples disappear from `Q(D)`.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`engine`] — in-memory relational substrate (joins, provenance,
+//!   semijoin reduction);
+//! * [`flow`] — max-flow/min-cut substrate;
+//! * [`core`] — query model, both complexity dichotomies, hardness
+//!   certificates, and the `ComputeADP` solver;
+//! * [`datagen`] — deterministic workload generators for the paper's
+//!   experiments.
+//!
+//! The most common entry points are re-exported at the top level:
+//!
+//! ```
+//! use adp::{parse_query, compute_adp, AdpOptions, is_ptime, Database, attrs};
+//!
+//! let q = parse_query("Q3path(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)").unwrap();
+//! assert!(!is_ptime(&q)); // network-robustness query is NP-hard
+//!
+//! let mut db = Database::new();
+//! db.add_relation("R1", attrs(&["A", "B"]), &[&[0, 1], &[0, 2]]);
+//! db.add_relation("R2", attrs(&["B", "C"]), &[&[1, 3], &[2, 3]]);
+//! db.add_relation("R3", attrs(&["C", "D"]), &[&[3, 4], &[3, 5]]);
+//!
+//! // How many links must fail to lose half of the 8 paths?
+//! let out = compute_adp(&q, &db, 4, &AdpOptions::default()).unwrap();
+//! assert!(out.cost <= 2);
+//! ```
+
+pub use adp_core as core;
+pub use adp_datagen as datagen;
+pub use adp_engine as engine;
+pub use adp_flow as flow;
+
+pub use adp_core::analysis::{
+    find_hard_structures, hardness_certificate, has_hard_structure, is_ptime, is_ptime_trace,
+};
+pub use adp_core::query::{parse_query, Query};
+pub use adp_core::selection::{solve_selection, SelectionQuery};
+pub use adp_core::solver::brute::{brute_force, BruteForceOptions};
+pub use adp_core::solver::{
+    apply_deletions, compute_adp, compute_adp_rc, compute_adp_with_policy, compute_resilience,
+    removed_outputs,
+    AdpOptions, AdpOutcome, DeletionPolicy, Mode,
+};
+pub use adp_core::{QueryError, SolveError};
+pub use adp_engine::database::Database;
+pub use adp_engine::provenance::TupleRef;
+pub use adp_engine::schema::{attr, attrs, Attr, RelationSchema};
+pub use adp_engine::value::{Interner, Value};
