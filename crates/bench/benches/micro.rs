@@ -1,12 +1,15 @@
 //! Criterion micro-benchmarks for the substrates behind the experiments:
-//! join + provenance, min-cut resilience, profile combination, greedy
-//! iterations, and the query-complexity analyses.
+//! join + provenance, plan-once/execute-many re-evaluation, min-cut
+//! resilience, profile combination, greedy iterations, and the
+//! query-complexity analyses.
 
 use adp_core::analysis::{find_hard_structures, is_ptime};
-use adp_core::solver::{compute_adp_rc, AdpOptions, CostProfile};
+use adp_core::solver::{compute_adp_rc, AdpOptions, CostProfile, PreparedQuery};
 use adp_datagen::queries;
 use adp_datagen::zipf::ZipfConfig;
+use adp_engine::database::Database;
 use adp_engine::join::evaluate;
+use adp_engine::plan::{AliveMask, QueryPlan};
 use adp_engine::provenance::ProvenanceIndex;
 use adp_engine::semijoin::remove_dangling;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -19,6 +22,80 @@ fn bench_join(c: &mut Criterion) {
         b.iter(|| {
             let r = evaluate(black_box(&db), q.atoms(), q.head());
             black_box(r.output_count())
+        })
+    });
+}
+
+/// The acceptance benchmark for the plan-once/execute-many refactor:
+/// re-evaluating the same query under a deletion mask with a cached
+/// `QueryPlan` + `JoinIndexes` must beat the old regime of materializing
+/// the masked database and evaluating from scratch (fresh plan, fresh
+/// indexes) on the same workload.
+fn bench_plan_reuse(c: &mut Criterion) {
+    let db = adp_datagen::zipf_pair(&ZipfConfig::new(10_000, 0.5, 7, true));
+    let q = queries::qpath();
+    let plan = QueryPlan::new(&db, q.atoms(), q.head());
+    let indexes = plan.build_indexes(&db);
+    // Deletion state: every 10th tuple of every relation dead.
+    let mut mask = AliveMask::all_alive(&db, q.atoms());
+    for (atom, schema) in q.atoms().iter().enumerate() {
+        let n = db.expect(schema.name()).len() as u32;
+        for idx in (0..n).step_by(10) {
+            mask.kill(atom, idx);
+        }
+    }
+    c.bench_function("masked_reeval_cached_plan_10k", |b| {
+        b.iter(|| black_box(plan.execute_masked(&db, &indexes, &mask).output_count()))
+    });
+    c.bench_function("masked_reeval_rebuild_per_call_10k", |b| {
+        b.iter(|| {
+            let mut masked_db = Database::new();
+            for (atom, schema) in q.atoms().iter().enumerate() {
+                let rel = db.expect(schema.name());
+                let (kept, _) = rel.filter_by_index(|i| mask.is_alive(atom, i));
+                masked_db.add(kept);
+            }
+            black_box(evaluate(&masked_db, q.atoms(), q.head()).output_count())
+        })
+    });
+}
+
+/// Plan reuse across a ρ-sweep: one `PreparedQuery` solved for all four
+/// ratios vs a fresh `compute_adp_rc` per ratio (which replans, rebuilds
+/// indexes, and re-joins every time).
+fn bench_prepared_sweep(c: &mut Criterion) {
+    let db = Rc::new(adp_datagen::zipf_pair(&ZipfConfig::new(
+        2_000, 0.5, 11, true,
+    )));
+    let q = queries::qpath();
+    let opts = AdpOptions {
+        force_greedy: true,
+        use_drastic: true,
+        mode: adp_core::solver::Mode::Count,
+        ..Default::default()
+    };
+    let total = PreparedQuery::new(q.clone(), Rc::clone(&db)).output_count();
+    let ks: Vec<u64> = adp_bench::RATIOS
+        .iter()
+        .map(|&r| adp_bench::k_for_ratio(total, r))
+        .collect();
+    c.bench_function("rho_sweep_prepared_2k", |b| {
+        b.iter(|| {
+            let prep = PreparedQuery::new(q.clone(), Rc::clone(&db));
+            let mut acc = 0;
+            for &k in &ks {
+                acc += prep.solve(k, &opts).unwrap().cost;
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("rho_sweep_solve_per_ratio_2k", |b| {
+        b.iter(|| {
+            let mut acc = 0;
+            for &k in &ks {
+                acc += compute_adp_rc(&q, Rc::clone(&db), k, &opts).unwrap().cost;
+            }
+            black_box(acc)
         })
     });
 }
@@ -46,26 +123,28 @@ fn bench_semijoin(c: &mut Criterion) {
 
 fn bench_mincut_resilience(c: &mut Criterion) {
     // boolean chain over zipf data: exercises linearization + Dinic
-    let db = Rc::new(adp_datagen::zipf_pair(&ZipfConfig::new(5_000, 0.5, 9, true)));
+    let db = Rc::new(adp_datagen::zipf_pair(&ZipfConfig::new(
+        5_000, 0.5, 9, true,
+    )));
     let q = adp_core::query::parse_query("Q() :- R1(A), R2(A,B), R3(B)").unwrap();
     c.bench_function("boolean_resilience_5k", |b| {
         b.iter(|| {
-            let out =
-                compute_adp_rc(&q, Rc::clone(&db), 1, &AdpOptions::counting()).unwrap();
+            let out = compute_adp_rc(&q, Rc::clone(&db), 1, &AdpOptions::counting()).unwrap();
             black_box(out.cost)
         })
     });
 }
 
 fn bench_singleton_solver(c: &mut Criterion) {
-    let db = Rc::new(adp_datagen::zipf_pair(&ZipfConfig::new(50_000, 1.0, 5, false)));
+    let db = Rc::new(adp_datagen::zipf_pair(&ZipfConfig::new(
+        50_000, 1.0, 5, false,
+    )));
     let q = queries::q6();
     let probe = compute_adp_rc(&q, Rc::clone(&db), 1, &AdpOptions::counting()).unwrap();
     let k = probe.output_count / 2;
     c.bench_function("singleton_q6_50k_half", |b| {
         b.iter(|| {
-            let out =
-                compute_adp_rc(&q, Rc::clone(&db), k, &AdpOptions::counting()).unwrap();
+            let out = compute_adp_rc(&q, Rc::clone(&db), k, &AdpOptions::counting()).unwrap();
             black_box(out.cost)
         })
     });
@@ -117,6 +196,8 @@ fn bench_analysis(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_join,
+    bench_plan_reuse,
+    bench_prepared_sweep,
     bench_provenance,
     bench_semijoin,
     bench_mincut_resilience,

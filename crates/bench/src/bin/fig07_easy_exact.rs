@@ -2,5 +2,6 @@
 //! Pass `--quick` for CI-sized inputs.
 
 fn main() {
+    adp_bench::cli::init();
     adp_bench::experiments::fig07();
 }

@@ -1,6 +1,7 @@
 //! Runs every experiment (Figures 7-29). Pass `--quick` for CI sizes.
 
 fn main() {
+    adp_bench::cli::init();
     use adp_bench::experiments as e;
     e::fig07();
     e::fig08_09();

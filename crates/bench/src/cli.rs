@@ -1,0 +1,124 @@
+//! Shared command-line handling for every bench binary.
+//!
+//! All figure binaries accept the same flags, parsed by [`init`] and
+//! consumed by the harness (`quick_mode`, `size_ladder`):
+//!
+//! * `--quick` — CI-sized inputs (also enabled by `ADP_BENCH_QUICK=1`),
+//! * `--help` / `-h` — usage.
+//!
+//! Unknown flags are rejected with exit code 2 instead of being silently
+//! ignored, so a typo like `--qick` cannot run a multi-minute full-size
+//! sweep by accident.
+
+use std::sync::OnceLock;
+
+/// Parsed command-line arguments shared by all figure binaries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// Run CI-sized inputs.
+    pub quick: bool,
+    /// Print usage and exit.
+    pub help: bool,
+}
+
+static ARGS: OnceLock<BenchArgs> = OnceLock::new();
+
+/// Parses an argument list (without the program name). Returns an error
+/// message for unknown arguments.
+pub fn parse<I, S>(argv: I) -> Result<BenchArgs, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut args = BenchArgs::default();
+    for a in argv {
+        match a.as_ref() {
+            "--quick" => args.quick = true,
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Parses the process arguments, honors `ADP_BENCH_QUICK`, and stores
+/// the result for [`args`]. Call once at the top of every bench `main`.
+/// Prints usage and exits on `--help` or unknown flags.
+pub fn init() -> BenchArgs {
+    let mut parsed = match parse(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    };
+    if parsed.help {
+        println!("{}", usage());
+        std::process::exit(0);
+    }
+    if std::env::var("ADP_BENCH_QUICK").is_ok() {
+        parsed.quick = true;
+    }
+    let _ = ARGS.set(parsed);
+    parsed
+}
+
+/// The arguments stored by [`init`], or the environment-variable
+/// fallback when no binary entry point ran (library/test callers).
+pub fn args() -> BenchArgs {
+    ARGS.get().copied().unwrap_or_else(|| BenchArgs {
+        quick: std::env::var("ADP_BENCH_QUICK").is_ok(),
+        help: false,
+    })
+}
+
+fn usage() -> String {
+    let exe = std::env::args()
+        .next()
+        .unwrap_or_else(|| "figure-binary".into());
+    format!(
+        "usage: {exe} [--quick]\n\n\
+         Regenerates paper figures as text tables + `csv,` lines.\n\n\
+         options:\n  \
+         --quick     CI-sized inputs (also: ADP_BENCH_QUICK=1)\n  \
+         -h, --help  this message"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_known_flags() {
+        assert_eq!(
+            parse(["--quick"]).unwrap(),
+            BenchArgs {
+                quick: true,
+                help: false
+            }
+        );
+        assert_eq!(
+            parse(["-h"]).unwrap(),
+            BenchArgs {
+                quick: false,
+                help: true
+            }
+        );
+        assert_eq!(
+            parse(["--quick", "--help"]).unwrap(),
+            BenchArgs {
+                quick: true,
+                help: true
+            }
+        );
+        assert_eq!(parse(Vec::<String>::new()).unwrap(), BenchArgs::default());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = parse(["--qick"]).unwrap_err();
+        assert!(err.contains("--qick"));
+    }
+}

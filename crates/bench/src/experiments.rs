@@ -3,16 +3,14 @@
 //! Every function prints a [`Figure`] table plus CSV lines; binaries in
 //! `src/bin/` are thin wrappers so `--bin figures` can run everything.
 
-use crate::{k_for_ratio, quick_mode, size_ladder, timed_solve, Figure, RATIOS};
+use crate::{k_for_ratio, prepare, quick_mode, size_ladder, timed_solve, Figure, RATIOS};
 use adp_core::selection::{solve_selection, SelectionQuery};
-use adp_core::solver::brute::{brute_force, BruteForceOptions};
+use adp_core::solver::brute::{brute_force_prepared, BruteForceOptions};
 use adp_core::solver::{AdpOptions, DecomposeStrategy, Mode, UniverseStrategy};
 use adp_datagen::ego::{ego_database_for, ego_network, EgoConfig};
 use adp_datagen::queries;
 use adp_datagen::zipf::ZipfConfig;
-use adp_engine::database::Database;
 use adp_engine::schema::attr;
-use std::rc::Rc;
 use std::time::Instant;
 
 fn greedy_opts() -> AdpOptions {
@@ -109,16 +107,17 @@ pub fn fig10_11() {
     let q = queries::q1();
     for &n in &sizes {
         let cfg = adp_datagen::tpch::TpchConfig::scaled(n, 0xAB);
-        let db = Rc::new(adp_datagen::tpch_chain(&cfg));
-        let (_, probe) = timed_solve(&q, &db, 1, &AdpOptions::counting());
-        let total = probe.output_count;
+        // One prepared query per workload: every ρ (and both heuristics)
+        // reuses the same plan, indexes, and root evaluation.
+        let prep = prepare(&q, adp_datagen::tpch_chain(&cfg));
+        let total = prep.output_count();
         for rho in RATIOS {
             let k = k_for_ratio(total, rho);
             for (label, opts) in [("Greedy", greedy_opts()), ("Drastic", drastic_opts())] {
                 if label == "Greedy" && n > 10_000 {
                     continue; // paper: Greedy is not scalable past ~100k
                 }
-                let (ms, out) = timed_solve(&q, &db, k, &opts);
+                let (ms, out) = timed_solve(&prep, k, &opts);
                 let series = format!("{label}, rho={:.0}%", rho * 100.0);
                 f10.push(&series, n as f64, ms, u64::MAX);
                 f11.push(&series, n as f64, ms, out.cost);
@@ -137,16 +136,15 @@ pub fn fig12_13() {
     let q = queries::q1();
     for &n in &sizes {
         let cfg = adp_datagen::tpch::TpchConfig::scaled(n, 0xBF);
-        let db = Rc::new(adp_datagen::tpch_chain(&cfg));
-        let (_, probe) = timed_solve(&q, &db, 1, &AdpOptions::counting());
-        let k = k_for_ratio(probe.output_count, 0.10);
+        let prep = prepare(&q, adp_datagen::tpch_chain(&cfg));
+        let k = k_for_ratio(prep.output_count(), 0.10);
         for (label, opts) in [("Greedy", greedy_opts()), ("Drastic", drastic_opts())] {
-            let (ms, out) = timed_solve(&q, &db, k, &opts);
+            let (ms, out) = timed_solve(&prep, k, &opts);
             f12.push(label, n as f64, ms, u64::MAX);
             f13.push(label, n as f64, ms, out.cost);
         }
         let start = Instant::now();
-        match brute_force(&q, &db, k, &BruteForceOptions::default()) {
+        match brute_force_prepared(&prep, k, &BruteForceOptions::default()) {
             Ok((cost, _)) => {
                 let ms = start.elapsed().as_secs_f64() * 1e3;
                 f12.push("BruteForce", n as f64, ms, u64::MAX);
@@ -192,25 +190,19 @@ pub fn fig14_15() {
         ("Q5", queries::q5()),
     ];
     for (name, q) in named {
-        let db = Rc::new(ego_database_for(&edges, q.atoms()));
-        let probe = match adp_core::solver::compute_adp_rc(
-            &q,
-            Rc::clone(&db),
-            1,
-            &AdpOptions::counting(),
-        ) {
-            Ok(p) => p,
-            Err(_) => continue, // e.g. no triangles in a sparse quick graph
-        };
-        let total = probe.output_count;
+        let prep = prepare(&q, ego_database_for(&edges, q.atoms()));
+        let total = prep.output_count();
+        if total == 0 {
+            continue; // e.g. no triangles in a sparse quick graph
+        }
         for rho in RATIOS {
             let k = k_for_ratio(total, rho);
-            let (ms, out) = timed_solve(&q, &db, k, &greedy_opts());
+            let (ms, out) = timed_solve(&prep, k, &greedy_opts());
             f14.push(&format!("Greedy, {name}"), rho, ms, u64::MAX);
             f15.push(&format!("Greedy, {name}"), rho, ms, out.cost);
             // Drastic applies to the full CQs Q2, Q3 only (paper §8.3).
             if q.is_full() {
-                let (ms, out) = timed_solve(&q, &db, k, &drastic_opts());
+                let (ms, out) = timed_solve(&prep, k, &drastic_opts());
                 f14.push(&format!("Drastic, {name}"), rho, ms, u64::MAX);
                 f15.push(&format!("Drastic, {name}"), rho, ms, out.cost);
             }
@@ -236,19 +228,19 @@ pub fn fig_zipf_hard() {
             &format!("Q_path (hard) on Zipf α={alpha}: time+quality"),
         );
         for &n in &sizes {
-            let db = Rc::new(adp_datagen::zipf_pair(&ZipfConfig::new(
-                n, alpha, 0x21F, true,
-            )));
             let q = queries::qpath();
-            let (_, probe) = timed_solve(&q, &db, 1, &AdpOptions::counting());
-            let total = probe.output_count;
+            let prep = prepare(
+                &q,
+                adp_datagen::zipf_pair(&ZipfConfig::new(n, alpha, 0x21F, true)),
+            );
+            let total = prep.output_count();
             for rho in RATIOS {
                 let k = k_for_ratio(total, rho);
                 for (label, opts) in [("Greedy", greedy_opts()), ("Drastic", drastic_opts())] {
                     if label == "Greedy" && n > 10_000 {
                         continue;
                     }
-                    let (ms, out) = timed_solve(&q, &db, k, &opts);
+                    let (ms, out) = timed_solve(&prep, k, &opts);
                     fig.push(
                         &format!("{label}, rho={:.0}%", rho * 100.0),
                         n as f64,
@@ -273,15 +265,15 @@ pub fn fig_zipf_easy() {
             &format!("Q6 (easy) on Zipf α={alpha}: exact time+quality"),
         );
         for &n in &sizes {
-            let db = Rc::new(adp_datagen::zipf_pair(&ZipfConfig::new(
-                n, alpha, 0x21E, false,
-            )));
             let q = queries::q6();
-            let (_, probe) = timed_solve(&q, &db, 1, &AdpOptions::counting());
-            let total = probe.output_count;
+            let prep = prepare(
+                &q,
+                adp_datagen::zipf_pair(&ZipfConfig::new(n, alpha, 0x21E, false)),
+            );
+            let total = prep.output_count();
             for rho in RATIOS {
                 let k = k_for_ratio(total, rho);
-                let (ms, out) = timed_solve(&q, &db, k, &AdpOptions::default());
+                let (ms, out) = timed_solve(&prep, k, &AdpOptions::default());
                 assert!(out.exact);
                 fig.push(
                     &format!("Exact, rho={:.0}%", rho * 100.0),
@@ -298,12 +290,17 @@ pub fn fig_zipf_easy() {
 /// Figure 28: singleton-query optimizations on Q7 — universal attributes
 /// removed one-by-one vs as a whole vs the sort-based Singleton routine.
 pub fn fig28() {
-    let mut fig = Figure::new("fig28", "Q7 singleton ablation (universal-attribute handling)");
+    let mut fig = Figure::new(
+        "fig28",
+        "Q7 singleton ablation (universal-attribute handling)",
+    );
     let q = queries::q7();
     let per_rel = if quick_mode() { 200 } else { 500 };
-    let db = Rc::new(adp_datagen::uniform::correlated_q7(&q, per_rel, 60, 100, 0x728));
-    let (_, probe) = timed_solve(&q, &db, 1, &AdpOptions::counting());
-    let total = probe.output_count;
+    let prep = prepare(
+        &q,
+        adp_datagen::uniform::correlated_q7(&q, per_rel, 60, 100, 0x728),
+    );
+    let total = prep.output_count();
     for rho in [0.5, 0.75] {
         let k = k_for_ratio(total, rho);
         let variants: [(&str, AdpOptions); 3] = [
@@ -327,7 +324,7 @@ pub fn fig28() {
         ];
         let mut costs = Vec::new();
         for (label, opts) in variants {
-            let (ms, out) = timed_solve(&q, &db, k, &opts);
+            let (ms, out) = timed_solve(&prep, k, &opts);
             assert!(out.exact);
             costs.push(out.cost);
             fig.push(
@@ -352,11 +349,11 @@ pub fn fig29() {
     let q = queries::q8();
     let (small, large) = if quick_mode() { (15, 30) } else { (25, 50) };
     let sizes = vec![small, large, small, large, small, large];
-    let db: Rc<Database> = Rc::new(adp_datagen::uniform::uniform_db_for_query(
-        &q, &sizes, 100, 0x829,
-    ));
-    let (_, probe) = timed_solve(&q, &db, 1, &AdpOptions::counting());
-    let total = probe.output_count;
+    let prep = prepare(
+        &q,
+        adp_datagen::uniform::uniform_db_for_query(&q, &sizes, 100, 0x829),
+    );
+    let total = prep.output_count();
     for rho in [0.01, 0.10] {
         let k = k_for_ratio(total, rho);
         let variants: [(&str, DecomposeStrategy); 3] = [
@@ -370,7 +367,7 @@ pub fn fig29() {
                 decompose: strat,
                 ..Default::default()
             };
-            let (ms, out) = timed_solve(&q, &db, k, &opts);
+            let (ms, out) = timed_solve(&prep, k, &opts);
             assert!(out.exact);
             costs.push(out.cost);
             fig.push(

@@ -10,10 +10,11 @@
 //! laptop sizes); the *shape* — who wins, by what factor, where methods
 //! stop scaling — is the reproduction target. See `EXPERIMENTS.md`.
 
+pub mod cli;
 pub mod experiments;
 
 use adp_core::query::Query;
-use adp_core::solver::{compute_adp_rc, AdpOptions, AdpOutcome};
+use adp_core::solver::{AdpOptions, AdpOutcome, PreparedQuery};
 use adp_engine::database::Database;
 use std::rc::Rc;
 use std::time::Instant;
@@ -88,16 +89,21 @@ impl Figure {
     }
 }
 
-/// Times one solver invocation.
-pub fn timed_solve(
-    query: &Query,
-    db: &Rc<Database>,
-    k: u64,
-    opts: &AdpOptions,
-) -> (f64, AdpOutcome) {
+/// Compiles a query against a workload database once, so every solve in
+/// a ρ-sweep reuses the same plan, hash indexes, and root evaluation.
+pub fn prepare(query: &Query, db: Database) -> PreparedQuery {
+    PreparedQuery::new(query.clone(), Rc::new(db))
+}
+
+/// Times one solver invocation against a prepared query. The first call
+/// on a fresh [`PreparedQuery`] pays the evaluation; subsequent calls
+/// measure pure solver time — the plan-once/execute-many regime the
+/// harness reports.
+pub fn timed_solve(prep: &PreparedQuery, k: u64, opts: &AdpOptions) -> (f64, AdpOutcome) {
     let start = Instant::now();
-    let out = compute_adp_rc(query, Rc::clone(db), k, opts)
-        .unwrap_or_else(|e| panic!("{query} k={k}: {e}"));
+    let out = prep
+        .solve(k, opts)
+        .unwrap_or_else(|e| panic!("{} k={k}: {e}", prep.query()));
     (start.elapsed().as_secs_f64() * 1e3, out)
 }
 
@@ -107,8 +113,10 @@ pub fn k_for_ratio(total: u64, ratio: f64) -> u64 {
 }
 
 /// Whether the harness runs in quick mode (smaller sizes, for CI).
+/// Binaries set this through [`cli::init`]; library and test callers
+/// fall back to the `ADP_BENCH_QUICK` environment variable.
 pub fn quick_mode() -> bool {
-    std::env::args().any(|a| a == "--quick") || std::env::var("ADP_BENCH_QUICK").is_ok()
+    cli::args().quick
 }
 
 /// Input size ladder: full mode walks further up the paper's 1k..10M

@@ -21,11 +21,7 @@ pub fn find_linear_order(atoms: &[RelationSchema]) -> Option<Vec<usize>> {
     let mut used = vec![false; n];
     // attribute state: 0 = unseen, 1 = open (in the last placed atom's
     // run), 2 = closed (seen earlier, absent from the last atom)
-    fn backtrack(
-        atoms: &[RelationSchema],
-        order: &mut Vec<usize>,
-        used: &mut [bool],
-    ) -> bool {
+    fn backtrack(atoms: &[RelationSchema], order: &mut Vec<usize>, used: &mut [bool]) -> bool {
         let n = atoms.len();
         if order.len() == n {
             return true;

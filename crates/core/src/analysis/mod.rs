@@ -31,4 +31,7 @@ pub use roles::{dominated_atoms, endogenous_atoms, singleton_atom};
 pub use strand::find_strand;
 pub use structure::{find_hard_structures, has_hard_structure, HardStructure};
 pub use triad::{find_triad, find_triad_like};
-pub use witness_map::{hardness_certificate, validate_mapping, CoreQuery, HardnessCertificate, HardnessWitness, QueryMapping, Target};
+pub use witness_map::{
+    hardness_certificate, validate_mapping, CoreQuery, HardnessCertificate, HardnessWitness,
+    QueryMapping, Target,
+};

@@ -23,7 +23,8 @@ pub fn endogenous_atoms(q: &Query) -> Vec<bool> {
     (0..n)
         .map(|j| {
             let dup_earlier = (0..j).any(|i| sets[i] == sets[j]);
-            let strict_subset_exists = (0..n).any(|i| i != j && is_strict_subset(&sets[i], &sets[j]));
+            let strict_subset_exists =
+                (0..n).any(|i| i != j && is_strict_subset(&sets[i], &sets[j]));
             !(dup_earlier || strict_subset_exists)
         })
         .collect()
@@ -108,8 +109,8 @@ pub fn singleton_atom(q: &Query) -> Option<usize> {
             .iter()
             .enumerate()
             .all(|(j, rj)| j == i || ri.attrs().iter().all(|a| rj.contains(a)));
-        let head_cond = ri.attrs().iter().all(|a| head.contains(a))
-            || head.iter().all(|a| ri.contains(a));
+        let head_cond =
+            ri.attrs().iter().all(|a| head.contains(a)) || head.iter().all(|a| ri.contains(a));
         (subset_of_all && head_cond).then_some(i)
     })
 }
@@ -134,10 +135,7 @@ mod tests {
     fn duplicate_attr_sets_keep_one_endogenous() {
         // Appendix A example: R1 and any one of R3,R4,R5 endogenous.
         let q = q("Q() :- R1(A), R2(A,B), R3(B,C), R4(B,C), R5(B,C)");
-        assert_eq!(
-            endogenous_atoms(&q),
-            vec![true, false, true, false, false]
-        );
+        assert_eq!(endogenous_atoms(&q), vec![true, false, true, false, false]);
     }
 
     #[test]

@@ -26,9 +26,7 @@ pub fn find_strand(q: &Query) -> Option<(usize, usize)> {
             hi.sort();
             hj.sort();
             let differing_heads = hi != hj;
-            let shared_existential = ri
-                .iter()
-                .any(|x| rj.contains(x) && !head.contains(x));
+            let shared_existential = ri.iter().any(|x| rj.contains(x) && !head.contains(x));
             if differing_heads && shared_existential {
                 return Some((i, j));
             }

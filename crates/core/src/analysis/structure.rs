@@ -99,9 +99,7 @@ mod tests {
     #[test]
     fn triad_like_example() {
         let hs = find_hard_structures(&q("Q(E,F,G) :- R1(A,B,E), R2(B,C,F), R3(C,A,G)"));
-        assert!(hs
-            .iter()
-            .any(|h| matches!(h, HardStructure::TriadLike(_))));
+        assert!(hs.iter().any(|h| matches!(h, HardStructure::TriadLike(_))));
     }
 
     #[test]

@@ -313,11 +313,8 @@ fn recipe_mapping(q: &Query) -> Option<QueryMapping> {
                     .filter(|x| head.contains(x))
                     .cloned()
                     .collect();
-                let j_set: BTreeSet<Attr> = head
-                    .iter()
-                    .filter(|x| !ri.contains(x))
-                    .cloned()
-                    .collect();
+                let j_set: BTreeSet<Attr> =
+                    head.iter().filter(|x| !ri.contains(x)).cloned().collect();
                 if i_set.is_empty() || j_set.is_empty() {
                     continue;
                 }
@@ -492,7 +489,10 @@ mod tests {
             "Q5(A,B,C) :- R1(A,E), R2(B,E), R3(C,E)",
         ] {
             let c = hardness_certificate(&q(text)).unwrap();
-            assert!(validate_mapping(&c.subquery, c.mapping().unwrap()), "{text}");
+            assert!(
+                validate_mapping(&c.subquery, c.mapping().unwrap()),
+                "{text}"
+            );
         }
     }
 

@@ -15,19 +15,33 @@ pub mod psc;
 
 use crate::error::SolveError;
 use crate::query::Query;
+use crate::solver::PreparedQuery;
 use adp_engine::database::Database;
-use adp_engine::join::evaluate;
+use adp_engine::join::{evaluate, EvalResult};
 use adp_engine::provenance::TupleRef;
 pub use psc::{greedy_psc, primal_dual_psc, PscInstance};
 
 /// Builds the PSC instance of a **full CQ**: one set per input tuple, one
 /// element per output (= witness), set membership = provenance.
 pub fn psc_instance(query: &Query, db: &Database) -> (PscInstance, Vec<TupleRef>) {
+    let eval = evaluate(db, query.atoms(), query.head());
+    psc_instance_from_eval(query, &eval)
+}
+
+/// [`psc_instance`] against a [`PreparedQuery`]'s cached evaluation —
+/// building both approximation instances (greedy and primal-dual) from
+/// one prepared query joins exactly once.
+pub fn psc_instance_prepared(prep: &PreparedQuery) -> (PscInstance, Vec<TupleRef>) {
+    let eval = prep.eval();
+    psc_instance_from_eval(prep.query(), &eval)
+}
+
+/// Builds the PSC instance from an existing evaluation of a full CQ.
+pub fn psc_instance_from_eval(query: &Query, eval: &EvalResult) -> (PscInstance, Vec<TupleRef>) {
     assert!(
         query.is_full(),
         "the PSC reduction requires a full CQ (Theorem 5)"
     );
-    let eval = evaluate(db, query.atoms(), query.head());
     let mut sets: Vec<Vec<u32>> = Vec::new();
     let mut refs: Vec<TupleRef> = Vec::new();
     let mut slot: std::collections::HashMap<TupleRef, usize> = std::collections::HashMap::new();
@@ -52,11 +66,7 @@ pub fn psc_instance(query: &Query, db: &Database) -> (PscInstance, Vec<TupleRef>
 }
 
 /// `O(log k)`-approximate ADP for full CQs via greedy PSC.
-pub fn greedy_full_cq(
-    query: &Query,
-    db: &Database,
-    k: u64,
-) -> Result<Vec<TupleRef>, SolveError> {
+pub fn greedy_full_cq(query: &Query, db: &Database, k: u64) -> Result<Vec<TupleRef>, SolveError> {
     let (inst, refs) = psc_instance(query, db);
     check_k(k, inst.n_elements as u64)?;
     Ok(greedy_psc(&inst, k).into_iter().map(|s| refs[s]).collect())
@@ -156,5 +166,20 @@ mod tests {
     fn projection_rejected() {
         let q = parse_query("Q(A) :- R1(A), R2(A,B), R3(B)").unwrap();
         let _ = psc_instance(&q, &db());
+    }
+
+    #[test]
+    fn prepared_instance_matches_and_joins_once() {
+        use std::rc::Rc;
+        let prep = PreparedQuery::new(q(), Rc::new(db()));
+        let (a, refs_a) = psc_instance_prepared(&prep);
+        let (b, refs_b) = psc_instance(&q(), &db());
+        assert_eq!(a.n_elements, b.n_elements);
+        assert_eq!(refs_a, refs_b);
+        assert_eq!(a.sets, b.sets);
+        // Both instances drawn from one prepared query share one join.
+        let e1 = prep.eval();
+        let (_, _) = psc_instance_prepared(&prep);
+        assert!(Rc::ptr_eq(&e1, &prep.eval()), "evaluation computed once");
     }
 }

@@ -26,7 +26,11 @@ pub struct Query {
 impl Query {
     /// Builds a query, validating the paper's standing assumptions:
     /// non-empty body, no self-joins, head ⊆ body attributes.
-    pub fn new(name: &str, head: Vec<Attr>, atoms: Vec<RelationSchema>) -> Result<Self, QueryError> {
+    pub fn new(
+        name: &str,
+        head: Vec<Attr>,
+        atoms: Vec<RelationSchema>,
+    ) -> Result<Self, QueryError> {
         if atoms.is_empty() {
             return Err(QueryError::EmptyBody);
         }

@@ -115,7 +115,9 @@ fn parse_atom_text(text: &str) -> Result<(String, Vec<String>), QueryError> {
     for part in inner.split(',') {
         let a = part.trim();
         if a.is_empty() || !is_ident(a) {
-            return Err(QueryError::Parse(format!("bad attribute {a:?} in {text:?}")));
+            return Err(QueryError::Parse(format!(
+                "bad attribute {a:?} in {text:?}"
+            )));
         }
         attrs.push(a.to_owned());
     }

@@ -90,7 +90,11 @@ pub fn solve_selection(
             if local_preds.iter().all(|&(p, v)| t[p] == v) {
                 let projected = rel.project(idx, &kept_attrs);
                 let new_idx = inst.insert(&projected);
-                debug_assert_eq!(new_idx as usize, back.len(), "projection injective after selection");
+                debug_assert_eq!(
+                    new_idx as usize,
+                    back.len(),
+                    "projection injective after selection"
+                );
                 back.push(idx);
             }
         }

@@ -21,7 +21,6 @@ use super::AdpOptions;
 use crate::analysis::linear::find_linear_order;
 use crate::analysis::roles::endogenous_atoms;
 use crate::error::SolveError;
-use adp_engine::join::evaluate;
 use adp_engine::provenance::TupleRef;
 use adp_engine::schema::Attr;
 use adp_engine::semijoin::remove_dangling;
@@ -61,8 +60,7 @@ pub(crate) fn solve_boolean_with_policy(
     for comp in rview.query.connected_components() {
         let sub = rview.subview(&comp);
         let sub_deletable: Vec<bool> = comp.iter().map(|&i| deletable[i]).collect();
-        let Some((cost, tuples, exact)) = component_resilience(&sub, opts, &sub_deletable)?
-        else {
+        let Some((cost, tuples, exact)) = component_resilience(&sub, opts, &sub_deletable)? else {
             continue; // no finite cut under the policy
         };
         all_exact &= exact;
@@ -110,8 +108,10 @@ fn component_resilience(
             Ok(Some((cost, tuples, true)))
         }
         None => {
-            // Triad case (NP-hard): greedy heuristic on the boolean query.
-            let eval = evaluate(&sub.db, sub.query.atoms(), &[]);
+            // Triad case (NP-hard): greedy heuristic on the boolean query
+            // (the subview's head is empty, so `eval` has boolean
+            // semantics).
+            let eval = sub.eval();
             let solved = super::greedy::solve_greedy_filtered(sub, &eval, 1, deletable)?;
             let Some(cost) = solved.min_cost(1)? else {
                 return Ok(None);

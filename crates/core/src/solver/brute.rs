@@ -8,11 +8,12 @@
 //! micro-seconds. Restricting candidates to endogenous relations is sound
 //! by Lemma 13 and matches the optimized baseline.
 
+use super::prepared::PreparedQuery;
 use crate::analysis::roles::endogenous_atoms;
 use crate::error::SolveError;
 use crate::query::Query;
 use adp_engine::database::Database;
-use adp_engine::join::evaluate;
+use adp_engine::join::{evaluate, EvalResult};
 use adp_engine::provenance::{ProvenanceIndex, TupleRef};
 
 /// Exhaustive-search options.
@@ -41,15 +42,40 @@ pub fn brute_force(
     k: u64,
     opts: &BruteForceOptions,
 ) -> Result<(u64, Vec<TupleRef>), SolveError> {
+    let eval = evaluate(db, query.atoms(), query.head());
+    brute_force_with_eval(query, db, &eval, k, opts)
+}
+
+/// [`brute_force`] against a [`PreparedQuery`]: the cached plan and
+/// evaluation are reused, so repeated baseline probes (one per `k` in a
+/// sweep) never re-join.
+pub fn brute_force_prepared(
+    prep: &PreparedQuery,
+    k: u64,
+    opts: &BruteForceOptions,
+) -> Result<(u64, Vec<TupleRef>), SolveError> {
+    let eval = prep.eval();
+    brute_force_with_eval(prep.query(), prep.database(), &eval, k, opts)
+}
+
+fn brute_force_with_eval(
+    query: &Query,
+    db: &Database,
+    eval: &EvalResult,
+    k: u64,
+    opts: &BruteForceOptions,
+) -> Result<(u64, Vec<TupleRef>), SolveError> {
     if k == 0 {
         return Err(SolveError::KZero);
     }
-    let eval = evaluate(db, query.atoms(), query.head());
     let total = eval.output_count();
     if k > total {
-        return Err(SolveError::KTooLarge { k, available: total });
+        return Err(SolveError::KTooLarge {
+            k,
+            available: total,
+        });
     }
-    let prov = ProvenanceIndex::new(&eval);
+    let prov = ProvenanceIndex::new(eval);
 
     let endo = endogenous_atoms(query);
     let mut candidates: Vec<TupleRef> = Vec::new();

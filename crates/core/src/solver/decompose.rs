@@ -87,10 +87,9 @@ fn lazy_pairs(children: Vec<Solved>) -> Solved {
     let mut iter = children.into_iter();
     let mut acc = iter.next().expect("at least two children");
     for right in iter {
-        let total = u64::try_from(
-            (acc.total_outputs as u128).saturating_mul(right.total_outputs as u128),
-        )
-        .unwrap_or(u64::MAX);
+        let total =
+            u64::try_from((acc.total_outputs as u128).saturating_mul(right.total_outputs as u128))
+                .unwrap_or(u64::MAX);
         acc = Solved {
             repr: Repr::Pair(Box::new(PairNode { left: acc, right })),
             exact,
@@ -181,8 +180,8 @@ fn improved_dp(
         if track {
             choices.push(choice);
         }
-        prefix_total = u64::try_from((prefix_total as u128).saturating_mul(m_i as u128))
-            .unwrap_or(u64::MAX);
+        prefix_total =
+            u64::try_from((prefix_total as u128).saturating_mul(m_i as u128)).unwrap_or(u64::MAX);
     }
 
     let profile = CostProfile::from_pairs((1..width).filter_map(|j| {
@@ -335,7 +334,9 @@ fn naive_pairs(
                     if cross_removed(k1, k2, prefix_total, m_i) < j as u64 {
                         continue;
                     }
-                    let Some(c2) = child.min_cost(k2)? else { continue };
+                    let Some(c2) = child.min_cost(k2)? else {
+                        continue;
+                    };
                     let cand = prefix_cost[k1 as usize].saturating_add(c2);
                     if cand < next[j] {
                         next[j] = cand;

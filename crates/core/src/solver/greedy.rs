@@ -61,8 +61,9 @@ pub(crate) fn solve_greedy_filtered(
                 }
                 let better = match best {
                     None => true,
-                    Some((bp, ba, bi)) => (p, std::cmp::Reverse((atom, idx)))
-                        > (bp, std::cmp::Reverse((ba, bi))),
+                    Some((bp, ba, bi)) => {
+                        (p, std::cmp::Reverse((atom, idx))) > (bp, std::cmp::Reverse((ba, bi)))
+                    }
                 };
                 if better {
                     best = Some((p, atom, idx));
@@ -83,8 +84,10 @@ pub(crate) fn solve_greedy_filtered(
                     for (&idx, &c) in map {
                         let better = match pick {
                             None => true,
-                            Some((bc, ba, bi)) => (c, std::cmp::Reverse((atom, idx)))
-                                > (bc, std::cmp::Reverse((ba, bi))),
+                            Some((bc, ba, bi)) => {
+                                (c, std::cmp::Reverse((atom, idx)))
+                                    > (bc, std::cmp::Reverse((ba, bi)))
+                            }
                         };
                         if better {
                             pick = Some((c, atom, idx));
@@ -108,7 +111,12 @@ pub(crate) fn solve_greedy_filtered(
     }
 
     let profile = CostProfile::from_pairs(steps.iter().map(|s| (s.cost_cum, s.removed_cum)));
-    Ok(Solved::eager(profile, Extractor::Steps(steps), false, total))
+    Ok(Solved::eager(
+        profile,
+        Extractor::Steps(steps),
+        false,
+        total,
+    ))
 }
 
 /// `DrasticGreedyForFullCQ` (Algorithm 7). Requires a full CQ: witnesses
@@ -174,7 +182,12 @@ pub(crate) fn solve_drastic(
         }
     }
     let profile = CostProfile::from_pairs(steps.iter().map(|s| (s.cost_cum, s.removed_cum)));
-    Ok(Solved::eager(profile, Extractor::Steps(steps), false, total))
+    Ok(Solved::eager(
+        profile,
+        Extractor::Steps(steps),
+        false,
+        total,
+    ))
 }
 
 #[cfg(test)]

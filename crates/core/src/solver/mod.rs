@@ -15,10 +15,11 @@
 //! a feasible heuristic solution, exactly as in the paper.
 
 pub mod boolean;
-pub mod policy;
 pub mod brute;
 pub mod decompose;
 pub mod greedy;
+pub mod policy;
+pub mod prepared;
 pub mod profile;
 pub mod singleton;
 pub mod solved;
@@ -30,14 +31,14 @@ use crate::analysis::roles::singleton_atom;
 use crate::error::SolveError;
 use crate::query::Query;
 use adp_engine::database::Database;
-use adp_engine::join::evaluate;
 use adp_engine::provenance::TupleRef;
 use std::rc::Rc;
 
+pub use self::compute_resilience as resilience;
+pub use policy::{compute_adp_with_policy, DeletionPolicy};
+pub use prepared::{PlannedEval, PreparedQuery};
 pub use profile::{CostProfile, ProfilePoint};
 pub use solved::Solved;
-pub use policy::{compute_adp_with_policy, DeletionPolicy};
-pub use self::compute_resilience as resilience;
 pub use verify::{apply_deletions, removed_outputs};
 pub use view::View;
 
@@ -154,16 +155,30 @@ pub fn compute_adp(
 }
 
 /// [`compute_adp`] without cloning the database (shared ownership).
+///
+/// One-shot convenience over [`PreparedQuery`]: callers solving the same
+/// `(Q, D)` pair for several `k` values or option sets should hold a
+/// `PreparedQuery` so the plan, indexes, and root evaluation are reused.
 pub fn compute_adp_rc(
     query: &Query,
     db: Rc<Database>,
     k: u64,
     opts: &AdpOptions,
 ) -> Result<AdpOutcome, SolveError> {
+    PreparedQuery::new(query.clone(), db).solve(k, opts)
+}
+
+/// Shared implementation behind [`PreparedQuery::solve`] and
+/// [`compute_adp_rc`].
+pub(crate) fn solve_prepared(
+    prep: &PreparedQuery,
+    k: u64,
+    opts: &AdpOptions,
+) -> Result<AdpOutcome, SolveError> {
     if k == 0 {
         return Err(SolveError::KZero);
     }
-    let view = View::root(query.clone(), db);
+    let view = prep.root_view();
     let solved = solve(&view, k, opts)?;
     if k > solved.total_outputs {
         return Err(SolveError::KTooLarge {
@@ -218,8 +233,7 @@ fn best_achieved(solved: &Solved, k: u64, _cost: u64) -> Result<u64, SolveError>
 pub(crate) fn count_outputs(view: &View) -> u64 {
     let comps = view.query.connected_components();
     if comps.len() == 1 {
-        let eval = evaluate(&view.db, view.query.atoms(), view.query.head());
-        return eval.output_count();
+        return view.eval().output_count();
     }
     let mut total: u128 = 1;
     for comp in comps {
@@ -242,13 +256,12 @@ pub fn compute_resilience(
     db: &Database,
     opts: &AdpOptions,
 ) -> Result<Option<AdpOutcome>, SolveError> {
-    let rc = Rc::new(db.clone());
-    let view = View::root(query.clone(), Rc::clone(&rc));
-    let total = count_outputs(&view);
+    let prep = PreparedQuery::new(query.clone(), Rc::new(db.clone()));
+    let total = prep.output_count();
     if total == 0 {
         return Ok(None);
     }
-    compute_adp_rc(query, rc, total, opts).map(Some)
+    prep.solve(total, opts).map(Some)
 }
 
 /// The recursive dispatcher (Algorithm 2). `cap` bounds how many output
@@ -263,7 +276,7 @@ pub(crate) fn solve(view: &View, cap: u64, opts: &AdpOptions) -> Result<Solved, 
 
     // Benchmark hook (§8.2): measure the heuristics on easy queries.
     if opts.force_greedy {
-        let eval = evaluate(&view.db, q.atoms(), q.head());
+        let eval = view.eval();
         if eval.output_count() == 0 {
             return Ok(Solved::empty());
         }
@@ -292,7 +305,7 @@ pub(crate) fn solve(view: &View, cap: u64, opts: &AdpOptions) -> Result<Solved, 
     }
 
     // Line 5: NP-hard leaf — greedy heuristics over the materialized join.
-    let eval = evaluate(&view.db, q.atoms(), q.head());
+    let eval = view.eval();
     if eval.output_count() == 0 {
         return Ok(Solved::empty());
     }
@@ -406,8 +419,7 @@ mod tests {
         };
         let mut db = Database::new();
         for (atom, &n) in q.atoms().iter().zip(sizes) {
-            let mut inst =
-                adp_engine::relation::RelationInstance::new(atom.clone());
+            let mut inst = adp_engine::relation::RelationInstance::new(atom.clone());
             for _ in 0..n {
                 let t: Vec<u64> = (0..atom.arity()).map(|_| next()).collect();
                 inst.insert(&t);
@@ -424,13 +436,13 @@ mod tests {
     fn matches_brute_force_on_random_instances() {
         let catalogue = [
             // easy queries exercising each exact path
-            "Q(A,B) :- R1(A), R2(A,B)",                    // singleton case 1
-            "Q(A) :- R1(A,B), R2(A,B,C)",                  // singleton case 2
-            "Q(A,B) :- R1(A,B), R2(A,B)",                  // universe → boolean
-            "Q(A,B) :- R1(A), R2(B)",                      // decompose
-            "Q() :- R1(A), R2(A,B), R3(B)",                // boolean min-cut
-            "Q() :- R1(A,B), R2(B,C), R3(C,E)",            // boolean chain
-            "Q(A) :- R1(A,B), R2(A,B)",                    // universal + boolean chain
+            "Q(A,B) :- R1(A), R2(A,B)",         // singleton case 1
+            "Q(A) :- R1(A,B), R2(A,B,C)",       // singleton case 2
+            "Q(A,B) :- R1(A,B), R2(A,B)",       // universe → boolean
+            "Q(A,B) :- R1(A), R2(B)",           // decompose
+            "Q() :- R1(A), R2(A,B), R3(B)",     // boolean min-cut
+            "Q() :- R1(A,B), R2(B,C), R3(C,E)", // boolean chain
+            "Q(A) :- R1(A,B), R2(A,B)",         // universal + boolean chain
             "Q(A1,B1,A2) :- R11(A1), R12(A1,B1), R21(A2)", // mixed decompose
             // hard queries (heuristic: feasibility + upper bound only)
             "Q(A,B) :- R1(A), R2(A,B), R3(B)",
@@ -458,8 +470,7 @@ mod tests {
                         sol.len() as u64 <= out.cost,
                         "{text} k={k}: solution larger than reported cost"
                     );
-                    let (opt, _) =
-                        brute_force(&q, &db, k, &BruteForceOptions::default()).unwrap();
+                    let (opt, _) = brute_force(&q, &db, k, &BruteForceOptions::default()).unwrap();
                     if ptime {
                         assert!(out.exact, "{text} k={k} should be exact");
                         assert_eq!(out.cost, opt, "{text} k={k}: not optimal");

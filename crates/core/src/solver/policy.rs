@@ -20,7 +20,6 @@ use super::{boolean, AdpOptions, AdpOutcome, Mode};
 use crate::error::SolveError;
 use crate::query::Query;
 use adp_engine::database::Database;
-use adp_engine::join::evaluate;
 use std::rc::Rc;
 
 /// A deletion policy: which relations are **frozen** (undeletable).
@@ -85,7 +84,10 @@ pub fn compute_adp_with_policy(
         // nothing may be deleted at all
         let total = super::count_outputs(&view);
         if k > total {
-            return Err(SolveError::KTooLarge { k, available: total });
+            return Err(SolveError::KTooLarge {
+                k,
+                available: total,
+            });
         }
         return Err(SolveError::Infeasible { k, removable: 0 });
     }
@@ -93,7 +95,7 @@ pub fn compute_adp_with_policy(
     let solved = if query.is_boolean() {
         boolean::solve_boolean_with_policy(&view, opts, &deletable)?
     } else {
-        let eval = evaluate(&view.db, query.atoms(), query.head());
+        let eval = view.eval();
         solve_greedy_filtered(&view, &eval, k, &deletable)?
     };
     if k > solved.total_outputs {
@@ -102,12 +104,10 @@ pub fn compute_adp_with_policy(
             available: solved.total_outputs,
         });
     }
-    let cost = solved
-        .min_cost(k)?
-        .ok_or(SolveError::Infeasible {
-            k,
-            removable: solved.max_removable(),
-        })?;
+    let cost = solved.min_cost(k)?.ok_or(SolveError::Infeasible {
+        k,
+        removable: solved.max_removable(),
+    })?;
     let solution = match opts.mode {
         Mode::Report => Some({
             let mut s = solved.extract(k)?;

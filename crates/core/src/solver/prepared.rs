@@ -1,0 +1,266 @@
+//! Plan-once/execute-many entry points for repeated ADP solving.
+//!
+//! The paper's workloads solve the *same* `(Q, D)` pair many times: once
+//! per removal ratio ρ, once per solver variant in the ablations, and
+//! once more to verify each reported deletion set. Before this module
+//! every one of those calls re-resolved names, re-derived the join
+//! order, rebuilt every hash index, and re-ran the join.
+//!
+//! [`PreparedQuery`] compiles the query once against a shared database
+//! and caches the three reusable artifacts behind an `Rc`:
+//!
+//! * the [`QueryPlan`] (join order, dense-id binding slots),
+//! * the [`JoinIndexes`] (per-atom hash indexes over the full input),
+//! * the root [`EvalResult`] (witnesses + outputs + incidence).
+//!
+//! [`PreparedQuery::solve`] then behaves exactly like
+//! [`compute_adp_rc`](super::compute_adp_rc) — which is now a thin
+//! wrapper over it — except that every solve after the first starts from
+//! the cached evaluation, and
+//! [`PreparedQuery::removed_outputs`] verifies deletion sets by masked
+//! re-execution ([`AliveMask`]) instead of rebuilding the database.
+
+use super::view::View;
+use super::{AdpOptions, AdpOutcome};
+use crate::error::SolveError;
+use crate::query::Query;
+use adp_engine::database::Database;
+use adp_engine::join::EvalResult;
+use adp_engine::plan::{AliveMask, JoinIndexes, QueryPlan};
+use adp_engine::provenance::TupleRef;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A compiled query plan plus lazily built, cached indexes and
+/// evaluation result, all against one shared database.
+pub struct PlannedEval {
+    db: Rc<Database>,
+    plan: QueryPlan,
+    indexes: RefCell<Option<Rc<JoinIndexes>>>,
+    eval: RefCell<Option<Rc<EvalResult>>>,
+}
+
+impl PlannedEval {
+    /// Compiles the plan for `query` over `db`. No data is scanned until
+    /// the first evaluation.
+    pub fn new(query: &Query, db: Rc<Database>) -> Self {
+        let plan = QueryPlan::new(&db, query.atoms(), query.head());
+        PlannedEval {
+            db,
+            plan,
+            indexes: RefCell::new(None),
+            eval: RefCell::new(None),
+        }
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// The shared database the plan was compiled against.
+    pub fn database(&self) -> &Rc<Database> {
+        &self.db
+    }
+
+    fn indexes(&self) -> Rc<JoinIndexes> {
+        let mut slot = self.indexes.borrow_mut();
+        Rc::clone(slot.get_or_insert_with(|| Rc::new(self.plan.build_indexes(&self.db))))
+    }
+
+    /// The full evaluation `Q(D)`, computed once and cached.
+    pub fn eval(&self) -> Rc<EvalResult> {
+        let mut slot = self.eval.borrow_mut();
+        Rc::clone(slot.get_or_insert_with(|| {
+            if self
+                .plan
+                .rels()
+                .iter()
+                .any(|&r| self.db.relation_by_id(r).is_empty())
+            {
+                // Skip the index build: the result is empty regardless.
+                Rc::new(self.plan.execute_once(&self.db))
+            } else {
+                // Distinct RefCell from `self.eval`, so no re-entrancy.
+                let indexes = self.indexes();
+                Rc::new(self.plan.execute(&self.db, &indexes))
+            }
+        }))
+    }
+
+    /// `Q(D − S)` for the deletion state `mask`, reusing the cached plan
+    /// and indexes. Witness indices stay in original coordinates.
+    pub fn eval_masked(&self, mask: &AliveMask) -> EvalResult {
+        self.plan.execute_masked(&self.db, &self.indexes(), mask)
+    }
+
+    /// An all-alive mask shaped for this plan's atoms.
+    pub fn fresh_mask(&self, query: &Query) -> AliveMask {
+        AliveMask::all_alive(&self.db, query.atoms())
+    }
+}
+
+/// A query compiled once against a shared database, ready to be solved
+/// for any `k` (and any option set) without re-planning, re-indexing, or
+/// re-joining.
+pub struct PreparedQuery {
+    query: Query,
+    db: Rc<Database>,
+    planned: Rc<PlannedEval>,
+}
+
+impl PreparedQuery {
+    /// Compiles `query` against `db`. Panics (like
+    /// [`evaluate`](adp_engine::join::evaluate)) if a body relation is
+    /// missing from the database or its attribute set disagrees.
+    pub fn new(query: Query, db: Rc<Database>) -> Self {
+        let planned = Rc::new(PlannedEval::new(&query, Rc::clone(&db)));
+        PreparedQuery { query, db, planned }
+    }
+
+    /// The prepared query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The shared database.
+    pub fn database(&self) -> &Rc<Database> {
+        &self.db
+    }
+
+    /// The compiled plan (join order, dense-id slots).
+    pub fn plan(&self) -> &QueryPlan {
+        self.planned.plan()
+    }
+
+    /// The cached root evaluation `Q(D)`.
+    pub fn eval(&self) -> Rc<EvalResult> {
+        self.planned.eval()
+    }
+
+    /// `|Q(D)|`, counted component-wise so cross products of
+    /// disconnected queries are never materialized.
+    pub fn output_count(&self) -> u64 {
+        super::count_outputs(&self.root_view())
+    }
+
+    /// Solves `ADP(Q, D, k)`, reusing the cached plan, indexes, and
+    /// evaluation across calls. Semantically identical to
+    /// [`compute_adp_rc`](super::compute_adp_rc).
+    pub fn solve(&self, k: u64, opts: &AdpOptions) -> Result<AdpOutcome, SolveError> {
+        super::solve_prepared(self, k, opts)
+    }
+
+    /// Number of outputs removed by deleting `deletions`:
+    /// `|Q(D)| − |Q(D − S)|`, via masked re-execution of the cached plan
+    /// (no database copy, no index rebuild).
+    pub fn removed_outputs(&self, deletions: &[TupleRef]) -> u64 {
+        let before = self.eval().output_count();
+        if deletions.is_empty() {
+            return 0;
+        }
+        let mut mask = self.planned.fresh_mask(&self.query);
+        mask.kill_all(deletions);
+        before - self.planned.eval_masked(&mask).output_count()
+    }
+
+    /// The root solver view, carrying the shared evaluation cache.
+    pub(crate) fn root_view(&self) -> View {
+        View::root_planned(
+            self.query.clone(),
+            Rc::clone(&self.db),
+            Rc::clone(&self.planned),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+    use crate::solver::{removed_outputs, AdpOptions};
+    use adp_engine::schema::attrs;
+
+    fn figure1() -> Database {
+        let mut db = Database::new();
+        db.add_relation("R1", attrs(&["A", "B"]), &[&[1, 1], &[2, 2], &[3, 3]]);
+        db.add_relation(
+            "R2",
+            attrs(&["B", "C"]),
+            &[&[1, 1], &[2, 2], &[2, 3], &[3, 3]],
+        );
+        db.add_relation("R3", attrs(&["C", "E"]), &[&[1, 1], &[2, 3], &[3, 3]]);
+        db
+    }
+
+    #[test]
+    fn solve_matches_compute_adp_across_k() {
+        let q = parse_query("Q1(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)").unwrap();
+        let db = Rc::new(figure1());
+        let prep = PreparedQuery::new(q.clone(), Rc::clone(&db));
+        assert_eq!(prep.output_count(), 4);
+        for k in 1..=4 {
+            let a = prep.solve(k, &AdpOptions::default()).unwrap();
+            let b = super::super::compute_adp_rc(&q, Rc::clone(&db), k, &AdpOptions::default())
+                .unwrap();
+            assert_eq!(a.cost, b.cost, "k={k}");
+            assert_eq!(a.output_count, b.output_count);
+            assert_eq!(a.exact, b.exact);
+        }
+    }
+
+    #[test]
+    fn eval_is_cached_across_solves() {
+        let q = parse_query("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
+        let mut db = Database::new();
+        db.add_relation("S", attrs(&["NK", "SK"]), &[&[1, 1], &[2, 2]]);
+        db.add_relation("PS", attrs(&["SK", "PK"]), &[&[1, 1], &[1, 2], &[2, 1]]);
+        db.add_relation("L", attrs(&["OK", "PK"]), &[&[7, 1], &[8, 2]]);
+        let prep = PreparedQuery::new(q, Rc::new(db));
+        let e1 = prep.eval();
+        prep.solve(1, &AdpOptions::counting()).unwrap();
+        let e2 = prep.eval();
+        assert!(Rc::ptr_eq(&e1, &e2), "evaluation must be computed once");
+    }
+
+    #[test]
+    fn masked_removed_outputs_matches_rebuild_verifier() {
+        let q = parse_query("Q2(A,E) :- R1(A,B), R2(B,C), R3(C,E)").unwrap();
+        let db = Rc::new(figure1());
+        let prep = PreparedQuery::new(q.clone(), Rc::clone(&db));
+        for atom in 0..3usize {
+            for idx in 0..db.relations()[atom].len() as u32 {
+                let dels = vec![TupleRef::new(atom, idx)];
+                assert_eq!(
+                    prep.removed_outputs(&dels),
+                    removed_outputs(&q, &db, &dels),
+                    "atom {atom} idx {idx}"
+                );
+            }
+        }
+        assert_eq!(prep.removed_outputs(&[]), 0);
+    }
+
+    #[test]
+    fn disconnected_queries_count_without_materializing() {
+        let q = parse_query("Q(A,B) :- R(A), S(B)").unwrap();
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A"]), &[&[1], &[2]]);
+        db.add_relation("S", attrs(&["B"]), &[&[10], &[20], &[30]]);
+        let prep = PreparedQuery::new(q, Rc::new(db));
+        assert_eq!(prep.output_count(), 6);
+        let out = prep.solve(6, &AdpOptions::default()).unwrap();
+        assert!(out.exact);
+    }
+
+    #[test]
+    fn empty_instance_short_circuits() {
+        let q = parse_query("Q(A) :- R(A), S(A)").unwrap();
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A"]), &[&[1]]);
+        db.add_relation("S", attrs(&["A"]), &[]);
+        let prep = PreparedQuery::new(q, Rc::new(db));
+        assert_eq!(prep.output_count(), 0);
+        assert_eq!(prep.eval().output_count(), 0);
+    }
+}

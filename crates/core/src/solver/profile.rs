@@ -110,11 +110,7 @@ impl CostProfile {
     /// Clamps the `removed` coordinate at `cap`, dropping points that
     /// become dominated. Used to keep DP state spaces bounded by `k`.
     pub fn clamp_removed(&self, cap: u64) -> CostProfile {
-        CostProfile::from_pairs(
-            self.points
-                .iter()
-                .map(|p| (p.cost, p.removed.min(cap))),
-        )
+        CostProfile::from_pairs(self.points.iter().map(|p| (p.cost, p.removed.min(cap))))
     }
 
     /// Number of breakpoints.
@@ -129,9 +125,10 @@ impl CostProfile {
 
     /// Checks the strict-monotonicity invariant (for tests).
     pub fn is_valid(&self) -> bool {
-        self.points.windows(2).all(|w| {
-            w[0].cost < w[1].cost && w[0].removed < w[1].removed
-        }) && self.points.iter().all(|p| p.removed > 0)
+        self.points
+            .windows(2)
+            .all(|w| w[0].cost < w[1].cost && w[0].removed < w[1].removed)
+            && self.points.iter().all(|p| p.removed > 0)
     }
 }
 
@@ -156,8 +153,14 @@ mod tests {
         assert_eq!(
             p.points(),
             &[
-                ProfilePoint { cost: 1, removed: 2 },
-                ProfilePoint { cost: 3, removed: 6 },
+                ProfilePoint {
+                    cost: 1,
+                    removed: 2
+                },
+                ProfilePoint {
+                    cost: 3,
+                    removed: 6
+                },
             ]
         );
         assert!(p.is_valid());

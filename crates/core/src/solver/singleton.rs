@@ -14,7 +14,6 @@ use super::profile::CostProfile;
 use super::solved::{Extractor, Solved, Step};
 use super::view::View;
 use crate::error::SolveError;
-use adp_engine::join::evaluate;
 use adp_engine::provenance::ProvenanceIndex;
 use adp_engine::value::Value;
 use std::collections::HashMap;
@@ -43,8 +42,9 @@ pub(crate) fn solve_singleton(view: &View, ri: usize, cap: u64) -> Result<Solved
         ));
     }
 
-    // Non-vacuum singleton queries are connected: evaluate once.
-    let eval = evaluate(&view.db, q.atoms(), head);
+    // Non-vacuum singleton queries are connected: evaluate once, via
+    // the view's (possibly cached) plan.
+    let eval = view.eval();
     let total = eval.output_count();
     if total == 0 {
         return Ok(Solved::empty());
@@ -56,21 +56,11 @@ pub(crate) fn solve_singleton(view: &View, ri: usize, cap: u64) -> Result<Solved
         case2_steps(view, ri, &eval, cap)
     };
     let profile = CostProfile::from_pairs(steps.iter().map(|s| (s.cost_cum, s.removed_cum)));
-    Ok(Solved::eager(
-        profile,
-        Extractor::Steps(steps),
-        true,
-        total,
-    ))
+    Ok(Solved::eager(profile, Extractor::Steps(steps), true, total))
 }
 
 /// Case 1: sort `Ri` tuples by decreasing profit (outputs owned).
-fn case1_steps(
-    view: &View,
-    ri: usize,
-    eval: &adp_engine::join::EvalResult,
-    cap: u64,
-) -> Vec<Step> {
+fn case1_steps(view: &View, ri: usize, eval: &adp_engine::join::EvalResult, cap: u64) -> Vec<Step> {
     let q = &view.query;
     let atom = &q.atoms()[ri];
     let rel = view.db.expect(atom.name());
@@ -79,7 +69,11 @@ fn case1_steps(
     let positions: Vec<usize> = atom
         .attrs()
         .iter()
-        .map(|a| head.iter().position(|h| h == a).expect("case 1: attr ⊆ head"))
+        .map(|a| {
+            head.iter()
+                .position(|h| h == a)
+                .expect("case 1: attr ⊆ head")
+        })
         .collect();
     // order attr values as in the relation's own schema for index lookups
     let schema_order: Vec<usize> = rel
@@ -125,12 +119,7 @@ fn case1_steps(
 
 /// Case 2: group non-dangling `Ri` tuples by output; sort outputs by
 /// increasing group size.
-fn case2_steps(
-    view: &View,
-    ri: usize,
-    eval: &adp_engine::join::EvalResult,
-    cap: u64,
-) -> Vec<Step> {
+fn case2_steps(view: &View, ri: usize, eval: &adp_engine::join::EvalResult, cap: u64) -> Vec<Step> {
     let q = &view.query;
     let atom = &q.atoms()[ri];
     let rel = view.db.expect(atom.name());
@@ -143,8 +132,7 @@ fn case2_steps(
     for &idx in participating {
         groups.entry(rel.project(idx, &head)).or_default().push(idx);
     }
-    let mut order: Vec<(Vec<u32>, Vec<Value>)> =
-        groups.into_iter().map(|(k, v)| (v, k)).collect();
+    let mut order: Vec<(Vec<u32>, Vec<Value>)> = groups.into_iter().map(|(k, v)| (v, k)).collect();
     order.sort_by(|a, b| (a.0.len(), &a.1).cmp(&(b.0.len(), &b.1)));
 
     let mut steps = Vec::new();
@@ -243,7 +231,11 @@ mod tests {
         db.add_relation("R1", attrs(&["A", "B"]), &[&[1, 1], &[1, 9]]); // (1,9) dangles
         db.add_relation("R2", attrs(&["A", "B", "C"]), &[&[1, 1, 0]]);
         let s = solve("Q(A) :- R1(A,B), R2(A,B,C)", db, 1);
-        assert_eq!(s.min_cost(1).unwrap(), Some(1), "dangling tuple not counted");
+        assert_eq!(
+            s.min_cost(1).unwrap(),
+            Some(1),
+            "dangling tuple not counted"
+        );
     }
 
     #[test]

@@ -113,9 +113,11 @@ impl Solved {
     /// by `points_limit`).
     pub(crate) fn points(&self, points_limit: u64) -> Result<Vec<(u64, u64)>, SolveError> {
         match &self.repr {
-            Repr::Eager { profile, .. } => {
-                Ok(profile.points().iter().map(|p| (p.cost, p.removed)).collect())
-            }
+            Repr::Eager { profile, .. } => Ok(profile
+                .points()
+                .iter()
+                .map(|p| (p.cost, p.removed))
+                .collect()),
             Repr::Pair(p) => {
                 let lp = with_origin(p.left.points(points_limit)?);
                 let rp = with_origin(p.right.points(points_limit)?);

@@ -67,13 +67,16 @@ pub(crate) fn solve_universe(
                 .filter(|a| !used.contains(a))
                 .cloned()
                 .collect();
-            let mut inst =
-                RelationInstance::new(residual.atoms()[ai].clone());
+            let mut inst = RelationInstance::new(residual.atoms()[ai].clone());
             let mut back = Vec::new();
             for &idx in &partitions[ai][key] {
                 let t = rel.project(idx, &kept_attrs);
                 let new_idx = inst.insert(&t);
-                debug_assert_eq!(new_idx as usize, back.len(), "projection is injective within a group");
+                debug_assert_eq!(
+                    new_idx as usize,
+                    back.len(),
+                    "projection is injective within a group"
+                );
                 back.push(idx);
             }
             db.add(inst);
@@ -160,15 +163,16 @@ pub(crate) fn combine_disjoint(
         }
     }
 
-    let profile = CostProfile::from_pairs(
-        (1..width).filter_map(|j| {
-            let c = opt[j as usize];
-            (c != UNREACHED).then_some((c, j))
-        }),
-    );
+    let profile = CostProfile::from_pairs((1..width).filter_map(|j| {
+        let c = opt[j as usize];
+        (c != UNREACHED).then_some((c, j))
+    }));
     Ok(Solved::eager(
         profile,
-        Extractor::Dp(DpNode { children, choice: choices }),
+        Extractor::Dp(DpNode {
+            children,
+            choice: choices,
+        }),
         exact,
         total,
     ))

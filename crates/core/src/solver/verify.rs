@@ -5,7 +5,7 @@
 
 use crate::query::Query;
 use adp_engine::database::Database;
-use adp_engine::join::evaluate;
+use adp_engine::plan::{AliveMask, QueryPlan};
 use adp_engine::provenance::TupleRef;
 use adp_engine::relation::RelationInstance;
 
@@ -33,10 +33,25 @@ pub fn apply_deletions(query: &Query, db: &Database, deletions: &[TupleRef]) -> 
 
 /// Number of outputs removed by deleting `deletions` from `db`:
 /// `|Q(D)| − |Q(D − S)|`.
+///
+/// Plans the query once and measures the "after" state by masked
+/// re-execution of the same plan and indexes — no database copy is
+/// built. (Callers holding a
+/// [`PreparedQuery`](super::prepared::PreparedQuery) get the same
+/// measurement with the plan, indexes, *and* before-state cached.)
 pub fn removed_outputs(query: &Query, db: &Database, deletions: &[TupleRef]) -> u64 {
-    let before = evaluate(db, query.atoms(), query.head()).output_count();
-    let after_db = apply_deletions(query, db, deletions);
-    let after = evaluate(&after_db, query.atoms(), query.head()).output_count();
+    if deletions.is_empty() {
+        return 0;
+    }
+    let plan = QueryPlan::new(db, query.atoms(), query.head());
+    if plan.rels().iter().any(|&r| db.relation_by_id(r).is_empty()) {
+        return 0;
+    }
+    let indexes = plan.build_indexes(db);
+    let before = plan.execute(db, &indexes).output_count();
+    let mut mask = AliveMask::all_alive(db, query.atoms());
+    mask.kill_all(deletions);
+    let after = plan.execute_masked(db, &indexes, &mask).output_count();
     before - after
 }
 

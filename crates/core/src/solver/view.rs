@@ -14,8 +14,10 @@
 //! groups share a universal-attribute value before projection; selections
 //! fix the selected attributes), so the maps stay simple vectors.
 
+use super::prepared::PlannedEval;
 use crate::query::Query;
 use adp_engine::database::Database;
+use adp_engine::join::{evaluate, EvalResult};
 use adp_engine::provenance::TupleRef;
 use std::rc::Rc;
 
@@ -32,6 +34,11 @@ pub struct View {
     /// Per view atom: new tuple index → original tuple index (`None` =
     /// identity).
     pub tuple_map: Vec<Option<Vec<u32>>>,
+    /// Shared plan/index/eval cache for exactly this (query, db) pair.
+    /// Carried only by root views built from a
+    /// [`PreparedQuery`](super::prepared::PreparedQuery); derived views
+    /// run over transformed databases, so they drop it.
+    planned: Option<Rc<PlannedEval>>,
 }
 
 impl View {
@@ -43,6 +50,31 @@ impl View {
             db,
             atom_map: (0..n).collect(),
             tuple_map: vec![None; n],
+            planned: None,
+        }
+    }
+
+    /// A root view carrying a shared evaluation cache (plan-once /
+    /// execute-many). `planned` must have been compiled for exactly
+    /// `(query, db)`.
+    pub(crate) fn root_planned(query: Query, db: Rc<Database>, planned: Rc<PlannedEval>) -> Self {
+        let n = query.atom_count();
+        View {
+            query,
+            db,
+            atom_map: (0..n).collect(),
+            tuple_map: vec![None; n],
+            planned: Some(planned),
+        }
+    }
+
+    /// Evaluates the view's query over its database. Root views built
+    /// from a `PreparedQuery` return the cached evaluation (computing it
+    /// at most once); derived views compile-and-run a fresh plan.
+    pub fn eval(&self) -> Rc<EvalResult> {
+        match &self.planned {
+            Some(p) => p.eval(),
+            None => Rc::new(evaluate(&self.db, self.query.atoms(), self.query.head())),
         }
     }
 
@@ -67,6 +99,7 @@ impl View {
                 .iter()
                 .map(|&i| self.tuple_map[i].clone())
                 .collect(),
+            planned: None,
         }
     }
 
@@ -89,6 +122,7 @@ impl View {
             db: Rc::new(db),
             atom_map: self.atom_map.clone(),
             tuple_map,
+            planned: None,
         }
     }
 }

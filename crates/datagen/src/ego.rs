@@ -59,8 +59,9 @@ pub fn ego_network(cfg: &EgoConfig) -> (Database, Vec<(u64, u64)>) {
         let v = if rng.gen_bool(cfg.intra_share) {
             // intra-circle partner
             let c = circle_of[u];
-            let members: Vec<usize> =
-                (0..cfg.nodes).filter(|&x| circle_of[x] == c && x != u).collect();
+            let members: Vec<usize> = (0..cfg.nodes)
+                .filter(|&x| circle_of[x] == c && x != u)
+                .collect();
             if members.is_empty() {
                 continue;
             }
@@ -104,10 +105,7 @@ pub fn ego_network(cfg: &EgoConfig) -> (Database, Vec<(u64, u64)>) {
 /// Rebuilds the four edge relations with custom names/attributes so they
 /// match a specific query's atoms (e.g. `Q5` needs `R1(A,E), R2(B,E),
 /// R3(C,E)`).
-pub fn ego_database_for(
-    edges: &[(u64, u64)],
-    schemas: &[RelationSchema],
-) -> Database {
+pub fn ego_database_for(edges: &[(u64, u64)], schemas: &[RelationSchema]) -> Database {
     let mut directed: Vec<(u64, u64)> = Vec::with_capacity(edges.len() * 2);
     for &(u, v) in edges {
         directed.push((u, v));

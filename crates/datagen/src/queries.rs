@@ -40,10 +40,8 @@ pub fn qpath() -> Query {
 
 /// `Q7` — singleton query with three universal attributes (§8.5).
 pub fn q7() -> Query {
-    parse_query(
-        "Q7(A,B,C,D,E,F,G) :- R1(A,B,C), R2(A,B,C,D,E), R3(A,B,C,D,G), R4(A,B,C,F)",
-    )
-    .unwrap()
+    parse_query("Q7(A,B,C,D,E,F,G) :- R1(A,B,C), R2(A,B,C,D,E), R3(A,B,C,D,G), R4(A,B,C,F)")
+        .unwrap()
 }
 
 /// `Q8` — disconnected query with three easy components (§8.5).

@@ -11,12 +11,7 @@ use rand::{Rng, SeedableRng};
 
 /// Fills one relation instance per schema with `sizes[i]` uniform random
 /// tuples over `1..=domain`.
-pub fn uniform_db(
-    schemas: &[RelationSchema],
-    sizes: &[usize],
-    domain: u64,
-    seed: u64,
-) -> Database {
+pub fn uniform_db(schemas: &[RelationSchema], sizes: &[usize], domain: u64, seed: u64) -> Database {
     assert_eq!(schemas.len(), sizes.len());
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new();

@@ -1,0 +1,96 @@
+//! Dense identifiers for attributes and relations.
+//!
+//! The plan-once/execute-many evaluation path ([`crate::plan`]) never
+//! touches a `String` during execution: every attribute and relation
+//! name is resolved to a dense `u32` id exactly once, at plan-build
+//! time, through the [`Catalog`] a [`crate::Database`] maintains as
+//! relations are registered.
+
+use crate::schema::Attr;
+use std::collections::HashMap;
+
+/// Dense id of an attribute within one database's catalog.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+/// Dense id of a relation within one database (its registration slot).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The relation's slot as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl AttrId {
+    /// The attribute's id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Bidirectional attribute-name ↔ dense-id map owned by a `Database`.
+///
+/// Ids are assigned in first-registration order and never change, so a
+/// `Vec` indexed by [`AttrId`] is a valid dense map over a database's
+/// attribute space.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    ids: HashMap<Attr, AttrId>,
+    attrs: Vec<Attr>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an attribute, returning its stable dense id.
+    pub fn intern_attr(&mut self, attr: &Attr) -> AttrId {
+        if let Some(&id) = self.ids.get(attr) {
+            return id;
+        }
+        let id = AttrId(self.attrs.len() as u32);
+        self.attrs.push(attr.clone());
+        self.ids.insert(attr.clone(), id);
+        id
+    }
+
+    /// Looks an attribute up without inserting.
+    pub fn attr_id(&self, attr: &Attr) -> Option<AttrId> {
+        self.ids.get(attr).copied()
+    }
+
+    /// Reverse lookup: the attribute behind a dense id.
+    pub fn attr(&self, id: AttrId) -> &Attr {
+        &self.attrs[id.index()]
+    }
+
+    /// Number of distinct attributes registered.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::attr;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut c = Catalog::new();
+        let a = c.intern_attr(&attr("A"));
+        let b = c.intern_attr(&attr("B"));
+        assert_eq!(a, AttrId(0));
+        assert_eq!(b, AttrId(1));
+        assert_eq!(c.intern_attr(&attr("A")), a);
+        assert_eq!(c.attr_count(), 2);
+        assert_eq!(c.attr(a), &attr("A"));
+        assert_eq!(c.attr_id(&attr("B")), Some(b));
+        assert_eq!(c.attr_id(&attr("Z")), None);
+    }
+}

@@ -1,5 +1,8 @@
-//! A database: a collection of named relation instances.
+//! A database: a collection of named relation instances plus the
+//! [`Catalog`] resolving attribute/relation names to dense ids for the
+//! plan-once/execute-many evaluation path ([`crate::plan`]).
 
+use crate::catalog::{AttrId, Catalog, RelId};
 use crate::relation::RelationInstance;
 use crate::schema::{Attr, RelationSchema};
 use crate::value::Value;
@@ -10,6 +13,10 @@ use std::collections::HashMap;
 pub struct Database {
     relations: Vec<RelationInstance>,
     by_name: HashMap<String, usize>,
+    catalog: Catalog,
+    /// Per relation slot: schema attributes as dense catalog ids, in
+    /// schema (tuple) order.
+    resolved: Vec<Vec<AttrId>>,
 }
 
 impl Database {
@@ -21,15 +28,7 @@ impl Database {
     /// Adds an empty relation with the given schema, returning its slot.
     /// Panics if the name is already taken.
     pub fn create(&mut self, schema: RelationSchema) -> usize {
-        assert!(
-            !self.by_name.contains_key(schema.name()),
-            "relation {} already exists",
-            schema.name()
-        );
-        let slot = self.relations.len();
-        self.by_name.insert(schema.name().to_owned(), slot);
-        self.relations.push(RelationInstance::new(schema));
-        slot
+        self.add(RelationInstance::new(schema))
     }
 
     /// Adds a pre-built relation instance.
@@ -41,8 +40,36 @@ impl Database {
         );
         let slot = self.relations.len();
         self.by_name.insert(rel.name().to_owned(), slot);
+        self.resolved.push(
+            rel.schema()
+                .attrs()
+                .iter()
+                .map(|a| self.catalog.intern_attr(a))
+                .collect(),
+        );
         self.relations.push(rel);
         slot
+    }
+
+    /// The name/id catalog backing the planned evaluation path.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Dense id of a relation, if registered.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).map(|&i| RelId(i as u32))
+    }
+
+    /// The relation behind a dense id.
+    pub fn relation_by_id(&self, id: RelId) -> &RelationInstance {
+        &self.relations[id.index()]
+    }
+
+    /// A relation's schema attributes as dense catalog ids, in schema
+    /// (tuple-position) order.
+    pub fn resolved_attrs(&self, id: RelId) -> &[AttrId] {
+        &self.resolved[id.index()]
     }
 
     /// Convenience: create a relation and fill it with tuples.
@@ -133,5 +160,24 @@ mod tests {
         db.add_relation("R", attrs(&["B"]), &[]);
         let names: Vec<_> = db.names().collect();
         assert_eq!(names, vec!["S", "R"]);
+    }
+
+    #[test]
+    fn catalog_resolves_names_to_dense_ids() {
+        use crate::catalog::{AttrId, RelId};
+        use crate::schema::attr;
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A", "B"]), &[&[1, 2]]);
+        db.add_relation("S", attrs(&["B", "C"]), &[]);
+        let r = db.rel_id("R").unwrap();
+        let s = db.rel_id("S").unwrap();
+        assert_eq!((r, s), (RelId(0), RelId(1)));
+        assert!(db.rel_id("T").is_none());
+        assert_eq!(db.relation_by_id(r).name(), "R");
+        // shared attribute B has one id in both schemas
+        assert_eq!(db.resolved_attrs(r), &[AttrId(0), AttrId(1)]);
+        assert_eq!(db.resolved_attrs(s)[0], AttrId(1));
+        assert_eq!(db.catalog().attr(AttrId(2)), &attr("C"));
+        assert_eq!(db.catalog().attr_count(), 3);
     }
 }

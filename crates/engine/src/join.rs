@@ -9,15 +9,19 @@
 //!   attributes (`Q(D)` with set semantics),
 //! * the incidence between the two.
 //!
-//! The executor is a classic left-deep backtracking hash join. Atoms are
-//! ordered greedily (smallest relation first, preferring atoms connected
-//! to the already-bound attributes) and each non-leading atom gets a hash
-//! index on its bound attributes.
+//! The executor is a classic left-deep backtracking hash join, compiled
+//! and run by [`crate::plan`]: atoms are ordered greedily (smallest
+//! relation first, preferring atoms connected to the already-bound
+//! attributes) and each non-leading atom gets a hash index on its bound
+//! attributes. [`evaluate`] is the one-shot convenience wrapper —
+//! callers that re-evaluate the same query should hold a
+//! [`QueryPlan`](crate::plan::QueryPlan) and its cached
+//! [`JoinIndexes`](crate::plan::JoinIndexes) instead.
 
 use crate::database::Database;
+use crate::plan::QueryPlan;
 use crate::schema::{Attr, RelationSchema};
 use crate::value::Value;
-use std::collections::HashMap;
 
 /// One full-join row: the index of the participating tuple in every atom,
 /// in *query atom order* (not join order).
@@ -61,221 +65,12 @@ impl EvalResult {
 /// Every atom's relation must exist in `db` with the same attribute set.
 /// `head` must be a subset of the body attributes. An empty `head` gives
 /// boolean semantics: at most one output, the empty tuple.
+///
+/// One-shot convenience: compiles a [`QueryPlan`] and executes it once.
+/// Callers that evaluate the same query repeatedly should build the plan
+/// themselves and reuse its indexes (see [`crate::plan`]).
 pub fn evaluate(db: &Database, atoms: &[RelationSchema], head: &[Attr]) -> EvalResult {
-    assert!(!atoms.is_empty(), "cannot evaluate a query with no atoms");
-    let instances: Vec<_> = atoms
-        .iter()
-        .map(|a| {
-            let inst = db.expect(a.name());
-            let mut want: Vec<&Attr> = a.attrs().iter().collect();
-            let mut have: Vec<&Attr> = inst.schema().attrs().iter().collect();
-            want.sort();
-            have.sort();
-            assert_eq!(
-                want, have,
-                "schema mismatch for {}: query says {:?}, database says {:?}",
-                a.name(),
-                a,
-                inst.schema()
-            );
-            inst
-        })
-        .collect();
-
-    let mut result = EvalResult {
-        atom_names: atoms.iter().map(|a| a.name().to_owned()).collect(),
-        head: head.to_vec(),
-        ..Default::default()
-    };
-
-    // Empty relation anywhere => empty result.
-    if instances.iter().any(|r| r.is_empty()) {
-        return result;
-    }
-
-    let order = join_order(atoms, &instances.iter().map(|r| r.len()).collect::<Vec<_>>());
-
-    // Attribute slots: dense positions in the binding array, assigned in
-    // first-seen order along the join order.
-    let mut slot_of: HashMap<Attr, usize> = HashMap::new();
-    // For each atom (join order): (bound attr positions within the atom,
-    // their binding slots) and (free attr positions, their new slots).
-    struct Step {
-        atom: usize,
-        bound_pos: Vec<usize>,
-        bound_slot: Vec<usize>,
-        free_pos: Vec<usize>,
-        free_slot: Vec<usize>,
-        /// tuples grouped by bound-attr key (None for the leading atom)
-        index: Option<HashMap<Vec<Value>, Vec<u32>>>,
-    }
-    let mut steps: Vec<Step> = Vec::with_capacity(order.len());
-    for &ai in &order {
-        let schema = &atoms[ai];
-        let inst = instances[ai];
-        let mut bound_pos = Vec::new();
-        let mut bound_slot = Vec::new();
-        let mut free_pos = Vec::new();
-        let mut free_slot = Vec::new();
-        for (pos, a) in schema.attrs().iter().enumerate() {
-            // positions are w.r.t. the *instance* schema ordering
-            let ipos = inst.schema().position(a).expect("checked above");
-            if let Some(&s) = slot_of.get(a) {
-                bound_pos.push(ipos);
-                bound_slot.push(s);
-            } else {
-                let s = slot_of.len();
-                slot_of.insert(a.clone(), s);
-                free_pos.push(ipos);
-                free_slot.push(s);
-            }
-            let _ = pos;
-        }
-        let index = if steps.is_empty() {
-            None
-        } else {
-            let mut map: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
-            for idx in 0..inst.len() as u32 {
-                let t = inst.tuple(idx);
-                let key: Vec<Value> = bound_pos.iter().map(|&p| t[p]).collect();
-                map.entry(key).or_default().push(idx);
-            }
-            Some(map)
-        };
-        steps.push(Step {
-            atom: ai,
-            bound_pos,
-            bound_slot,
-            free_pos,
-            free_slot,
-            index,
-        });
-    }
-
-    let head_slots: Vec<usize> = head
-        .iter()
-        .map(|a| {
-            *slot_of
-                .get(a)
-                .unwrap_or_else(|| panic!("head attribute {a} not in query body"))
-        })
-        .collect();
-
-    let mut binding: Vec<Value> = vec![0; slot_of.len()];
-    let mut chosen: Vec<u32> = vec![0; atoms.len()];
-    let mut output_dedup: HashMap<Box<[Value]>, u32> = HashMap::new();
-
-    // Iterative backtracking over the join order.
-    // frame state: candidate list + cursor per depth.
-    let mut cand: Vec<Vec<u32>> = vec![Vec::new(); steps.len()];
-    let mut cursor: Vec<usize> = vec![0; steps.len()];
-    let mut depth: usize = 0;
-    cand[0] = (0..instances[steps[0].atom].len() as u32).collect();
-    cursor[0] = 0;
-
-    loop {
-        if cursor[depth] >= cand[depth].len() {
-            if depth == 0 {
-                break;
-            }
-            depth -= 1;
-            continue;
-        }
-        let step = &steps[depth];
-        let inst = instances[step.atom];
-        let idx = cand[depth][cursor[depth]];
-        cursor[depth] += 1;
-        let t = inst.tuple(idx);
-        // bound attrs are guaranteed to match (candidates filtered by index
-        // or depth==0 with no bound attrs — except depth==0 never has bound).
-        for (i, &p) in step.free_pos.iter().enumerate() {
-            binding[step.free_slot[i]] = t[p];
-        }
-        debug_assert!(step
-            .bound_pos
-            .iter()
-            .zip(&step.bound_slot)
-            .all(|(&p, &s)| t[p] == binding[s]));
-        chosen[step.atom] = idx;
-
-        if depth + 1 == steps.len() {
-            // Complete witness.
-            let w = Witness {
-                tuples: chosen.clone().into_boxed_slice(),
-            };
-            let out_key: Box<[Value]> = head_slots.iter().map(|&s| binding[s]).collect();
-            let next_id = output_dedup.len() as u32;
-            let out_id = *output_dedup.entry(out_key.clone()).or_insert(next_id);
-            if out_id == next_id {
-                result.outputs.push(out_key);
-                result.output_witnesses.push(Vec::new());
-            }
-            let wid = result.witnesses.len() as u32;
-            result.witnesses.push(w);
-            result.witness_output.push(out_id);
-            result.output_witnesses[out_id as usize].push(wid);
-            continue;
-        }
-
-        // Descend.
-        let next = &steps[depth + 1];
-        let key: Vec<Value> = next.bound_slot.iter().map(|&s| binding[s]).collect();
-        let matches = next
-            .index
-            .as_ref()
-            .expect("non-leading steps have indexes")
-            .get(&key);
-        match matches {
-            Some(list) => {
-                depth += 1;
-                cand[depth] = list.clone();
-                cursor[depth] = 0;
-            }
-            None => continue,
-        }
-    }
-
-    result
-}
-
-/// Greedy join order: smallest relation first, then repeatedly the
-/// smallest atom sharing an attribute with the bound set (falling back to
-/// the smallest remaining atom for disconnected queries).
-fn join_order(atoms: &[RelationSchema], sizes: &[usize]) -> Vec<usize> {
-    let n = atoms.len();
-    let mut remaining: Vec<usize> = (0..n).collect();
-    let mut order = Vec::with_capacity(n);
-    let mut bound: Vec<Attr> = Vec::new();
-
-    let first = *remaining
-        .iter()
-        .min_by_key(|&&i| (sizes[i], i))
-        .expect("non-empty");
-    remaining.retain(|&i| i != first);
-    bound.extend(atoms[first].attrs().iter().cloned());
-    order.push(first);
-
-    while !remaining.is_empty() {
-        let connected: Vec<usize> = remaining
-            .iter()
-            .copied()
-            .filter(|&i| atoms[i].attrs().iter().any(|a| bound.contains(a)))
-            .collect();
-        let pool = if connected.is_empty() {
-            &remaining
-        } else {
-            &connected
-        };
-        let next = *pool.iter().min_by_key(|&&i| (sizes[i], i)).unwrap();
-        remaining.retain(|&i| i != next);
-        for a in atoms[next].attrs() {
-            if !bound.contains(a) {
-                bound.push(a.clone());
-            }
-        }
-        order.push(next);
-    }
-    order
+    QueryPlan::new(db, atoms, head).execute_once(db)
 }
 
 #[cfg(test)]

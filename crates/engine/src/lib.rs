@@ -8,9 +8,15 @@
 //! * [`value`] — the dense integer [`Value`] type plus an
 //!   [`Interner`] for symbolic data,
 //! * [`schema`] — attributes and relation schemas,
+//! * [`catalog`] — dense [`AttrId`]/[`RelId`] resolution of names, so
+//!   nothing string-keyed survives into execution,
 //! * [`relation`] / [`database`] — tuple storage,
+//! * [`plan`] — compiled [`QueryPlan`]s: join order and index specs
+//!   computed once, indexes cached in [`JoinIndexes`], re-evaluation
+//!   under [`AliveMask`] deletion states without rebuilds,
 //! * [`join`] — multiway natural join with *witness* (full-join row)
-//!   provenance and distinct head projection,
+//!   provenance and distinct head projection (one-shot wrapper over
+//!   [`plan`]),
 //! * [`provenance`] — the witness/output/input incidence structure with
 //!   `kill` semantics used by the greedy ADP heuristics,
 //! * [`semijoin`] — GYO ear decomposition and a Yannakakis-style full
@@ -21,17 +27,21 @@
 //! per-tuple "profit" computation, dangling tuple removal) has a
 //! first-class, tested counterpart here.
 
+pub mod catalog;
 pub mod database;
 pub mod join;
 pub mod naive;
+pub mod plan;
 pub mod provenance;
 pub mod relation;
 pub mod schema;
 pub mod semijoin;
 pub mod value;
 
+pub use catalog::{AttrId, Catalog, RelId};
 pub use database::Database;
 pub use join::{evaluate, EvalResult, Witness};
+pub use plan::{AliveMask, JoinIndexes, QueryPlan};
 pub use provenance::{ProvenanceIndex, TupleRef};
 pub use relation::RelationInstance;
 pub use schema::{Attr, RelationSchema};

@@ -8,38 +8,111 @@
 
 use crate::database::Database;
 use crate::join::{EvalResult, Witness};
+use crate::relation::RelationInstance;
 use crate::schema::{Attr, RelationSchema};
 use crate::value::Value;
 use std::collections::HashMap;
 
+/// Name resolution done once up front, so the loops themselves are
+/// string-free (mirroring the planned executor it differentially tests).
+struct Resolved<'a> {
+    instances: Vec<&'a RelationInstance>,
+    /// Per atom, per tuple position: the shared binding slot.
+    slots: Vec<Vec<usize>>,
+    /// Per atom, per tuple position: does this occurrence bind the slot
+    /// (first occurrence in atom order) or check it?
+    binds: Vec<Vec<bool>>,
+    /// Per head attribute: `(atom, position)` supplying its value.
+    head_source: Vec<(usize, usize)>,
+    n_slots: usize,
+}
+
+fn resolve<'a>(db: &'a Database, atoms: &[RelationSchema], head: &[Attr]) -> Resolved<'a> {
+    let catalog = db.catalog();
+    let instances: Vec<&RelationInstance> = atoms
+        .iter()
+        .map(|a| {
+            db.rel_id(a.name())
+                .map(|id| db.relation_by_id(id))
+                .unwrap_or_else(|| panic!("relation {} not in database", a.name()))
+        })
+        .collect();
+    // Slot per attribute id, assigned in first-seen (atom, position) order.
+    let mut slot_of: Vec<Option<usize>> = vec![None; catalog.attr_count()];
+    let mut n_slots = 0usize;
+    let mut slots = Vec::with_capacity(atoms.len());
+    let mut binds = Vec::with_capacity(atoms.len());
+    for atom in atoms {
+        let rel = db.rel_id(atom.name()).expect("resolved above");
+        let mut atom_slots = Vec::new();
+        let mut atom_binds = Vec::new();
+        for &aid in db.resolved_attrs(rel) {
+            match slot_of[aid.index()] {
+                Some(s) => {
+                    atom_slots.push(s);
+                    atom_binds.push(false);
+                }
+                None => {
+                    slot_of[aid.index()] = Some(n_slots);
+                    atom_slots.push(n_slots);
+                    atom_binds.push(true);
+                    n_slots += 1;
+                }
+            }
+        }
+        slots.push(atom_slots);
+        binds.push(atom_binds);
+    }
+    let head_source: Vec<(usize, usize)> = head
+        .iter()
+        .map(|a| {
+            let aid = catalog.attr_id(a);
+            atoms
+                .iter()
+                .enumerate()
+                .find_map(|(i, s)| {
+                    let rel = db.rel_id(s.name()).expect("resolved above");
+                    db.resolved_attrs(rel)
+                        .iter()
+                        .position(|x| Some(*x) == aid)
+                        .map(|p| (i, p))
+                })
+                .expect("head attr occurs in the body")
+        })
+        .collect();
+    Resolved {
+        instances,
+        slots,
+        binds,
+        head_source,
+        n_slots,
+    }
+}
+
 /// Evaluates the body by nested loops. Same contract as
 /// [`crate::join::evaluate`]; witness/output order may differ, contents
 /// are identical up to reordering.
-pub fn evaluate_nested_loop(
-    db: &Database,
-    atoms: &[RelationSchema],
-    head: &[Attr],
-) -> EvalResult {
+pub fn evaluate_nested_loop(db: &Database, atoms: &[RelationSchema], head: &[Attr]) -> EvalResult {
     assert!(!atoms.is_empty(), "cannot evaluate a query with no atoms");
-    let instances: Vec<_> = atoms.iter().map(|a| db.expect(a.name())).collect();
+    let resolved = resolve(db, atoms, head);
 
     let mut result = EvalResult {
         atom_names: atoms.iter().map(|a| a.name().to_owned()).collect(),
         head: head.to_vec(),
         ..Default::default()
     };
-    if instances.iter().any(|r| r.is_empty()) {
+    if resolved.instances.iter().any(|r| r.is_empty()) {
         return result;
     }
 
     let mut output_dedup: HashMap<Box<[Value]>, u32> = HashMap::new();
     let mut chosen = vec![0u32; atoms.len()];
+    let mut binding = vec![0 as Value; resolved.n_slots];
     nested(
-        db,
-        atoms,
-        head,
+        &resolved,
         0,
         &mut chosen,
+        &mut binding,
         &mut result,
         &mut output_dedup,
     );
@@ -47,31 +120,22 @@ pub fn evaluate_nested_loop(
 }
 
 fn nested(
-    db: &Database,
-    atoms: &[RelationSchema],
-    head: &[Attr],
+    r: &Resolved<'_>,
     depth: usize,
     chosen: &mut [u32],
+    binding: &mut [Value],
     result: &mut EvalResult,
     output_dedup: &mut HashMap<Box<[Value]>, u32>,
 ) {
-    if depth == atoms.len() {
-        if !consistent(db, atoms, chosen) {
+    if depth == r.instances.len() {
+        if !consistent(r, chosen, binding) {
             return;
         }
         // project the (consistent) assignment onto the head
-        let out_key: Box<[Value]> = head
+        let out_key: Box<[Value]> = r
+            .head_source
             .iter()
-            .map(|a| {
-                let (i, pos) = atoms
-                    .iter()
-                    .enumerate()
-                    .find_map(|(i, s)| {
-                        db.expect(s.name()).schema().position(a).map(|p| (i, p))
-                    })
-                    .expect("head attr occurs in the body");
-                db.expect(atoms[i].name()).tuple(chosen[i])[pos]
-            })
+            .map(|&(i, pos)| r.instances[i].tuple(chosen[i])[pos])
             .collect();
         let next_id = output_dedup.len() as u32;
         let out_id = *output_dedup.entry(out_key.clone()).or_insert(next_id);
@@ -87,26 +151,21 @@ fn nested(
         result.output_witnesses[out_id as usize].push(wid);
         return;
     }
-    let rel = db.expect(atoms[depth].name());
-    for idx in 0..rel.len() as u32 {
+    for idx in 0..r.instances[depth].len() as u32 {
         chosen[depth] = idx;
-        nested(db, atoms, head, depth + 1, chosen, result, output_dedup);
+        nested(r, depth + 1, chosen, binding, result, output_dedup);
     }
 }
 
 /// Do the chosen tuples agree on every shared attribute?
-fn consistent(db: &Database, atoms: &[RelationSchema], chosen: &[u32]) -> bool {
-    let mut bound: HashMap<&Attr, Value> = HashMap::new();
-    for (i, schema) in atoms.iter().enumerate() {
-        let rel = db.expect(schema.name());
-        let t = rel.tuple(chosen[i]);
-        for (pos, a) in rel.schema().attrs().iter().enumerate() {
-            match bound.get(a) {
-                Some(&v) if v != t[pos] => return false,
-                Some(_) => {}
-                None => {
-                    bound.insert(a, t[pos]);
-                }
+fn consistent(r: &Resolved<'_>, chosen: &[u32], binding: &mut [Value]) -> bool {
+    for (i, inst) in r.instances.iter().enumerate() {
+        let t = inst.tuple(chosen[i]);
+        for (pos, (&slot, &first)) in r.slots[i].iter().zip(&r.binds[i]).enumerate() {
+            if first {
+                binding[slot] = t[pos];
+            } else if binding[slot] != t[pos] {
+                return false;
             }
         }
     }

@@ -1,0 +1,612 @@
+//! Compiled query plans: resolve once, execute many times.
+//!
+//! [`crate::join::evaluate`] re-derived the join order, re-keyed every
+//! lookup through `String` attribute/relation names, and rebuilt every
+//! hash index from scratch on each call. The ADP solvers, however,
+//! repeatedly re-evaluate the *same* conjunctive query — across the
+//! benchmark ρ-sweep, across solution verification, and under shrinking
+//! deletion sets. This module splits evaluation into the three phases
+//! that make re-evaluation cheap:
+//!
+//! 1. [`QueryPlan::new`] — name resolution (via the database
+//!    [`Catalog`](crate::catalog::Catalog)), schema validation, join
+//!    ordering, and binding-slot assignment. Pure metadata; no data is
+//!    scanned. After this point execution touches only dense `u32` ids.
+//! 2. [`QueryPlan::build_indexes`] — one hash index per non-leading
+//!    atom, built over the *full* relation so the same [`JoinIndexes`]
+//!    serves every subsequent execution.
+//! 3. [`QueryPlan::execute`] / [`QueryPlan::execute_masked`] — the
+//!    backtracking join. The masked variant skips tuples an
+//!    [`AliveMask`] marks dead, giving `Q(D − S)` for any deletion set
+//!    `S` without touching the database or the indexes.
+//!
+//! Witness tuple indices always refer to the original relation
+//! instances, so masked results compose directly with
+//! [`crate::provenance`] and the solvers' tuple bookkeeping.
+
+use crate::catalog::RelId;
+use crate::database::Database;
+use crate::join::{EvalResult, Witness};
+use crate::provenance::TupleRef;
+use crate::schema::{Attr, RelationSchema};
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// One atom's role in the join order: which tuple positions are already
+/// bound (and to which binding slots) and which bind fresh slots.
+#[derive(Clone, Debug)]
+struct JoinStep {
+    /// Query-atom position this step scans.
+    atom: usize,
+    /// Tuple positions checked against already-bound slots.
+    bound_pos: Box<[u32]>,
+    /// Binding slots the bound positions must match, pairwise.
+    bound_slot: Box<[u32]>,
+    /// Tuple positions that bind fresh slots.
+    free_pos: Box<[u32]>,
+    /// Slots the free positions bind, pairwise.
+    free_slot: Box<[u32]>,
+}
+
+/// A compiled evaluation plan for one conjunctive query body + head over
+/// one database's catalog. Build once with [`QueryPlan::new`], execute
+/// any number of times.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    /// Per query atom: the relation it scans.
+    rels: Box<[RelId]>,
+    /// Join steps, in execution order.
+    steps: Box<[JoinStep]>,
+    /// Binding slots projected into output tuples.
+    head_slots: Box<[u32]>,
+    /// Total number of binding slots.
+    n_slots: usize,
+    /// Relation name per atom, for [`EvalResult`] compatibility.
+    atom_names: Vec<String>,
+    /// Head attributes, for [`EvalResult`] compatibility.
+    head: Vec<Attr>,
+}
+
+/// One atom's hash index: bound-attr key → tuple indices.
+type StepIndex = HashMap<Box<[Value]>, Vec<u32>>;
+
+/// Hash indexes for a plan's non-leading atoms, built once over the full
+/// relations by [`QueryPlan::build_indexes`] and reused across
+/// executions (masked or not).
+#[derive(Clone, Debug)]
+pub struct JoinIndexes {
+    /// Per join step: bound-attr key → tuple indices (leading step:
+    /// `None`).
+    per_step: Vec<Option<StepIndex>>,
+}
+
+/// Per-atom liveness of input tuples: the deletion state `S` in
+/// `Q(D − S)`, layered over immutable relation instances so tuple
+/// indices stay stable.
+#[derive(Clone, Debug)]
+pub struct AliveMask {
+    alive: Vec<Vec<bool>>,
+}
+
+impl AliveMask {
+    /// An all-alive mask for the instances behind `atoms` in `db`.
+    pub fn all_alive(db: &Database, atoms: &[RelationSchema]) -> Self {
+        AliveMask {
+            alive: atoms
+                .iter()
+                .map(|a| vec![true; db.expect(a.name()).len()])
+                .collect(),
+        }
+    }
+
+    /// Marks a tuple dead. Returns whether it was alive.
+    pub fn kill(&mut self, atom: usize, index: u32) -> bool {
+        let slot = &mut self.alive[atom][index as usize];
+        std::mem::replace(slot, false)
+    }
+
+    /// Marks every referenced tuple dead.
+    pub fn kill_all<'a, I: IntoIterator<Item = &'a TupleRef>>(&mut self, refs: I) {
+        for t in refs {
+            self.kill(t.atom, t.index);
+        }
+    }
+
+    /// Marks a tuple alive again.
+    pub fn revive(&mut self, atom: usize, index: u32) {
+        self.alive[atom][index as usize] = true;
+    }
+
+    /// Is the tuple alive?
+    pub fn is_alive(&self, atom: usize, index: u32) -> bool {
+        self.alive[atom][index as usize]
+    }
+
+    /// Number of live tuples in one atom.
+    pub fn live_count(&self, atom: usize) -> usize {
+        self.alive[atom].iter().filter(|&&a| a).count()
+    }
+}
+
+impl QueryPlan {
+    /// Compiles a plan for the body `atoms` projected on `head`.
+    ///
+    /// Every atom's relation must exist in `db` with the same attribute
+    /// set, and `head` must be a subset of the body attributes — the
+    /// same contract as [`crate::join::evaluate`], checked here once
+    /// instead of on every evaluation.
+    pub fn new(db: &Database, atoms: &[RelationSchema], head: &[Attr]) -> Self {
+        assert!(!atoms.is_empty(), "cannot plan a query with no atoms");
+        let catalog = db.catalog();
+
+        // Resolve atoms to relations and validate attribute sets.
+        let rels: Vec<RelId> = atoms
+            .iter()
+            .map(|a| {
+                let id = db
+                    .rel_id(a.name())
+                    .unwrap_or_else(|| panic!("relation {} not in database", a.name()));
+                let mut want: Vec<_> = a
+                    .attrs()
+                    .iter()
+                    .map(|x| catalog.attr_id(x))
+                    .collect::<Option<Vec<_>>>()
+                    .unwrap_or_default();
+                let mut have: Vec<_> = db.resolved_attrs(id).to_vec();
+                want.sort_unstable();
+                have.sort_unstable();
+                assert!(
+                    want.len() == a.arity() && want == have,
+                    "schema mismatch for {}: query says {:?}, database says {:?}",
+                    a.name(),
+                    a,
+                    db.relation_by_id(id).schema()
+                );
+                id
+            })
+            .collect();
+
+        let sizes: Vec<usize> = rels.iter().map(|&r| db.relation_by_id(r).len()).collect();
+        let order = join_order(db, &rels, &sizes);
+
+        // Binding slots, assigned in first-seen order along the join
+        // order. Dense over the catalog's attribute space.
+        let mut slot_of: Vec<Option<u32>> = vec![None; catalog.attr_count()];
+        let mut n_slots = 0u32;
+        let steps: Vec<JoinStep> = order
+            .iter()
+            .map(|&ai| {
+                let mut bound_pos = Vec::new();
+                let mut bound_slot = Vec::new();
+                let mut free_pos = Vec::new();
+                let mut free_slot = Vec::new();
+                for (pos, &aid) in db.resolved_attrs(rels[ai]).iter().enumerate() {
+                    match slot_of[aid.index()] {
+                        Some(s) => {
+                            bound_pos.push(pos as u32);
+                            bound_slot.push(s);
+                        }
+                        None => {
+                            slot_of[aid.index()] = Some(n_slots);
+                            free_pos.push(pos as u32);
+                            free_slot.push(n_slots);
+                            n_slots += 1;
+                        }
+                    }
+                }
+                JoinStep {
+                    atom: ai,
+                    bound_pos: bound_pos.into(),
+                    bound_slot: bound_slot.into(),
+                    free_pos: free_pos.into(),
+                    free_slot: free_slot.into(),
+                }
+            })
+            .collect();
+
+        let head_slots: Vec<u32> = head
+            .iter()
+            .map(|a| {
+                catalog
+                    .attr_id(a)
+                    .and_then(|id| slot_of[id.index()])
+                    .unwrap_or_else(|| panic!("head attribute {a} not in query body"))
+            })
+            .collect();
+
+        QueryPlan {
+            rels: rels.into(),
+            steps: steps.into(),
+            head_slots: head_slots.into(),
+            n_slots: n_slots as usize,
+            atom_names: atoms.iter().map(|a| a.name().to_owned()).collect(),
+            head: head.to_vec(),
+        }
+    }
+
+    /// The relation scanned by each query atom.
+    pub fn rels(&self) -> &[RelId] {
+        &self.rels
+    }
+
+    /// Number of query atoms.
+    pub fn atom_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Builds the hash indexes the plan's non-leading atoms probe.
+    /// Indexes cover the full relations; masked executions filter at
+    /// probe time, so one build serves every deletion state.
+    pub fn build_indexes(&self, db: &Database) -> JoinIndexes {
+        let per_step = self
+            .steps
+            .iter()
+            .enumerate()
+            .map(|(depth, step)| {
+                if depth == 0 {
+                    return None;
+                }
+                let inst = db.relation_by_id(self.rels[step.atom]);
+                let mut map = StepIndex::new();
+                for idx in 0..inst.len() as u32 {
+                    let t = inst.tuple(idx);
+                    let key: Box<[Value]> = step.bound_pos.iter().map(|&p| t[p as usize]).collect();
+                    map.entry(key).or_default().push(idx);
+                }
+                Some(map)
+            })
+            .collect();
+        JoinIndexes { per_step }
+    }
+
+    /// Evaluates over the full database (every tuple alive).
+    pub fn execute(&self, db: &Database, indexes: &JoinIndexes) -> EvalResult {
+        self.run(db, indexes, None)
+    }
+
+    /// Evaluates `Q(D − S)` where `S` is the set of dead tuples in
+    /// `alive`. Witness indices refer to the original instances, so
+    /// results are directly comparable across masks.
+    pub fn execute_masked(
+        &self,
+        db: &Database,
+        indexes: &JoinIndexes,
+        alive: &AliveMask,
+    ) -> EvalResult {
+        self.run(db, indexes, Some(alive))
+    }
+
+    /// Convenience for one-shot callers: build indexes and execute.
+    pub fn execute_once(&self, db: &Database) -> EvalResult {
+        if self.rels.iter().any(|&r| db.relation_by_id(r).is_empty()) {
+            return self.empty_result();
+        }
+        let indexes = self.build_indexes(db);
+        self.execute(db, &indexes)
+    }
+
+    fn empty_result(&self) -> EvalResult {
+        EvalResult {
+            atom_names: self.atom_names.clone(),
+            head: self.head.clone(),
+            ..Default::default()
+        }
+    }
+
+    fn run(&self, db: &Database, indexes: &JoinIndexes, alive: Option<&AliveMask>) -> EvalResult {
+        let mut result = self.empty_result();
+        let instances: Vec<_> = self.rels.iter().map(|&r| db.relation_by_id(r)).collect();
+        if instances.iter().any(|r| r.is_empty()) {
+            return result;
+        }
+        let is_alive = |atom: usize, idx: u32| alive.is_none_or(|m| m.is_alive(atom, idx));
+
+        let mut binding: Vec<Value> = vec![0; self.n_slots];
+        let mut chosen: Vec<u32> = vec![0; self.rels.len()];
+        let mut output_dedup: HashMap<Box<[Value]>, u32> = HashMap::new();
+
+        // Iterative backtracking over the join order: candidate list +
+        // cursor per depth.
+        let mut cand: Vec<Vec<u32>> = vec![Vec::new(); self.steps.len()];
+        let mut cursor: Vec<usize> = vec![0; self.steps.len()];
+        let mut depth: usize = 0;
+        let lead = self.steps[0].atom;
+        cand[0] = (0..instances[lead].len() as u32)
+            .filter(|&i| is_alive(lead, i))
+            .collect();
+        cursor[0] = 0;
+
+        loop {
+            if cursor[depth] >= cand[depth].len() {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+                continue;
+            }
+            let step = &self.steps[depth];
+            let inst = instances[step.atom];
+            let idx = cand[depth][cursor[depth]];
+            cursor[depth] += 1;
+            let t = inst.tuple(idx);
+            for (i, &p) in step.free_pos.iter().enumerate() {
+                binding[step.free_slot[i] as usize] = t[p as usize];
+            }
+            debug_assert!(step
+                .bound_pos
+                .iter()
+                .zip(step.bound_slot.iter())
+                .all(|(&p, &s)| t[p as usize] == binding[s as usize]));
+            chosen[step.atom] = idx;
+
+            if depth + 1 == self.steps.len() {
+                // Complete witness.
+                let out_key: Box<[Value]> = self
+                    .head_slots
+                    .iter()
+                    .map(|&s| binding[s as usize])
+                    .collect();
+                let next_id = output_dedup.len() as u32;
+                let out_id = *output_dedup.entry(out_key.clone()).or_insert(next_id);
+                if out_id == next_id {
+                    result.outputs.push(out_key);
+                    result.output_witnesses.push(Vec::new());
+                }
+                let wid = result.witnesses.len() as u32;
+                result.witnesses.push(Witness {
+                    tuples: chosen.clone().into_boxed_slice(),
+                });
+                result.witness_output.push(out_id);
+                result.output_witnesses[out_id as usize].push(wid);
+                continue;
+            }
+
+            // Descend.
+            let next = &self.steps[depth + 1];
+            let key: Box<[Value]> = next
+                .bound_slot
+                .iter()
+                .map(|&s| binding[s as usize])
+                .collect();
+            let matches = indexes.per_step[depth + 1]
+                .as_ref()
+                .expect("non-leading steps have indexes")
+                .get(&key);
+            match matches {
+                Some(list) => {
+                    depth += 1;
+                    cand[depth].clear();
+                    cand[depth].extend(list.iter().copied().filter(|&i| is_alive(next.atom, i)));
+                    cursor[depth] = 0;
+                }
+                None => continue,
+            }
+        }
+
+        result
+    }
+}
+
+/// Greedy join order: smallest relation first, then repeatedly the
+/// smallest atom sharing an attribute with the bound set (falling back
+/// to the smallest remaining atom for disconnected queries). Operates
+/// entirely on dense ids.
+fn join_order(db: &Database, rels: &[RelId], sizes: &[usize]) -> Vec<usize> {
+    let n = rels.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut bound = vec![false; db.catalog().attr_count()];
+
+    let first = *remaining
+        .iter()
+        .min_by_key(|&&i| (sizes[i], i))
+        .expect("non-empty");
+    remaining.retain(|&i| i != first);
+    for &aid in db.resolved_attrs(rels[first]) {
+        bound[aid.index()] = true;
+    }
+    order.push(first);
+
+    while !remaining.is_empty() {
+        let connected: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| db.resolved_attrs(rels[i]).iter().any(|a| bound[a.index()]))
+            .collect();
+        let pool = if connected.is_empty() {
+            &remaining
+        } else {
+            &connected
+        };
+        let next = *pool.iter().min_by_key(|&&i| (sizes[i], i)).unwrap();
+        remaining.retain(|&i| i != next);
+        for &aid in db.resolved_attrs(rels[next]) {
+            bound[aid.index()] = true;
+        }
+        order.push(next);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::evaluate;
+    use crate::naive::evaluate_nested_loop;
+    use crate::schema::attrs;
+
+    /// The running example from Figure 1 of the paper.
+    fn figure1_db() -> Database {
+        let mut db = Database::new();
+        db.add_relation("R1", attrs(&["A", "B"]), &[&[1, 1], &[2, 2], &[3, 3]]);
+        db.add_relation(
+            "R2",
+            attrs(&["B", "C"]),
+            &[&[1, 1], &[2, 2], &[2, 3], &[3, 3]],
+        );
+        db.add_relation("R3", attrs(&["C", "E"]), &[&[1, 1], &[2, 3], &[3, 3]]);
+        db
+    }
+
+    fn figure1_atoms() -> Vec<RelationSchema> {
+        vec![
+            RelationSchema::new("R1", attrs(&["A", "B"])),
+            RelationSchema::new("R2", attrs(&["B", "C"])),
+            RelationSchema::new("R3", attrs(&["C", "E"])),
+        ]
+    }
+
+    fn sorted_outputs(r: &EvalResult) -> Vec<Vec<Value>> {
+        let mut v: Vec<Vec<Value>> = r.outputs.iter().map(|o| o.to_vec()).collect();
+        v.sort();
+        v
+    }
+
+    fn sorted_witnesses(r: &EvalResult) -> Vec<Vec<u32>> {
+        let mut v: Vec<Vec<u32>> = r.witnesses.iter().map(|w| w.tuples.to_vec()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn plan_execute_matches_evaluate() {
+        let db = figure1_db();
+        let atoms = figure1_atoms();
+        for head in [attrs(&["A", "E"]), attrs(&["A", "B", "C", "E"]), vec![]] {
+            let plan = QueryPlan::new(&db, &atoms, &head);
+            let planned = plan.execute_once(&db);
+            let classic = evaluate(&db, &atoms, &head);
+            assert_eq!(sorted_outputs(&planned), sorted_outputs(&classic));
+            assert_eq!(sorted_witnesses(&planned), sorted_witnesses(&classic));
+        }
+    }
+
+    #[test]
+    fn indexes_are_reusable_across_executions() {
+        let db = figure1_db();
+        let atoms = figure1_atoms();
+        let plan = QueryPlan::new(&db, &atoms, &attrs(&["A", "E"]));
+        let idx = plan.build_indexes(&db);
+        let a = plan.execute(&db, &idx);
+        let b = plan.execute(&db, &idx);
+        assert_eq!(sorted_witnesses(&a), sorted_witnesses(&b));
+        assert_eq!(a.output_count(), 3);
+    }
+
+    #[test]
+    fn all_alive_mask_is_identity() {
+        let db = figure1_db();
+        let atoms = figure1_atoms();
+        let plan = QueryPlan::new(&db, &atoms, &attrs(&["A", "E"]));
+        let idx = plan.build_indexes(&db);
+        let mask = AliveMask::all_alive(&db, &atoms);
+        let masked = plan.execute_masked(&db, &idx, &mask);
+        let full = plan.execute(&db, &idx);
+        assert_eq!(sorted_witnesses(&masked), sorted_witnesses(&full));
+        assert_eq!(sorted_outputs(&masked), sorted_outputs(&full));
+    }
+
+    #[test]
+    fn masked_execution_matches_filtered_database() {
+        let db = figure1_db();
+        let atoms = figure1_atoms();
+        let head = attrs(&["A", "E"]);
+        let plan = QueryPlan::new(&db, &atoms, &head);
+        let idx = plan.build_indexes(&db);
+
+        // Kill R3(c3,e3) — the paper's ADP(Q1, D, 2) answer.
+        let c3e3 = db.expect("R3").index_of(&[3, 3]).unwrap();
+        let mut mask = AliveMask::all_alive(&db, &atoms);
+        assert!(mask.kill(2, c3e3));
+        assert!(!mask.kill(2, c3e3), "second kill reports already-dead");
+        let masked = plan.execute_masked(&db, &idx, &mask);
+
+        // Reference: rebuild the database without the tuple.
+        let mut db2 = Database::new();
+        for (ai, atom) in atoms.iter().enumerate() {
+            let rel = db.expect(atom.name());
+            let (kept, _) = rel.filter_by_index(|i| mask.is_alive(ai, i));
+            db2.add(kept);
+        }
+        let reference = evaluate_nested_loop(&db2, &atoms, &head);
+        assert_eq!(sorted_outputs(&masked), sorted_outputs(&reference));
+        assert_eq!(masked.witness_count(), reference.witness_count());
+        // Original indices survive masking.
+        for w in &masked.witnesses {
+            assert!(mask.is_alive(2, w.tuples[2]));
+        }
+    }
+
+    #[test]
+    fn mask_revive_restores_results() {
+        let db = figure1_db();
+        let atoms = figure1_atoms();
+        let plan = QueryPlan::new(&db, &atoms, &attrs(&["A", "E"]));
+        let idx = plan.build_indexes(&db);
+        let mut mask = AliveMask::all_alive(&db, &atoms);
+        mask.kill(0, 0);
+        assert_eq!(plan.execute_masked(&db, &idx, &mask).output_count(), 2);
+        assert_eq!(mask.live_count(0), 2);
+        mask.revive(0, 0);
+        assert_eq!(plan.execute_masked(&db, &idx, &mask).output_count(), 3);
+    }
+
+    #[test]
+    fn fully_masked_leading_atom_gives_empty_result() {
+        let db = figure1_db();
+        let atoms = figure1_atoms();
+        let plan = QueryPlan::new(&db, &atoms, &attrs(&["A"]));
+        let idx = plan.build_indexes(&db);
+        let mut mask = AliveMask::all_alive(&db, &atoms);
+        for i in 0..db.expect("R1").len() as u32 {
+            mask.kill(0, i);
+        }
+        let r = plan.execute_masked(&db, &idx, &mask);
+        assert_eq!(r.output_count(), 0);
+        assert_eq!(r.witness_count(), 0);
+    }
+
+    #[test]
+    fn kill_all_accepts_tuple_refs() {
+        let db = figure1_db();
+        let atoms = figure1_atoms();
+        let plan = QueryPlan::new(&db, &atoms, &attrs(&["A", "E"]));
+        let idx = plan.build_indexes(&db);
+        let mut mask = AliveMask::all_alive(&db, &atoms);
+        mask.kill_all(&[
+            TupleRef::new(0, 0),
+            TupleRef::new(0, 1),
+            TupleRef::new(0, 2),
+        ]);
+        assert_eq!(plan.execute_masked(&db, &idx, &mask).output_count(), 0);
+    }
+
+    #[test]
+    fn vacuum_atom_plans_and_executes() {
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A"]), &[&[1], &[2]]);
+        db.add_relation("V", vec![], &[&[]]);
+        let atoms = vec![
+            RelationSchema::new("R", attrs(&["A"])),
+            RelationSchema::new("V", vec![]),
+        ];
+        let plan = QueryPlan::new(&db, &atoms, &attrs(&["A"]));
+        assert_eq!(plan.execute_once(&db).output_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in database")]
+    fn unknown_relation_rejected_at_plan_time() {
+        let db = figure1_db();
+        let atoms = vec![RelationSchema::new("Nope", attrs(&["A"]))];
+        QueryPlan::new(&db, &atoms, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "schema mismatch")]
+    fn schema_mismatch_rejected_at_plan_time() {
+        let db = figure1_db();
+        let atoms = vec![RelationSchema::new("R1", attrs(&["A", "Z"]))];
+        QueryPlan::new(&db, &atoms, &[]);
+    }
+}

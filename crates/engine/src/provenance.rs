@@ -58,10 +58,7 @@ impl ProvenanceIndex {
         let mut tuple_witnesses: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); n_atoms];
         for (wid, w) in result.witnesses.iter().enumerate() {
             for (atom, &t) in w.tuples.iter().enumerate() {
-                tuple_witnesses[atom]
-                    .entry(t)
-                    .or_default()
-                    .push(wid as u32);
+                tuple_witnesses[atom].entry(t).or_default().push(wid as u32);
             }
         }
         ProvenanceIndex {
@@ -213,7 +210,9 @@ impl ProvenanceIndex {
                         continue;
                     }
                     seen[wi] = true;
-                    *dead_live.entry(self.witness_output[w as usize]).or_insert(0) += 1;
+                    *dead_live
+                        .entry(self.witness_output[w as usize])
+                        .or_insert(0) += 1;
                 }
             }
         }

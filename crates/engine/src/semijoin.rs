@@ -53,9 +53,7 @@ pub fn gyo_join_tree(atoms: &[RelationSchema]) -> Option<JoinTree> {
             let shared: Vec<&Attr> = atoms[i]
                 .attrs()
                 .iter()
-                .filter(|a| {
-                    (0..n).any(|j| j != i && alive[j] && atoms[j].contains(a))
-                })
+                .filter(|a| (0..n).any(|j| j != i && alive[j] && atoms[j].contains(a)))
                 .collect();
             for j in 0..n {
                 if j == i || !alive[j] {
@@ -175,10 +173,7 @@ pub fn reduce_by_witnesses(db: &Database, atoms: &[RelationSchema]) -> Reduced {
     let result = evaluate(db, atoms, &[]);
     let prov = ProvenanceIndex::new(&result);
     let parts = prov.participating_tuples();
-    let keep: Vec<HashSet<u32>> = parts
-        .into_iter()
-        .map(|v| v.into_iter().collect())
-        .collect();
+    let keep: Vec<HashSet<u32>> = parts.into_iter().map(|v| v.into_iter().collect()).collect();
     materialize(db, atoms, &keep)
 }
 

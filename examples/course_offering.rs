@@ -19,7 +19,10 @@ fn main() {
     // inapproximable, Lemma 10) query.
     println!("poly-time solvable? {}", analysis::is_ptime(&q));
     if let Some(cert) = analysis::hardness_certificate(&q) {
-        println!("hardness witness: maps onto {:?}\n", cert.mapping().map(|m| m.core));
+        println!(
+            "hardness witness: maps onto {:?}\n",
+            cert.mapping().map(|m| m.core)
+        );
     }
 
     let mut db = Database::new();

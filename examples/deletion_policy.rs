@@ -8,10 +8,10 @@
 //!
 //! Run with `cargo run --example deletion_policy`.
 
+use adp::engine::schema::attrs;
 use adp::{
     compute_adp, compute_adp_with_policy, parse_query, AdpOptions, Database, DeletionPolicy,
 };
-use adp::engine::schema::attrs;
 
 fn main() {
     let q = parse_query("QWL(S,C) :- Major(S,M), Req(M,C), NoSeat(C)").unwrap();
@@ -41,8 +41,7 @@ fn main() {
     let policy = DeletionPolicy::unrestricted()
         .freeze("Req")
         .freeze("NoSeat");
-    let restricted =
-        compute_adp_with_policy(&q, &db, k, &policy, &AdpOptions::default()).unwrap();
+    let restricted = compute_adp_with_policy(&q, &db, k, &policy, &AdpOptions::default()).unwrap();
     println!(
         "with Req+NoSeat frozen: {} change(s), all advising interventions:",
         restricted.cost
@@ -59,7 +58,6 @@ fn main() {
         .freeze("Major")
         .freeze("Req")
         .freeze("NoSeat");
-    let err = compute_adp_with_policy(&q, &db, k, &all_frozen, &AdpOptions::default())
-        .unwrap_err();
+    let err = compute_adp_with_policy(&q, &db, k, &all_frozen, &AdpOptions::default()).unwrap_err();
     println!("freezing everything: {err}");
 }

@@ -1,0 +1,53 @@
+//! Plan-once/execute-many: solve the same (query, database) pair for a
+//! whole sweep of `k` values through one `PreparedQuery`, then verify
+//! every reported deletion set by masked re-execution — the plan, hash
+//! indexes, and root join are built exactly once.
+//!
+//! Run with `cargo run --release --example plan_reuse`.
+
+use adp::{attrs, parse_query, AdpOptions, AliveMask, Database, PreparedQuery, QueryPlan};
+use std::rc::Rc;
+
+fn main() {
+    // The paper's Figure 1 database and Q1.
+    let q = parse_query("Q1(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)").unwrap();
+    let mut db = Database::new();
+    db.add_relation("R1", attrs(&["A", "B"]), &[&[1, 1], &[2, 2], &[3, 3]]);
+    db.add_relation(
+        "R2",
+        attrs(&["B", "C"]),
+        &[&[1, 1], &[2, 2], &[2, 3], &[3, 3]],
+    );
+    db.add_relation("R3", attrs(&["C", "E"]), &[&[1, 1], &[2, 3], &[3, 3]]);
+    let db = Rc::new(db);
+
+    // Compile once; every solve below reuses the plan + indexes + join.
+    let prep = PreparedQuery::new(q.clone(), Rc::clone(&db));
+    let total = prep.output_count();
+    println!("|Q1(D)| = {total}");
+    for k in 1..=total {
+        let out = prep.solve(k, &AdpOptions::default()).unwrap();
+        let sol = out.solution.unwrap();
+        // Verification is a masked re-execution of the same cached plan.
+        let removed = prep.removed_outputs(&sol);
+        println!(
+            "  k={k}: cost {} (verified: {} outputs removed, {} deletions)",
+            out.cost,
+            removed,
+            sol.len()
+        );
+        assert!(removed >= k);
+    }
+
+    // The raw engine layer: one plan, one index build, many masks.
+    let plan = QueryPlan::new(&db, q.atoms(), q.head());
+    let indexes = plan.build_indexes(&db);
+    let mut mask = AliveMask::all_alive(&db, q.atoms());
+    println!("masked sweep over R3 deletions:");
+    for idx in 0..db.expect("R3").len() as u32 {
+        mask.kill(2, idx);
+        let left = plan.execute_masked(&db, &indexes, &mask).output_count();
+        println!("  after killing R3[{idx}]: |Q1| = {left}");
+        mask.revive(2, idx);
+    }
+}

@@ -7,13 +7,16 @@
 //!
 //! Run with `cargo run --example university_waitlist`.
 
-use adp::{compute_adp, is_ptime, parse_query, AdpOptions, Database, Interner};
 use adp::engine::schema::attrs;
+use adp::{compute_adp, is_ptime, parse_query, AdpOptions, Database, Interner};
 
 fn main() {
     let q = parse_query("QWL(S,C) :- Major(S,M), Req(M,C), NoSeat(C)").unwrap();
     println!("query: {q}");
-    println!("poly-time solvable? {} (NP-hard — heuristic used)\n", is_ptime(&q));
+    println!(
+        "poly-time solvable? {} (NP-hard — heuristic used)\n",
+        is_ptime(&q)
+    );
 
     // Build a small registrar database with readable names.
     let mut names = Interner::new();

@@ -46,14 +46,14 @@ pub use adp_core::analysis::{
 };
 pub use adp_core::query::{parse_query, Query};
 pub use adp_core::selection::{solve_selection, SelectionQuery};
-pub use adp_core::solver::brute::{brute_force, BruteForceOptions};
+pub use adp_core::solver::brute::{brute_force, brute_force_prepared, BruteForceOptions};
 pub use adp_core::solver::{
     apply_deletions, compute_adp, compute_adp_rc, compute_adp_with_policy, compute_resilience,
-    removed_outputs,
-    AdpOptions, AdpOutcome, DeletionPolicy, Mode,
+    removed_outputs, AdpOptions, AdpOutcome, DeletionPolicy, Mode, PreparedQuery,
 };
 pub use adp_core::{QueryError, SolveError};
 pub use adp_engine::database::Database;
+pub use adp_engine::plan::{AliveMask, JoinIndexes, QueryPlan};
 pub use adp_engine::provenance::TupleRef;
 pub use adp_engine::schema::{attr, attrs, Attr, RelationSchema};
 pub use adp_engine::value::{Interner, Value};

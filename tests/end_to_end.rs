@@ -188,10 +188,7 @@ fn snap_queries_heuristics_are_feasible() {
             let k = ((probe.output_count as f64 * ratio) as u64).max(1);
             let out = compute_adp(&q, &db, k, &AdpOptions::default()).unwrap();
             let sol = out.solution.unwrap();
-            assert!(
-                removed_outputs(&q, &db, &sol) >= k,
-                "{q} k={k}: infeasible"
-            );
+            assert!(removed_outputs(&q, &db, &sol) >= k, "{q} k={k}: infeasible");
         }
     }
 }
@@ -234,12 +231,7 @@ fn q7_and_q8_optimization_paths_agree() {
     }
 
     let q8 = adp::datagen::queries::q8();
-    let db8 = adp::datagen::uniform::uniform_db_for_query(
-        &q8,
-        &[10, 20, 10, 20, 10, 20],
-        40,
-        29,
-    );
+    let db8 = adp::datagen::uniform::uniform_db_for_query(&q8, &[10, 20, 10, 20, 10, 20], 40, 29);
     let probe = compute_adp(&q8, &db8, 1, &AdpOptions::default()).unwrap();
     let k = (probe.output_count / 10).max(1);
     let mut costs = Vec::new();

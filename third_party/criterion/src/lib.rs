@@ -1,0 +1,176 @@
+//! # criterion (offline shim)
+//!
+//! The build environment has no access to a crates registry, so this
+//! workspace vendors a minimal, dependency-free stand-in for the subset
+//! of the [criterion](https://crates.io/crates/criterion) API the bench
+//! suite uses: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros (with `harness = false`).
+//!
+//! Measurement model: a short warm-up estimates the per-iteration cost,
+//! then batches run until the time budget (`CRITERION_BUDGET_MS`,
+//! default 300 ms per benchmark) is exhausted. Mean and minimum batch
+//! times are printed in a `bench:` line — enough to compare variants of
+//! the same workload, which is all the suite needs. Swap in the real
+//! `criterion` by replacing the path dependency when the environment
+//! gains registry access.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_total: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_total: 0,
+            budget,
+        }
+    }
+
+    /// Times repeated executions of `f` until the budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until 10% of the budget or 3 iterations, whichever
+        // comes first, to estimate the per-iteration cost.
+        let warmup_deadline = Instant::now() + self.budget / 10;
+        let mut warmup_iters = 0u64;
+        let warmup_start = Instant::now();
+        loop {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 3 && Instant::now() >= warmup_deadline {
+                break;
+            }
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed() / warmup_iters as u32;
+
+        // Batch size targeting ~20 batches within the budget.
+        let batch =
+            (self.budget.as_nanos() / 20 / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed / batch as u32);
+            self.iters_total += batch;
+        }
+        if self.samples.is_empty() {
+            self.samples.push(per_iter);
+            self.iters_total = warmup_iters;
+        }
+    }
+
+    fn report(&self, id: &str) {
+        let mean: Duration =
+            self.samples.iter().sum::<Duration>() / self.samples.len().max(1) as u32;
+        let min = self.samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "bench: {id:<44} {:>12} /iter (min {:>12}, {} iters)",
+            fmt_duration(mean),
+            fmt_duration(min),
+            self.iters_total
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            budget: Duration::from_millis(ms.max(10)),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions as one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("CRITERION_BUDGET_MS", "10");
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

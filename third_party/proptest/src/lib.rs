@@ -1,0 +1,430 @@
+//! # proptest (offline shim)
+//!
+//! The build environment has no access to a crates registry, so this
+//! workspace vendors a minimal, dependency-free implementation of the
+//! subset of the [proptest](https://crates.io/crates/proptest) API that
+//! the test suite uses: the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, integer-range and tuple strategies, [`Just`],
+//! [`collection::vec`] / [`collection::btree_set`], the [`proptest!`]
+//! macro with `#![proptest_config(..)]`, and the `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * no shrinking — a failing case reports the case number and message;
+//! * generation is deterministic per test (seeded from the test name),
+//!   so CI failures reproduce locally;
+//! * no persistence files, forks, or timeouts.
+//!
+//! Swap in the real `proptest` by replacing the path dependency when the
+//! environment gains registry access; the test source needs no changes.
+
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// Error produced by `prop_assert*` macros inside a [`proptest!`] body.
+pub type TestCaseError = String;
+
+/// Deterministic splitmix64 generator driving all strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive). `lo > hi` yields `lo`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            return lo;
+        }
+        let span = hi - lo + 1;
+        lo + self.next_u64() % span
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration (only `cases` is honored by the shim).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test executes.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::*;
+
+    /// A generator of random values (shrinking-free shim of proptest's
+    /// `Strategy`).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Produces one random value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f`
+        /// derives from it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy always yielding a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    if self.start >= self.end {
+                        return self.start;
+                    }
+                    rng.range_u64(self.start as u64, self.end as u64 - 1) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.range_u64(*self.start() as u64, *self.end() as u64) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// Anything usable as a collection size range.
+    pub trait IntoSizeRange {
+        /// Inclusive `(min, max)` size bounds.
+        fn size_bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn size_bounds(&self) -> (usize, usize) {
+            (self.start, self.end.saturating_sub(1).max(self.start))
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn size_bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn size_bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.range_u64(self.min as u64, self.max as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: a vector of `size` elements of
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.size_bounds();
+        VecStrategy { element, min, max }
+    }
+
+    /// Strategy for `BTreeSet`s with element strategy `S`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.range_u64(self.min as u64, self.max as u64) as usize;
+            let mut out = BTreeSet::new();
+            // Duplicates are possible; bound the attempts so small element
+            // domains terminate (possibly below the target size).
+            let mut attempts = target * 10 + 10;
+            while out.len() < target && attempts > 0 {
+                out.insert(self.element.generate(rng));
+                attempts -= 1;
+            }
+            out
+        }
+    }
+
+    /// `proptest::collection::btree_set`: a set of up to `size` distinct
+    /// elements of `element`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl IntoSizeRange) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        let (min, max) = size.size_bounds();
+        BTreeSetStrategy { element, min, max }
+    }
+}
+
+/// Executes `config.cases` random cases of `f` over `strat`. Panics with
+/// the case number on the first failure (no shrinking).
+pub fn run_with_config<S, F>(config: test_runner::ProptestConfig, name: &str, strat: S, f: F)
+where
+    S: strategy::Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    // Seed from the test name so distinct tests explore distinct streams
+    // but every run of one test is reproducible.
+    let mut seed: u64 = 0xADB0_0C0F_FEE0_0001;
+    for b in name.bytes() {
+        seed = seed.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
+    }
+    let mut rng = TestRng::seed(seed);
+    for case in 0..config.cases {
+        let value = strat.generate(&mut rng);
+        if let Err(e) = f(value) {
+            panic!(
+                "proptest '{name}' failed at case {case}/{}: {e}",
+                config.cases
+            );
+        }
+    }
+}
+
+/// Fails the current proptest case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} — {}",
+                ::std::stringify!($cond),
+                ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fails the current proptest case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n {}",
+                ::std::stringify!($left),
+                ::std::stringify!($right),
+                l,
+                r,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// The `proptest!` block macro: each inner `#[test] fn name(pat in
+/// strategy) { .. }` becomes a deterministic randomized test.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($(#[$meta:meta])* fn $name:ident($pat:pat_param in $strat:expr) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_with_config(
+                    $cfg,
+                    ::std::stringify!($name),
+                    $strat,
+                    |$pat| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = super::TestRng::seed(7);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&v));
+            let w = Strategy::generate(&(2u64..=2), &mut rng);
+            assert_eq!(w, 2);
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = super::TestRng::seed(9);
+        for _ in 0..200 {
+            let v = Strategy::generate(&super::collection::vec(0u64..5, 1..=4), &mut rng);
+            assert!((1..=4).contains(&v.len()));
+            let s = Strategy::generate(&super::collection::btree_set(0usize..3, 0..=3), &mut rng);
+            assert!(s.len() <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The macro itself: maps, flat-maps and tuple strategies work.
+        #[test]
+        fn macro_roundtrip((a, b) in (0u64..10, 0u64..10).prop_map(|(x, y)| (x, x + y))) {
+            prop_assert!(b >= a, "{} vs {}", a, b);
+            prop_assert_eq!(a.min(b), a);
+        }
+    }
+}
