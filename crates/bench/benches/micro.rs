@@ -4,7 +4,7 @@
 //! query-complexity analyses.
 
 use adp_core::analysis::{find_hard_structures, is_ptime};
-use adp_core::solver::{compute_adp_rc, AdpOptions, CostProfile, PreparedQuery};
+use adp_core::solver::{compute_adp_arc, AdpOptions, CostProfile, PreparedQuery};
 use adp_datagen::queries;
 use adp_datagen::zipf::ZipfConfig;
 use adp_engine::database::Database;
@@ -13,7 +13,7 @@ use adp_engine::plan::{AliveMask, QueryPlan};
 use adp_engine::provenance::ProvenanceIndex;
 use adp_engine::semijoin::remove_dangling;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn bench_join(c: &mut Criterion) {
     let db = adp_datagen::zipf_pair(&ZipfConfig::new(10_000, 0.5, 7, true));
@@ -61,10 +61,10 @@ fn bench_plan_reuse(c: &mut Criterion) {
 }
 
 /// Plan reuse across a ρ-sweep: one `PreparedQuery` solved for all four
-/// ratios vs a fresh `compute_adp_rc` per ratio (which replans, rebuilds
+/// ratios vs a fresh `compute_adp_arc` per ratio (which replans, rebuilds
 /// indexes, and re-joins every time).
 fn bench_prepared_sweep(c: &mut Criterion) {
-    let db = Rc::new(adp_datagen::zipf_pair(&ZipfConfig::new(
+    let db = Arc::new(adp_datagen::zipf_pair(&ZipfConfig::new(
         2_000, 0.5, 11, true,
     )));
     let q = queries::qpath();
@@ -74,14 +74,14 @@ fn bench_prepared_sweep(c: &mut Criterion) {
         mode: adp_core::solver::Mode::Count,
         ..Default::default()
     };
-    let total = PreparedQuery::new(q.clone(), Rc::clone(&db)).output_count();
+    let total = PreparedQuery::new(q.clone(), Arc::clone(&db)).output_count();
     let ks: Vec<u64> = adp_bench::RATIOS
         .iter()
         .map(|&r| adp_bench::k_for_ratio(total, r))
         .collect();
     c.bench_function("rho_sweep_prepared_2k", |b| {
         b.iter(|| {
-            let prep = PreparedQuery::new(q.clone(), Rc::clone(&db));
+            let prep = PreparedQuery::new(q.clone(), Arc::clone(&db));
             let mut acc = 0;
             for &k in &ks {
                 acc += prep.solve(k, &opts).unwrap().cost;
@@ -93,10 +93,84 @@ fn bench_prepared_sweep(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0;
             for &k in &ks {
-                acc += compute_adp_rc(&q, Rc::clone(&db), k, &opts).unwrap().cost;
+                acc += compute_adp_arc(&q, Arc::clone(&db), k, &opts).unwrap().cost;
             }
             black_box(acc)
         })
+    });
+}
+
+/// The acceptance benchmark for the `adp-runtime` subsystem: the same
+/// hard-query ρ-sweep — (trial, ρ) cells over the NP-hard `Q_path`,
+/// greedy reporting — run sequentially and fanned out over a 4-worker
+/// pool. On a machine with ≥4 cores the parallel pair must be ≥2×
+/// faster (8 cells whose cost is dominated by the two ρ=75% solves);
+/// on fewer cores it degrades gracefully. Outcomes are asserted
+/// byte-identical (cost, deletion set, outputs removed) before either
+/// variant is timed, so the pair always also checks determinism.
+fn bench_parallel_sweep(c: &mut Criterion) {
+    // Two independent trials of the hard workload: more cells than a
+    // single 4-ratio sweep, so 4 workers stay busy.
+    let preps: Vec<PreparedQuery> = [13u64, 14]
+        .into_iter()
+        .map(|seed| {
+            let db = Arc::new(adp_datagen::zipf_pair(&ZipfConfig::new(
+                1_000, 0.5, seed, true,
+            )));
+            PreparedQuery::new(queries::qpath(), Arc::clone(&db))
+        })
+        .collect();
+    // The inner solver stays sequential in *both* variants: the pair
+    // isolates the sweep-level fan-out.
+    let opts = AdpOptions {
+        force_greedy: true,
+        sequential: true,
+        ..Default::default()
+    };
+    // (trial, k) cells, hardest ratios included.
+    let cells: Vec<(usize, u64)> = preps
+        .iter()
+        .enumerate()
+        .flat_map(|(t, prep)| {
+            let total = prep.output_count();
+            adp_bench::RATIOS
+                .iter()
+                .map(move |&r| (t, adp_bench::k_for_ratio(total, r)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let pool = adp_runtime::ThreadPool::new(4);
+
+    let solve_seq = || -> Vec<_> {
+        cells
+            .iter()
+            .map(|&(t, k)| preps[t].solve(k, &opts).unwrap())
+            .collect()
+    };
+    let solve_par = || -> Vec<_> {
+        adp_runtime::parallel_sweep(&pool, &cells, |_, &(t, k)| {
+            preps[t].solve(k, &opts).unwrap()
+        })
+    };
+
+    // Determinism gate: the parallel sweep must be byte-identical.
+    let seq = solve_seq();
+    let par = solve_par();
+    assert_eq!(seq.len(), par.len());
+    for (s, p) in seq.iter().zip(&par) {
+        assert_eq!(s.cost, p.cost, "parallel sweep changed a cost");
+        assert_eq!(s.achieved, p.achieved, "parallel sweep changed coverage");
+        assert_eq!(
+            s.solution, p.solution,
+            "parallel sweep changed a deletion set"
+        );
+    }
+
+    c.bench_function("rho_sweep_hard_sequential", |b| {
+        b.iter(|| black_box(solve_seq().iter().map(|o| o.cost).sum::<u64>()))
+    });
+    c.bench_function("rho_sweep_hard_parallel_4t", |b| {
+        b.iter(|| black_box(solve_par().iter().map(|o| o.cost).sum::<u64>()))
     });
 }
 
@@ -123,28 +197,28 @@ fn bench_semijoin(c: &mut Criterion) {
 
 fn bench_mincut_resilience(c: &mut Criterion) {
     // boolean chain over zipf data: exercises linearization + Dinic
-    let db = Rc::new(adp_datagen::zipf_pair(&ZipfConfig::new(
+    let db = Arc::new(adp_datagen::zipf_pair(&ZipfConfig::new(
         5_000, 0.5, 9, true,
     )));
     let q = adp_core::query::parse_query("Q() :- R1(A), R2(A,B), R3(B)").unwrap();
     c.bench_function("boolean_resilience_5k", |b| {
         b.iter(|| {
-            let out = compute_adp_rc(&q, Rc::clone(&db), 1, &AdpOptions::counting()).unwrap();
+            let out = compute_adp_arc(&q, Arc::clone(&db), 1, &AdpOptions::counting()).unwrap();
             black_box(out.cost)
         })
     });
 }
 
 fn bench_singleton_solver(c: &mut Criterion) {
-    let db = Rc::new(adp_datagen::zipf_pair(&ZipfConfig::new(
+    let db = Arc::new(adp_datagen::zipf_pair(&ZipfConfig::new(
         50_000, 1.0, 5, false,
     )));
     let q = queries::q6();
-    let probe = compute_adp_rc(&q, Rc::clone(&db), 1, &AdpOptions::counting()).unwrap();
+    let probe = compute_adp_arc(&q, Arc::clone(&db), 1, &AdpOptions::counting()).unwrap();
     let k = probe.output_count / 2;
     c.bench_function("singleton_q6_50k_half", |b| {
         b.iter(|| {
-            let out = compute_adp_rc(&q, Rc::clone(&db), k, &AdpOptions::counting()).unwrap();
+            let out = compute_adp_arc(&q, Arc::clone(&db), k, &AdpOptions::counting()).unwrap();
             black_box(out.cost)
         })
     });
@@ -198,6 +272,7 @@ criterion_group!(
     bench_join,
     bench_plan_reuse,
     bench_prepared_sweep,
+    bench_parallel_sweep,
     bench_provenance,
     bench_semijoin,
     bench_mincut_resilience,

@@ -1,5 +1,6 @@
 //! Regenerates the paper figures behind `fig_zipf_easy` (see adp-bench::experiments).
-//! Pass `--quick` for CI-sized inputs.
+//! Pass `--quick` for CI-sized inputs, `--threads N` to size the worker
+//! pool, and `--seed S` to re-roll the workload data.
 
 fn main() {
     adp_bench::cli::init();

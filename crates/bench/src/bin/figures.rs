@@ -1,4 +1,5 @@
-//! Runs every experiment (Figures 7-29). Pass `--quick` for CI sizes.
+//! Runs every experiment (Figures 7-29). Pass `--quick` for CI sizes,
+//! `--threads N` to size the worker pool, `--seed S` to re-roll data.
 
 fn main() {
     adp_bench::cli::init();

@@ -1,9 +1,14 @@
 //! Shared command-line handling for every bench binary.
 //!
 //! All figure binaries accept the same flags, parsed by [`init`] and
-//! consumed by the harness (`quick_mode`, `size_ladder`):
+//! consumed by the harness (`quick_mode`, `size_ladder`, the sweep
+//! helpers):
 //!
 //! * `--quick` — CI-sized inputs (also enabled by `ADP_BENCH_QUICK=1`),
+//! * `--threads N` — worker count for the global [`adp_runtime`] pool
+//!   (default: the machine's available parallelism, or `ADP_THREADS`),
+//! * `--seed S` — override the workload RNG seeds, so parallel and
+//!   sequential runs are reproducibly comparable on the same data,
 //! * `--help` / `-h` — usage.
 //!
 //! Unknown flags are rejected with exit code 2 instead of being silently
@@ -17,6 +22,10 @@ use std::sync::OnceLock;
 pub struct BenchArgs {
     /// Run CI-sized inputs.
     pub quick: bool,
+    /// Worker count for the global runtime pool (`None` = default).
+    pub threads: Option<usize>,
+    /// Workload seed override (`None` = per-figure defaults).
+    pub seed: Option<u64>,
     /// Print usage and exit.
     pub help: bool,
 }
@@ -24,26 +33,50 @@ pub struct BenchArgs {
 static ARGS: OnceLock<BenchArgs> = OnceLock::new();
 
 /// Parses an argument list (without the program name). Returns an error
-/// message for unknown arguments.
+/// message for unknown arguments or malformed flag values.
 pub fn parse<I, S>(argv: I) -> Result<BenchArgs, String>
 where
     I: IntoIterator<Item = S>,
     S: AsRef<str>,
 {
     let mut args = BenchArgs::default();
-    for a in argv {
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
         match a.as_ref() {
             "--quick" => args.quick = true,
             "--help" | "-h" => args.help = true,
+            "--threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--threads requires a value".to_owned())?;
+                let n: usize = v.as_ref().parse().map_err(|_| {
+                    format!("--threads expects a positive integer, got {}", v.as_ref())
+                })?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+                args.threads = Some(n);
+            }
+            "--seed" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--seed requires a value".to_owned())?;
+                let s: u64 = v
+                    .as_ref()
+                    .parse()
+                    .map_err(|_| format!("--seed expects a u64, got {}", v.as_ref()))?;
+                args.seed = Some(s);
+            }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
     Ok(args)
 }
 
-/// Parses the process arguments, honors `ADP_BENCH_QUICK`, and stores
-/// the result for [`args`]. Call once at the top of every bench `main`.
-/// Prints usage and exits on `--help` or unknown flags.
+/// Parses the process arguments, honors `ADP_BENCH_QUICK`, sizes the
+/// global runtime pool, and stores the result for [`args`]. Call once
+/// at the top of every bench `main`. Prints usage and exits on
+/// `--help` or unknown flags.
 pub fn init() -> BenchArgs {
     let mut parsed = match parse(std::env::args().skip(1)) {
         Ok(p) => p,
@@ -60,6 +93,12 @@ pub fn init() -> BenchArgs {
     if std::env::var("ADP_BENCH_QUICK").is_ok() {
         parsed.quick = true;
     }
+    // Size the pool before anything touches it. Default: available
+    // parallelism (or ADP_THREADS), decided inside adp-runtime.
+    let threads = parsed.threads.unwrap_or_else(adp_runtime::default_threads);
+    if let Err(e) = adp_runtime::configure_global(threads) {
+        eprintln!("warning: {e}; continuing with the existing pool");
+    }
     let _ = ARGS.set(parsed);
     parsed
 }
@@ -69,6 +108,8 @@ pub fn init() -> BenchArgs {
 pub fn args() -> BenchArgs {
     ARGS.get().copied().unwrap_or_else(|| BenchArgs {
         quick: std::env::var("ADP_BENCH_QUICK").is_ok(),
+        threads: None,
+        seed: None,
         help: false,
     })
 }
@@ -78,11 +119,15 @@ fn usage() -> String {
         .next()
         .unwrap_or_else(|| "figure-binary".into());
     format!(
-        "usage: {exe} [--quick]\n\n\
+        "usage: {exe} [--quick] [--threads N] [--seed S]\n\n\
          Regenerates paper figures as text tables + `csv,` lines.\n\n\
          options:\n  \
-         --quick     CI-sized inputs (also: ADP_BENCH_QUICK=1)\n  \
-         -h, --help  this message"
+         --quick      CI-sized inputs (also: ADP_BENCH_QUICK=1)\n  \
+         --threads N  worker threads for ρ-sweeps and the parallel\n               \
+         solvers (default: available cores, or ADP_THREADS)\n  \
+         --seed S     override workload RNG seeds (u64); combined with\n               \
+         each figure's default so figures still differ\n  \
+         -h, --help   this message"
     )
 }
 
@@ -96,29 +141,59 @@ mod tests {
             parse(["--quick"]).unwrap(),
             BenchArgs {
                 quick: true,
-                help: false
+                ..Default::default()
             }
         );
         assert_eq!(
             parse(["-h"]).unwrap(),
             BenchArgs {
-                quick: false,
-                help: true
+                help: true,
+                ..Default::default()
             }
         );
         assert_eq!(
             parse(["--quick", "--help"]).unwrap(),
             BenchArgs {
                 quick: true,
-                help: true
+                help: true,
+                ..Default::default()
             }
         );
         assert_eq!(parse(Vec::<String>::new()).unwrap(), BenchArgs::default());
     }
 
     #[test]
+    fn parses_threads_and_seed() {
+        assert_eq!(
+            parse(["--threads", "4", "--seed", "99"]).unwrap(),
+            BenchArgs {
+                threads: Some(4),
+                seed: Some(99),
+                ..Default::default()
+            }
+        );
+        assert_eq!(
+            parse(["--seed", "18446744073709551615"]).unwrap().seed,
+            Some(u64::MAX)
+        );
+    }
+
+    #[test]
     fn rejects_unknown_flags() {
         let err = parse(["--qick"]).unwrap_err();
         assert!(err.contains("--qick"));
+    }
+
+    #[test]
+    fn rejects_malformed_values() {
+        assert!(parse(["--threads"]).unwrap_err().contains("value"));
+        assert!(parse(["--threads", "zero"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(["--threads", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(parse(["--seed"]).unwrap_err().contains("value"));
+        assert!(parse(["--seed", "-3"]).unwrap_err().contains("u64"));
     }
 }

@@ -3,7 +3,10 @@
 //! Every function prints a [`Figure`] table plus CSV lines; binaries in
 //! `src/bin/` are thin wrappers so `--bin figures` can run everything.
 
-use crate::{k_for_ratio, prepare, quick_mode, size_ladder, timed_solve, Figure, RATIOS};
+use crate::{
+    k_for_ratio, prepare, quick_mode, size_ladder, sweep_solve, timed_solve, workload_seed, Figure,
+    SweepCell, RATIOS,
+};
 use adp_core::selection::{solve_selection, SelectionQuery};
 use adp_core::solver::brute::{brute_force_prepared, BruteForceOptions};
 use adp_core::solver::{AdpOptions, DecomposeStrategy, Mode, UniverseStrategy};
@@ -33,7 +36,7 @@ pub fn fig07() {
     let sizes = size_ladder(&[1_000, 10_000, 100_000, 300_000], &[1_000, 10_000]);
     let mut fig = Figure::new("fig07", "exact count/report on σθQ1 (easy) vs input size");
     for &n in &sizes {
-        let db = adp_datagen::tpch::tpch_selected(n, 0xF16);
+        let db = adp_datagen::tpch::tpch_selected(n, workload_seed(0xF16));
         let sq = SelectionQuery::new(queries::q1(), vec![(attr("PK"), 0)]).unwrap();
         let probe = solve_selection(&sq, &db, 1, &AdpOptions::counting()).unwrap();
         let total = probe.output_count;
@@ -69,7 +72,7 @@ pub fn fig08_09() {
     let mut f8 = Figure::new("fig08", "heuristics vs exact on σθQ1: reporting time");
     let mut f9 = Figure::new("fig09", "heuristics vs exact on σθQ1: quality");
     for &n in &sizes {
-        let db = adp_datagen::tpch::tpch_selected(n, 0xF89);
+        let db = adp_datagen::tpch::tpch_selected(n, workload_seed(0xF89));
         let sq = SelectionQuery::new(queries::q1(), vec![(attr("PK"), 0)]).unwrap();
         let probe = solve_selection(&sq, &db, 1, &AdpOptions::counting()).unwrap();
         let total = probe.output_count;
@@ -100,28 +103,38 @@ pub fn fig08_09() {
 }
 
 /// Figures 10 + 11: the NP-hard Q1 — Greedy vs Drastic, time and quality.
+///
+/// The (ρ, heuristic) cells of each workload are independent, so they
+/// fan out across the global runtime pool (`--threads`); results and
+/// point order are identical to the sequential loop.
 pub fn fig10_11() {
     let sizes = size_ladder(&[1_000, 10_000, 100_000], &[1_000, 5_000]);
     let mut f10 = Figure::new("fig10", "heuristics on Q1 (hard): reporting time");
     let mut f11 = Figure::new("fig11", "heuristics on Q1 (hard): quality");
     let q = queries::q1();
     for &n in &sizes {
-        let cfg = adp_datagen::tpch::TpchConfig::scaled(n, 0xAB);
+        let cfg = adp_datagen::tpch::TpchConfig::scaled(n, workload_seed(0xAB));
         // One prepared query per workload: every ρ (and both heuristics)
         // reuses the same plan, indexes, and root evaluation.
         let prep = prepare(&q, adp_datagen::tpch_chain(&cfg));
         let total = prep.output_count();
+        let mut cells = Vec::new();
         for rho in RATIOS {
             let k = k_for_ratio(total, rho);
             for (label, opts) in [("Greedy", greedy_opts()), ("Drastic", drastic_opts())] {
                 if label == "Greedy" && n > 10_000 {
                     continue; // paper: Greedy is not scalable past ~100k
                 }
-                let (ms, out) = timed_solve(&prep, k, &opts);
-                let series = format!("{label}, rho={:.0}%", rho * 100.0);
-                f10.push(&series, n as f64, ms, u64::MAX);
-                f11.push(&series, n as f64, ms, out.cost);
+                cells.push(SweepCell::new(
+                    format!("{label}, rho={:.0}%", rho * 100.0),
+                    k,
+                    opts,
+                ));
             }
+        }
+        for (cell, (ms, out)) in cells.iter().zip(sweep_solve(&prep, &cells)) {
+            f10.push(&cell.series, n as f64, ms, u64::MAX);
+            f11.push(&cell.series, n as f64, ms, out.cost);
         }
     }
     f10.finish();
@@ -135,7 +148,7 @@ pub fn fig12_13() {
     let mut f13 = Figure::new("fig13", "BruteForce vs heuristics on Q1: quality");
     let q = queries::q1();
     for &n in &sizes {
-        let cfg = adp_datagen::tpch::TpchConfig::scaled(n, 0xBF);
+        let cfg = adp_datagen::tpch::TpchConfig::scaled(n, workload_seed(0xBF));
         let prep = prepare(&q, adp_datagen::tpch_chain(&cfg));
         let k = k_for_ratio(prep.output_count(), 0.10);
         for (label, opts) in [("Greedy", greedy_opts()), ("Drastic", drastic_opts())] {
@@ -169,7 +182,7 @@ pub fn fig14_15() {
             circles: 4,
             edges: 140,
             intra_share: 0.85,
-            seed: 414,
+            seed: workload_seed(414),
         }
     } else {
         EgoConfig {
@@ -177,7 +190,7 @@ pub fn fig14_15() {
             circles: 7,
             edges: 700,
             intra_share: 0.85,
-            seed: 414,
+            seed: workload_seed(414),
         }
     };
     let (_, edges) = ego_network(&cfg);
@@ -231,23 +244,26 @@ pub fn fig_zipf_hard() {
             let q = queries::qpath();
             let prep = prepare(
                 &q,
-                adp_datagen::zipf_pair(&ZipfConfig::new(n, alpha, 0x21F, true)),
+                adp_datagen::zipf_pair(&ZipfConfig::new(n, alpha, workload_seed(0x21F), true)),
             );
             let total = prep.output_count();
+            // Independent (ρ, heuristic) cells: fan out across workers.
+            let mut cells = Vec::new();
             for rho in RATIOS {
                 let k = k_for_ratio(total, rho);
                 for (label, opts) in [("Greedy", greedy_opts()), ("Drastic", drastic_opts())] {
                     if label == "Greedy" && n > 10_000 {
                         continue;
                     }
-                    let (ms, out) = timed_solve(&prep, k, &opts);
-                    fig.push(
-                        &format!("{label}, rho={:.0}%", rho * 100.0),
-                        n as f64,
-                        ms,
-                        out.cost,
-                    );
+                    cells.push(SweepCell::new(
+                        format!("{label}, rho={:.0}%", rho * 100.0),
+                        k,
+                        opts,
+                    ));
                 }
+            }
+            for (cell, (ms, out)) in cells.iter().zip(sweep_solve(&prep, &cells)) {
+                fig.push(&cell.series, n as f64, ms, out.cost);
             }
         }
         fig.finish();
@@ -268,7 +284,7 @@ pub fn fig_zipf_easy() {
             let q = queries::q6();
             let prep = prepare(
                 &q,
-                adp_datagen::zipf_pair(&ZipfConfig::new(n, alpha, 0x21E, false)),
+                adp_datagen::zipf_pair(&ZipfConfig::new(n, alpha, workload_seed(0x21E), false)),
             );
             let total = prep.output_count();
             for rho in RATIOS {
@@ -298,7 +314,7 @@ pub fn fig28() {
     let per_rel = if quick_mode() { 200 } else { 500 };
     let prep = prepare(
         &q,
-        adp_datagen::uniform::correlated_q7(&q, per_rel, 60, 100, 0x728),
+        adp_datagen::uniform::correlated_q7(&q, per_rel, 60, 100, workload_seed(0x728)),
     );
     let total = prep.output_count();
     for rho in [0.5, 0.75] {
@@ -351,7 +367,7 @@ pub fn fig29() {
     let sizes = vec![small, large, small, large, small, large];
     let prep = prepare(
         &q,
-        adp_datagen::uniform::uniform_db_for_query(&q, &sizes, 100, 0x829),
+        adp_datagen::uniform::uniform_db_for_query(&q, &sizes, 100, workload_seed(0x829)),
     );
     let total = prep.output_count();
     for rho in [0.01, 0.10] {

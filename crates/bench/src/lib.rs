@@ -16,7 +16,7 @@ pub mod experiments;
 use adp_core::query::Query;
 use adp_core::solver::{AdpOptions, AdpOutcome, PreparedQuery};
 use adp_engine::database::Database;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The removal ratios ρ the paper sweeps.
@@ -90,9 +90,10 @@ impl Figure {
 }
 
 /// Compiles a query against a workload database once, so every solve in
-/// a ρ-sweep reuses the same plan, hash indexes, and root evaluation.
+/// a ρ-sweep reuses the same plan, hash indexes, and root evaluation —
+/// from every worker: `PreparedQuery` is `Send + Sync`.
 pub fn prepare(query: &Query, db: Database) -> PreparedQuery {
-    PreparedQuery::new(query.clone(), Rc::new(db))
+    PreparedQuery::new(query.clone(), Arc::new(db))
 }
 
 /// Times one solver invocation against a prepared query. The first call
@@ -110,6 +111,54 @@ pub fn timed_solve(prep: &PreparedQuery, k: u64, opts: &AdpOptions) -> (f64, Adp
 /// `k = ceil(ρ · |Q(D)|)`, clamped to `1..=|Q(D)|`.
 pub fn k_for_ratio(total: u64, ratio: f64) -> u64 {
     ((total as f64 * ratio).ceil() as u64).clamp(1, total.max(1))
+}
+
+/// One (k, options) cell of a ρ-sweep, labeled for the figure series.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Series label, e.g. `"Greedy, rho=25%"`.
+    pub series: String,
+    /// The removal target for this cell.
+    pub k: u64,
+    /// Solver configuration for this cell.
+    pub opts: AdpOptions,
+}
+
+impl SweepCell {
+    /// Builds a cell.
+    pub fn new(series: impl Into<String>, k: u64, opts: AdpOptions) -> Self {
+        SweepCell {
+            series: series.into(),
+            k,
+            opts,
+        }
+    }
+}
+
+/// Solves every cell of a ρ-sweep against one shared [`PreparedQuery`],
+/// fanning the cells out across the global [`adp_runtime`] pool (one
+/// worker per cell, dynamically balanced). Results come back **in cell
+/// order** and are byte-identical to the sequential loop — per-cell
+/// wall-clock times are measured inside each cell, exactly like
+/// [`timed_solve`].
+///
+/// With a single-worker pool (`--threads 1`) this *is* the sequential
+/// loop.
+pub fn sweep_solve(prep: &PreparedQuery, cells: &[SweepCell]) -> Vec<(f64, AdpOutcome)> {
+    adp_runtime::parallel_sweep(adp_runtime::global(), cells, |_, cell| {
+        timed_solve(prep, cell.k, &cell.opts)
+    })
+}
+
+/// The seed a figure's workload generator should use: the figure's
+/// default, or — under `--seed S` — the default combined with `S`
+/// (XOR), so a user-chosen seed varies every figure's data while
+/// figures still draw distinct instances.
+pub fn workload_seed(figure_default: u64) -> u64 {
+    match cli::args().seed {
+        Some(s) => s ^ figure_default,
+        None => figure_default,
+    }
 }
 
 /// Whether the harness runs in quick mode (smaller sizes, for CI).
@@ -146,5 +195,43 @@ mod tests {
         f.push("s", 1.0, 2.0, 3);
         assert_eq!(f.points.len(), 1);
         f.finish();
+    }
+
+    #[test]
+    fn workload_seed_defaults_without_cli_override() {
+        // Library/test callers never ran `cli::init`, so the figure
+        // default passes through unchanged.
+        assert_eq!(workload_seed(0xF16), 0xF16);
+    }
+
+    #[test]
+    fn sweep_solve_matches_sequential_loop() {
+        use adp_core::query::parse_query;
+        use adp_engine::schema::attrs;
+
+        let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+        let mut db = Database::new();
+        db.add_relation("R1", attrs(&["A"]), &[&[1], &[2]]);
+        db.add_relation("R2", attrs(&["A", "B"]), &[&[1, 1], &[1, 2], &[2, 1]]);
+        db.add_relation("R3", attrs(&["B"]), &[&[1], &[2]]);
+        let prep = prepare(&q, db);
+        let total = prep.output_count();
+        let cells: Vec<SweepCell> = RATIOS
+            .iter()
+            .map(|&r| {
+                SweepCell::new(
+                    format!("rho={r}"),
+                    k_for_ratio(total, r),
+                    AdpOptions::default(),
+                )
+            })
+            .collect();
+        let swept = sweep_solve(&prep, &cells);
+        assert_eq!(swept.len(), cells.len());
+        for (cell, (_, out)) in cells.iter().zip(&swept) {
+            let reference = prep.solve(cell.k, &cell.opts).unwrap();
+            assert_eq!(out.cost, reference.cost, "{}", cell.series);
+            assert_eq!(out.solution, reference.solution, "{}", cell.series);
+        }
     }
 }

@@ -170,8 +170,8 @@ mod tests {
 
     #[test]
     fn prepared_instance_matches_and_joins_once() {
-        use std::rc::Rc;
-        let prep = PreparedQuery::new(q(), Rc::new(db()));
+        use std::sync::Arc;
+        let prep = PreparedQuery::new(q(), Arc::new(db()));
         let (a, refs_a) = psc_instance_prepared(&prep);
         let (b, refs_b) = psc_instance(&q(), &db());
         assert_eq!(a.n_elements, b.n_elements);
@@ -180,6 +180,6 @@ mod tests {
         // Both instances drawn from one prepared query share one join.
         let e1 = prep.eval();
         let (_, _) = psc_instance_prepared(&prep);
-        assert!(Rc::ptr_eq(&e1, &prep.eval()), "evaluation computed once");
+        assert!(Arc::ptr_eq(&e1, &prep.eval()), "evaluation computed once");
     }
 }

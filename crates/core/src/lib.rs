@@ -54,4 +54,4 @@ pub mod solver;
 
 pub use error::{QueryError, SolveError};
 pub use query::{parse_query, Query};
-pub use solver::{compute_adp, compute_adp_rc, AdpOptions, AdpOutcome, Mode};
+pub use solver::{compute_adp, compute_adp_arc, AdpOptions, AdpOutcome, Mode};

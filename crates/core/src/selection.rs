@@ -13,7 +13,7 @@ use adp_engine::database::Database;
 use adp_engine::relation::RelationInstance;
 use adp_engine::schema::Attr;
 use adp_engine::value::Value;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A query with equality selection predicates on some attributes.
 #[derive(Clone, Debug)]
@@ -104,7 +104,7 @@ pub fn solve_selection(
 
     // Solve on the residual view; solutions come back in original
     // coordinates thanks to the view's tuple maps.
-    let root = View::root(sq.query.clone(), Rc::new(db.clone()));
+    let root = View::root(sq.query.clone(), Arc::new(db.clone()));
     let view = root.rebased(residual, new_db, maps);
     let solved = solver::solve(&view, k, opts)?;
     if k == 0 {

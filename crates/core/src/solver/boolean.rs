@@ -112,12 +112,12 @@ fn component_resilience(
             // (the subview's head is empty, so `eval` has boolean
             // semantics).
             let eval = sub.eval();
-            let solved = super::greedy::solve_greedy_filtered(sub, &eval, 1, deletable)?;
+            let solved =
+                super::greedy::solve_greedy_filtered(sub, &eval, 1, deletable, !opts.sequential)?;
             let Some(cost) = solved.min_cost(1)? else {
                 return Ok(None);
             };
             let tuples = solved.extract(1)?;
-            let _ = opts;
             Ok(Some((cost, tuples, false)))
         }
     }
@@ -209,11 +209,11 @@ mod tests {
     use crate::query::parse_query;
     use adp_engine::database::Database;
     use adp_engine::schema::attrs;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn solve(qtext: &str, db: Database) -> (u64, Vec<TupleRef>, bool) {
         let q = parse_query(qtext).unwrap();
-        let view = View::root(q, Rc::new(db));
+        let view = View::root(q, Arc::new(db));
         let s = solve_boolean(&view, &AdpOptions::default()).unwrap();
         let cost = s.min_cost(1).unwrap().unwrap();
         let tuples = s.extract(1).unwrap();
@@ -291,7 +291,7 @@ mod tests {
         db.add_relation("R", attrs(&["A"]), &[&[1]]);
         db.add_relation("S", attrs(&["A"]), &[&[2]]);
         let q = parse_query("Q() :- R(A), S(A)").unwrap();
-        let view = View::root(q, Rc::new(db));
+        let view = View::root(q, Arc::new(db));
         let s = solve_boolean(&view, &AdpOptions::default()).unwrap();
         assert_eq!(s.total_outputs, 0);
         assert_eq!(s.max_removable(), 0);

@@ -7,6 +7,20 @@
 //! first feasible set wins), so the *answers* coincide while probes are
 //! micro-seconds. Restricting candidates to endogenous relations is sound
 //! by Lemma 13 and matches the optimized baseline.
+//!
+//! ## Parallel subset search
+//!
+//! The size-`s` stage enumerates `C(n, s)` candidate subsets in
+//! lexicographic order. That order nests by **first element**: every
+//! subset starting with candidate `i` precedes every subset starting
+//! with `i' > i`. The parallel search exploits exactly that structure —
+//! one partition per first-element index, each enumerating its suffix
+//! combinations in the same lexicographic order, reduced by taking the
+//! feasible subset from the *lowest* partition. The winner is therefore
+//! the globally lexicographically-first feasible subset: byte-identical
+//! to the sequential scan. Partitions later than an already-found
+//! winner abort early (they cannot win the reduce), which recovers most
+//! of the sequential early-exit without giving up determinism.
 
 use super::prepared::PreparedQuery;
 use crate::analysis::roles::endogenous_atoms;
@@ -15,6 +29,12 @@ use crate::query::Query;
 use adp_engine::database::Database;
 use adp_engine::join::{evaluate, EvalResult};
 use adp_engine::provenance::{ProvenanceIndex, TupleRef};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Minimum number of subsets at one size before the search fans out
+/// across the global pool; below this the per-partition bookkeeping
+/// costs more than the probes.
+pub const PAR_MIN_SUBSETS: u128 = 2048;
 
 /// Exhaustive-search options.
 #[derive(Clone, Copy, Debug)]
@@ -23,6 +43,11 @@ pub struct BruteForceOptions {
     pub endogenous_only: bool,
     /// Abort if the number of candidate sets at some size exceeds this.
     pub max_subsets: u128,
+    /// Force the single-threaded scan even when the global
+    /// [`adp_runtime`] pool has multiple workers. Parallel and
+    /// sequential searches return byte-identical answers; this switch
+    /// exists for differential tests and benchmarking.
+    pub sequential: bool,
 }
 
 impl Default for BruteForceOptions {
@@ -30,6 +55,7 @@ impl Default for BruteForceOptions {
         BruteForceOptions {
             endogenous_only: true,
             max_subsets: 500_000_000,
+            sequential: false,
         }
     }
 }
@@ -89,8 +115,15 @@ fn brute_force_with_eval(
         }
     }
 
+    // Only touch (and thereby lazily build) the global pool when the
+    // caller actually allows parallelism.
+    let pool = if opts.sequential {
+        None
+    } else {
+        let p = adp_runtime::global();
+        (p.threads() > 1).then_some(p)
+    };
     let n = candidates.len();
-    let mut subset: Vec<TupleRef> = Vec::new();
     for size in 1..=n {
         let combos = binomial(n as u128, size as u128);
         if combos > opts.max_subsets {
@@ -98,20 +131,87 @@ fn brute_force_with_eval(
                 "brute force would enumerate {combos} subsets of size {size}"
             )));
         }
-        // enumerate size-combinations in lexicographic order
-        let mut idx: Vec<usize> = (0..size).collect();
-        loop {
-            subset.clear();
-            subset.extend(idx.iter().map(|&i| candidates[i]));
-            if prov.killed_by_set(&subset) >= k {
-                return Ok((size as u64, subset));
+        let found = match pool {
+            Some(pool) if size >= 2 && combos >= PAR_MIN_SUBSETS => {
+                search_size_parallel(pool, &prov, &candidates, size, k)
             }
-            if !next_combination(&mut idx, n) {
-                break;
-            }
+            _ => search_size_sequential(&prov, &candidates, size, k),
+        };
+        if let Some(subset) = found {
+            return Ok((size as u64, subset));
         }
     }
     unreachable!("deleting all candidate tuples removes every output");
+}
+
+/// The sequential size-`size` stage: lexicographic enumeration, first
+/// feasible subset wins.
+fn search_size_sequential(
+    prov: &ProvenanceIndex,
+    candidates: &[TupleRef],
+    size: usize,
+    k: u64,
+) -> Option<Vec<TupleRef>> {
+    let n = candidates.len();
+    let mut idx: Vec<usize> = (0..size).collect();
+    let mut subset: Vec<TupleRef> = Vec::with_capacity(size);
+    loop {
+        subset.clear();
+        subset.extend(idx.iter().map(|&i| candidates[i]));
+        if prov.killed_by_set(&subset) >= k {
+            return Some(subset);
+        }
+        if !next_combination(&mut idx, n) {
+            return None;
+        }
+    }
+}
+
+/// The parallel size-`size` stage: one partition per first-element
+/// index, dynamically scheduled over the pool, reduced to the feasible
+/// subset of the lowest partition — exactly the subset
+/// [`search_size_sequential`] would return (see the module docs).
+fn search_size_parallel(
+    pool: &adp_runtime::ThreadPool,
+    prov: &ProvenanceIndex,
+    candidates: &[TupleRef],
+    size: usize,
+    k: u64,
+) -> Option<Vec<TupleRef>> {
+    debug_assert!(size >= 2);
+    let n = candidates.len();
+    let partitions = n - size + 1;
+    // Lowest partition index with a feasible subset so far. Partitions
+    // above it abort: they lose the index-ordered reduce regardless.
+    let winner = AtomicUsize::new(usize::MAX);
+    let per_partition = pool.par_indexed(partitions, |first| {
+        if winner.load(Ordering::Relaxed) < first {
+            return None;
+        }
+        // Suffix combinations from candidates[first+1..], lexicographic.
+        // `next_combination` never decreases idx[0], so the suffix stays
+        // strictly above `first` without a dedicated lower bound.
+        let mut idx: Vec<usize> = (first + 1..first + size).collect();
+        let mut subset: Vec<TupleRef> = Vec::with_capacity(size);
+        let mut probes: u32 = 0;
+        loop {
+            subset.clear();
+            subset.push(candidates[first]);
+            subset.extend(idx.iter().map(|&i| candidates[i]));
+            if prov.killed_by_set(&subset) >= k {
+                winner.fetch_min(first, Ordering::Relaxed);
+                return Some(subset);
+            }
+            probes = probes.wrapping_add(1);
+            if probes.is_multiple_of(256) && winner.load(Ordering::Relaxed) < first {
+                return None;
+            }
+            if !next_combination(&mut idx, n) {
+                return None;
+            }
+        }
+    });
+    per_partition.into_iter().flatten().next()
 }
 
 /// Advances `idx` to the next size-|idx| combination of `0..n` in
@@ -207,5 +307,33 @@ mod tests {
         assert_eq!(binomial(5, 2), 10);
         assert_eq!(binomial(5, 0), 1);
         assert_eq!(binomial(3, 5), 0);
+    }
+
+    /// The parallel size-stage must return the exact subset the
+    /// sequential scan returns — same tuples, same order — for every
+    /// (size, k) it can face, including infeasible stages (both None).
+    #[test]
+    fn parallel_stage_is_byte_identical_to_sequential_stage() {
+        let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+        let db = db();
+        let eval = evaluate(&db, q.atoms(), q.head());
+        let prov = ProvenanceIndex::new(&eval);
+        let candidates: Vec<TupleRef> = q
+            .atoms()
+            .iter()
+            .enumerate()
+            .flat_map(|(atom, schema)| {
+                (0..db.expect(schema.name()).len() as u32).map(move |i| TupleRef::new(atom, i))
+            })
+            .collect();
+        let pool = adp_runtime::ThreadPool::new(4);
+        let total = eval.output_count();
+        for size in 2..=candidates.len().min(5) {
+            for k in 1..=total + 1 {
+                let seq = search_size_sequential(&prov, &candidates, size, k);
+                let par = search_size_parallel(&pool, &prov, &candidates, size, k);
+                assert_eq!(seq, par, "size={size} k={k}");
+            }
+        }
     }
 }

@@ -7,6 +7,21 @@
 //! * `solve_drastic` — `DrasticGreedyForFullCQ` (Algorithm 7): compute
 //!   profits once per endogenous relation, then delete a prefix of one
 //!   relation only. Much faster, full CQs only.
+//!
+//! ## Parallel candidate scoring
+//!
+//! Each greedy round spends almost all of its time scoring candidates —
+//! one pass over every live witness ([`ProvenanceIndex::profits`] /
+//! [`ProvenanceIndex::live_counts`]). When the global
+//! [`adp_runtime`] pool has more than one worker, the pass is split
+//! into contiguous output/witness ranges scored in parallel and merged
+//! by summation. Profits are additive over any partition of the
+//! outputs, so the merged maps are *equal* (not just equivalent) to the
+//! sequential ones, and the winning candidate — selected by the total
+//! order `(profit, Reverse((atom, idx)))` — is byte-identical to the
+//! sequential pick. Small instances (fewer than
+//! [`PAR_SCORING_MIN_WITNESSES`] live witnesses) stay on the sequential
+//! path; the fan-out would cost more than the scan.
 
 use super::profile::CostProfile;
 use super::solved::{Extractor, Solved, Step};
@@ -15,12 +30,86 @@ use crate::analysis::roles::endogenous_atoms;
 use crate::error::SolveError;
 use adp_engine::join::EvalResult;
 use adp_engine::provenance::{ProvenanceIndex, TupleRef};
+use adp_runtime::ThreadPool;
+use std::collections::HashMap;
+
+/// Minimum live-witness count before a greedy round fans its scoring
+/// pass out across the pool.
+pub const PAR_SCORING_MIN_WITNESSES: u64 = 1024;
+
+/// Sums per-range scoring maps into the full map. Addition is
+/// commutative and associative and ranges are disjoint, so the result
+/// equals the sequential single-pass map regardless of scheduling.
+fn merge_score_maps(n_atoms: usize, parts: Vec<Vec<HashMap<u32, u64>>>) -> Vec<HashMap<u32, u64>> {
+    let mut acc: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n_atoms];
+    for part in parts {
+        for (atom, map) in part.into_iter().enumerate() {
+            for (t, c) in map {
+                *acc[atom].entry(t).or_insert(0) += c;
+            }
+        }
+    }
+    acc
+}
+
+/// `profits()` with the witness scan fanned out over `pool` (when
+/// present and worth it). Returns exactly the sequential maps.
+fn scored_profits(prov: &ProvenanceIndex, pool: Option<&ThreadPool>) -> Vec<HashMap<u32, u64>> {
+    scored(prov, pool, prov.output_slots(), |lo, hi| {
+        prov.profits_range(lo, hi)
+    })
+}
+
+/// `live_counts()` with the witness scan fanned out over `pool`.
+fn scored_live_counts(prov: &ProvenanceIndex, pool: Option<&ThreadPool>) -> Vec<HashMap<u32, u64>> {
+    scored(prov, pool, prov.witness_slots(), |lo, hi| {
+        prov.live_counts_range(lo, hi)
+    })
+}
+
+/// Shared fan-out shell of the two scoring passes: splits `0..slots`
+/// into per-worker ranges, scores them via `range_fn`, and merges by
+/// summation — or falls back to the single-pass `range_fn(0, slots)`
+/// when the pool is absent or the instance is below the witness
+/// threshold. Both passes go through here, so threshold and chunking
+/// tuning can never diverge between them.
+fn scored<F>(
+    prov: &ProvenanceIndex,
+    pool: Option<&ThreadPool>,
+    slots: usize,
+    range_fn: F,
+) -> Vec<HashMap<u32, u64>>
+where
+    F: Fn(usize, usize) -> Vec<HashMap<u32, u64>> + Sync,
+{
+    match pool {
+        Some(pool)
+            if pool.threads() > 1
+                && prov.live_witnesses() >= PAR_SCORING_MIN_WITNESSES
+                && slots > 1 =>
+        {
+            let chunk = slots.div_ceil(pool.threads() * 2).max(1);
+            let parts = pool.par_indexed(slots.div_ceil(chunk), |i| {
+                range_fn(i * chunk, ((i + 1) * chunk).min(slots))
+            });
+            merge_score_maps(prov.atom_count(), parts)
+        }
+        _ => range_fn(0, slots),
+    }
+}
 
 /// `GreedyForCQ` (Algorithm 6). The view's query must be connected and
 /// non-boolean... in fact any query works; it is simply not optimal.
-pub(crate) fn solve_greedy(view: &View, eval: &EvalResult, cap: u64) -> Result<Solved, SolveError> {
+/// With `parallel`, candidate scoring uses the global pool (results
+/// stay byte-identical to the sequential path).
+pub(crate) fn solve_greedy(
+    view: &View,
+    eval: &EvalResult,
+    cap: u64,
+    parallel: bool,
+) -> Result<Solved, SolveError> {
     let deletable = vec![true; view.query.atom_count()];
-    solve_greedy_filtered(view, eval, cap, &deletable)
+    solve_greedy_filtered(view, eval, cap, &deletable, parallel)
 }
 
 /// [`solve_greedy`] restricted to deletable atoms (deletion policies,
@@ -34,7 +123,14 @@ pub(crate) fn solve_greedy_filtered(
     eval: &EvalResult,
     cap: u64,
     deletable: &[bool],
+    parallel: bool,
 ) -> Result<Solved, SolveError> {
+    let pool = if parallel {
+        let p = adp_runtime::global();
+        (p.threads() > 1).then_some(p)
+    } else {
+        None
+    };
     let mut prov = ProvenanceIndex::new(eval);
     let total = eval.output_count();
     let policy_active = deletable.iter().any(|&d| !d);
@@ -49,7 +145,7 @@ pub(crate) fn solve_greedy_filtered(
     let (mut removed, mut cost) = (0u64, 0u64);
     while removed < cap && prov.live_outputs() > 0 {
         // Profit of each endogenous tuple under the current deletions.
-        let profits = prov.profits();
+        let profits = scored_profits(&prov, pool);
         let mut best: Option<(u64, usize, u32)> = None; // (profit, atom, idx)
         for (atom, map) in profits.iter().enumerate() {
             if !endo[atom] {
@@ -75,7 +171,7 @@ pub(crate) fn solve_greedy_filtered(
             None => {
                 // No sole killer exists: make progress by deleting the
                 // endogenous tuple on the most live witnesses.
-                let counts = prov.live_counts();
+                let counts = scored_live_counts(&prov, pool);
                 let mut pick: Option<(u64, usize, u32)> = None;
                 for (atom, map) in counts.iter().enumerate() {
                     if !endo[atom] {
@@ -197,7 +293,7 @@ mod tests {
     use adp_engine::database::Database;
     use adp_engine::join::evaluate;
     use adp_engine::schema::attrs;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn chain_db() -> Database {
         let mut db = Database::new();
@@ -210,10 +306,10 @@ mod tests {
     #[test]
     fn greedy_is_feasible_and_monotone() {
         let q = parse_query("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
-        let view = View::root(q.clone(), Rc::new(chain_db()));
+        let view = View::root(q.clone(), Arc::new(chain_db()));
         let eval = evaluate(&view.db, q.atoms(), q.head());
         let total = eval.output_count();
-        let s = solve_greedy(&view, &eval, total).unwrap();
+        let s = solve_greedy(&view, &eval, total, false).unwrap();
         assert_eq!(s.total_outputs, total);
         assert_eq!(s.max_removable(), total, "greedy can always finish");
         assert!(!s.exact);
@@ -231,9 +327,9 @@ mod tests {
         // One S tuple covers 2 witnesses, the other 1. Removing 2 outputs
         // should cost 1 (the high-profit tuple), not 2.
         let q = parse_query("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
-        let view = View::root(q.clone(), Rc::new(chain_db()));
+        let view = View::root(q.clone(), Arc::new(chain_db()));
         let eval = evaluate(&view.db, q.atoms(), q.head());
-        let s = solve_greedy(&view, &eval, 2).unwrap();
+        let s = solve_greedy(&view, &eval, 2, false).unwrap();
         assert_eq!(s.min_cost(2).unwrap(), Some(1));
     }
 
@@ -245,9 +341,9 @@ mod tests {
         db.add_relation("R", attrs(&["A", "B"]), &[&[1, 1], &[1, 2]]);
         db.add_relation("S", attrs(&["B"]), &[&[1], &[2]]);
         let q = parse_query("Q(A) :- R(A,B), S(B)").unwrap();
-        let view = View::root(q.clone(), Rc::new(db));
+        let view = View::root(q.clone(), Arc::new(db));
         let eval = evaluate(&view.db, q.atoms(), q.head());
-        let s = solve_greedy(&view, &eval, 1).unwrap();
+        let s = solve_greedy(&view, &eval, 1, false).unwrap();
         // output a=1 needs both branches cut: cost 2
         assert_eq!(s.min_cost(1).unwrap(), Some(2));
     }
@@ -255,7 +351,7 @@ mod tests {
     #[test]
     fn drastic_stays_in_one_relation() {
         let q = parse_query("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
-        let view = View::root(q.clone(), Rc::new(chain_db()));
+        let view = View::root(q.clone(), Arc::new(chain_db()));
         let eval = evaluate(&view.db, q.atoms(), q.head());
         let s = solve_drastic(&view, &eval, 3).unwrap();
         let sol = s.extract(3).unwrap();
@@ -267,9 +363,9 @@ mod tests {
     #[test]
     fn drastic_matches_greedy_on_disjoint_profits() {
         let q = parse_query("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
-        let view = View::root(q.clone(), Rc::new(chain_db()));
+        let view = View::root(q.clone(), Arc::new(chain_db()));
         let eval = evaluate(&view.db, q.atoms(), q.head());
-        let g = solve_greedy(&view, &eval, 2).unwrap();
+        let g = solve_greedy(&view, &eval, 2, false).unwrap();
         let d = solve_drastic(&view, &eval, 2).unwrap();
         assert_eq!(
             g.min_cost(2).unwrap(),
@@ -282,8 +378,54 @@ mod tests {
     #[should_panic(expected = "full CQ")]
     fn drastic_rejects_projections() {
         let q = parse_query("Q(NK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
-        let view = View::root(q.clone(), Rc::new(chain_db()));
+        let view = View::root(q.clone(), Arc::new(chain_db()));
         let eval = evaluate(&view.db, q.atoms(), q.head());
         let _ = solve_drastic(&view, &eval, 1);
+    }
+
+    /// A chain instance large enough to cross
+    /// [`PAR_SCORING_MIN_WITNESSES`]: the full 64×64 grid on R2.
+    fn grid_db() -> Database {
+        let dom = 64u64;
+        let mut db = Database::new();
+        let r1: Vec<Vec<u64>> = (0..dom).map(|a| vec![a]).collect();
+        let r3 = r1.clone();
+        let r2: Vec<Vec<u64>> = (0..dom * dom).map(|i| vec![i % dom, i / dom]).collect();
+        fn rows(v: &[Vec<u64>]) -> Vec<&[u64]> {
+            v.iter().map(|t| t.as_slice()).collect()
+        }
+        db.add_relation("R1", attrs(&["A"]), &rows(&r1));
+        db.add_relation("R2", attrs(&["A", "B"]), &rows(&r2));
+        db.add_relation("R3", attrs(&["B"]), &rows(&r3));
+        db
+    }
+
+    #[test]
+    fn parallel_scoring_equals_sequential_maps() {
+        let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+        let view = View::root(q.clone(), Arc::new(grid_db()));
+        let eval = evaluate(&view.db, q.atoms(), q.head());
+        let mut prov = ProvenanceIndex::new(&eval);
+        assert!(prov.live_witnesses() >= PAR_SCORING_MIN_WITNESSES);
+        // Kill a few tuples so the deletion state is non-trivial.
+        prov.kill(TupleRef::new(1, 0));
+        prov.kill(TupleRef::new(0, 3));
+        let pool = ThreadPool::new(4);
+        assert_eq!(scored_profits(&prov, Some(&pool)), prov.profits());
+        assert_eq!(scored_live_counts(&prov, Some(&pool)), prov.live_counts());
+    }
+
+    #[test]
+    fn tiny_instances_stay_on_the_sequential_scan() {
+        // Below the witness threshold the pooled scorer must not fan out
+        // (and trivially matches the sequential maps).
+        let q = parse_query("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
+        let view = View::root(q.clone(), Arc::new(chain_db()));
+        let eval = evaluate(&view.db, q.atoms(), q.head());
+        let prov = ProvenanceIndex::new(&eval);
+        assert!(prov.live_witnesses() < PAR_SCORING_MIN_WITNESSES);
+        let pool = ThreadPool::new(4);
+        assert_eq!(scored_profits(&prov, Some(&pool)), prov.profits());
+        assert_eq!(scored_live_counts(&prov, Some(&pool)), prov.live_counts());
     }
 }

@@ -32,7 +32,7 @@ use crate::error::SolveError;
 use crate::query::Query;
 use adp_engine::database::Database;
 use adp_engine::provenance::TupleRef;
-use std::rc::Rc;
+use std::sync::Arc;
 
 pub use self::compute_resilience as resilience;
 pub use policy::{compute_adp_with_policy, DeletionPolicy};
@@ -100,6 +100,13 @@ pub struct AdpOptions {
     /// Maximum cross-product profile points when materializing lazy
     /// decompositions.
     pub pair_points_limit: u64,
+    /// Force the single-threaded code paths even when the global
+    /// [`adp_runtime`] pool has multiple workers. Parallel and
+    /// sequential runs return **byte-identical** results (the
+    /// differential tests enforce it); this switch exists for those
+    /// tests and for apples-to-apples benchmarking, not for
+    /// correctness.
+    pub sequential: bool,
 }
 
 impl Default for AdpOptions {
@@ -113,6 +120,7 @@ impl Default for AdpOptions {
             use_drastic: false,
             dense_limit: 16_000_000,
             pair_points_limit: 4_000_000,
+            sequential: false,
         }
     }
 }
@@ -151,17 +159,18 @@ pub fn compute_adp(
     k: u64,
     opts: &AdpOptions,
 ) -> Result<AdpOutcome, SolveError> {
-    compute_adp_rc(query, Rc::new(db.clone()), k, opts)
+    compute_adp_arc(query, Arc::new(db.clone()), k, opts)
 }
 
-/// [`compute_adp`] without cloning the database (shared ownership).
+/// [`compute_adp`] without cloning the database (shared ownership; the
+/// `Arc` makes the instance shareable with [`adp_runtime`] workers).
 ///
 /// One-shot convenience over [`PreparedQuery`]: callers solving the same
 /// `(Q, D)` pair for several `k` values or option sets should hold a
 /// `PreparedQuery` so the plan, indexes, and root evaluation are reused.
-pub fn compute_adp_rc(
+pub fn compute_adp_arc(
     query: &Query,
-    db: Rc<Database>,
+    db: Arc<Database>,
     k: u64,
     opts: &AdpOptions,
 ) -> Result<AdpOutcome, SolveError> {
@@ -169,7 +178,7 @@ pub fn compute_adp_rc(
 }
 
 /// Shared implementation behind [`PreparedQuery::solve`] and
-/// [`compute_adp_rc`].
+/// [`compute_adp_arc`].
 pub(crate) fn solve_prepared(
     prep: &PreparedQuery,
     k: u64,
@@ -256,7 +265,7 @@ pub fn compute_resilience(
     db: &Database,
     opts: &AdpOptions,
 ) -> Result<Option<AdpOutcome>, SolveError> {
-    let prep = PreparedQuery::new(query.clone(), Rc::new(db.clone()));
+    let prep = PreparedQuery::new(query.clone(), Arc::new(db.clone()));
     let total = prep.output_count();
     if total == 0 {
         return Ok(None);
@@ -283,7 +292,7 @@ pub(crate) fn solve(view: &View, cap: u64, opts: &AdpOptions) -> Result<Solved, 
         return if opts.use_drastic && q.is_full() {
             greedy::solve_drastic(view, &eval, cap)
         } else {
-            greedy::solve_greedy(view, &eval, cap)
+            greedy::solve_greedy(view, &eval, cap, !opts.sequential)
         };
     }
 
@@ -312,7 +321,7 @@ pub(crate) fn solve(view: &View, cap: u64, opts: &AdpOptions) -> Result<Solved, 
     if opts.use_drastic && q.is_full() {
         greedy::solve_drastic(view, &eval, cap)
     } else {
-        greedy::solve_greedy(view, &eval, cap)
+        greedy::solve_greedy(view, &eval, cap, !opts.sequential)
     }
 }
 
@@ -456,7 +465,7 @@ mod tests {
             for trial in 0..3 {
                 let sizes = vec![3 + trial; q.atom_count()];
                 let db = random_db(&q, &sizes, 3, &mut seed);
-                let total = count_outputs(&View::root(q.clone(), Rc::new(db.clone())));
+                let total = count_outputs(&View::root(q.clone(), Arc::new(db.clone())));
                 if total == 0 {
                     continue;
                 }

@@ -20,7 +20,7 @@ use super::{boolean, AdpOptions, AdpOutcome, Mode};
 use crate::error::SolveError;
 use crate::query::Query;
 use adp_engine::database::Database;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A deletion policy: which relations are **frozen** (undeletable).
 #[derive(Clone, Debug, Default)]
@@ -78,7 +78,7 @@ pub fn compute_adp_with_policy(
     if policy.frozen().is_empty() {
         return super::compute_adp(query, db, k, opts);
     }
-    let view = View::root(query.clone(), Rc::new(db.clone()));
+    let view = View::root(query.clone(), Arc::new(db.clone()));
     let deletable = policy.deletable_atoms(query);
     if deletable.iter().all(|&d| !d) {
         // nothing may be deleted at all
@@ -96,7 +96,7 @@ pub fn compute_adp_with_policy(
         boolean::solve_boolean_with_policy(&view, opts, &deletable)?
     } else {
         let eval = view.eval();
-        solve_greedy_filtered(&view, &eval, k, &deletable)?
+        solve_greedy_filtered(&view, &eval, k, &deletable, !opts.sequential)?
     };
     if k > solved.total_outputs {
         return Err(SolveError::KTooLarge {

@@ -7,18 +7,26 @@
 //! order, rebuilt every hash index, and re-ran the join.
 //!
 //! [`PreparedQuery`] compiles the query once against a shared database
-//! and caches the three reusable artifacts behind an `Rc`:
+//! and caches the three reusable artifacts behind an `Arc`:
 //!
 //! * the [`QueryPlan`] (join order, dense-id binding slots),
 //! * the [`JoinIndexes`] (per-atom hash indexes over the full input),
 //! * the root [`EvalResult`] (witnesses + outputs + incidence).
 //!
 //! [`PreparedQuery::solve`] then behaves exactly like
-//! [`compute_adp_rc`](super::compute_adp_rc) — which is now a thin
+//! [`compute_adp_arc`](super::compute_adp_arc) — which is now a thin
 //! wrapper over it — except that every solve after the first starts from
 //! the cached evaluation, and
 //! [`PreparedQuery::removed_outputs`] verifies deletion sets by masked
 //! re-execution ([`AliveMask`]) instead of rebuilding the database.
+//!
+//! Everything is **`Send + Sync`** (shared ownership via `Arc`, lazy
+//! caches via [`OnceLock`]), so one compiled plan can be shared
+//! read-only by every worker of an [`adp_runtime::ThreadPool`]: the
+//! parallel ρ-sweeps in `adp-bench` and the parallel inner loops in
+//! [`brute`](super::brute) and [`greedy`](super::greedy) all borrow the
+//! same `PreparedQuery`. A compile-time assertion in the test module
+//! keeps the bound from regressing.
 
 use super::view::View;
 use super::{AdpOptions, AdpOutcome};
@@ -28,28 +36,29 @@ use adp_engine::database::Database;
 use adp_engine::join::EvalResult;
 use adp_engine::plan::{AliveMask, JoinIndexes, QueryPlan};
 use adp_engine::provenance::TupleRef;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
 
 /// A compiled query plan plus lazily built, cached indexes and
-/// evaluation result, all against one shared database.
+/// evaluation result, all against one shared database. `Send + Sync`:
+/// the caches are [`OnceLock`]s, so concurrent workers race benignly on
+/// first use and share afterwards.
 pub struct PlannedEval {
-    db: Rc<Database>,
+    db: Arc<Database>,
     plan: QueryPlan,
-    indexes: RefCell<Option<Rc<JoinIndexes>>>,
-    eval: RefCell<Option<Rc<EvalResult>>>,
+    indexes: OnceLock<Arc<JoinIndexes>>,
+    eval: OnceLock<Arc<EvalResult>>,
 }
 
 impl PlannedEval {
     /// Compiles the plan for `query` over `db`. No data is scanned until
     /// the first evaluation.
-    pub fn new(query: &Query, db: Rc<Database>) -> Self {
+    pub fn new(query: &Query, db: Arc<Database>) -> Self {
         let plan = QueryPlan::new(&db, query.atoms(), query.head());
         PlannedEval {
             db,
             plan,
-            indexes: RefCell::new(None),
-            eval: RefCell::new(None),
+            indexes: OnceLock::new(),
+            eval: OnceLock::new(),
         }
     }
 
@@ -59,19 +68,20 @@ impl PlannedEval {
     }
 
     /// The shared database the plan was compiled against.
-    pub fn database(&self) -> &Rc<Database> {
+    pub fn database(&self) -> &Arc<Database> {
         &self.db
     }
 
-    fn indexes(&self) -> Rc<JoinIndexes> {
-        let mut slot = self.indexes.borrow_mut();
-        Rc::clone(slot.get_or_insert_with(|| Rc::new(self.plan.build_indexes(&self.db))))
+    fn indexes(&self) -> Arc<JoinIndexes> {
+        Arc::clone(
+            self.indexes
+                .get_or_init(|| Arc::new(self.plan.build_indexes(&self.db))),
+        )
     }
 
     /// The full evaluation `Q(D)`, computed once and cached.
-    pub fn eval(&self) -> Rc<EvalResult> {
-        let mut slot = self.eval.borrow_mut();
-        Rc::clone(slot.get_or_insert_with(|| {
+    pub fn eval(&self) -> Arc<EvalResult> {
+        Arc::clone(self.eval.get_or_init(|| {
             if self
                 .plan
                 .rels()
@@ -79,11 +89,11 @@ impl PlannedEval {
                 .any(|&r| self.db.relation_by_id(r).is_empty())
             {
                 // Skip the index build: the result is empty regardless.
-                Rc::new(self.plan.execute_once(&self.db))
+                Arc::new(self.plan.execute_once(&self.db))
             } else {
-                // Distinct RefCell from `self.eval`, so no re-entrancy.
+                // Distinct OnceLock from `self.eval`, so no re-entrancy.
                 let indexes = self.indexes();
-                Rc::new(self.plan.execute(&self.db, &indexes))
+                Arc::new(self.plan.execute(&self.db, &indexes))
             }
         }))
     }
@@ -102,19 +112,19 @@ impl PlannedEval {
 
 /// A query compiled once against a shared database, ready to be solved
 /// for any `k` (and any option set) without re-planning, re-indexing, or
-/// re-joining.
+/// re-joining — from any thread.
 pub struct PreparedQuery {
     query: Query,
-    db: Rc<Database>,
-    planned: Rc<PlannedEval>,
+    db: Arc<Database>,
+    planned: Arc<PlannedEval>,
 }
 
 impl PreparedQuery {
     /// Compiles `query` against `db`. Panics (like
     /// [`evaluate`](adp_engine::join::evaluate)) if a body relation is
     /// missing from the database or its attribute set disagrees.
-    pub fn new(query: Query, db: Rc<Database>) -> Self {
-        let planned = Rc::new(PlannedEval::new(&query, Rc::clone(&db)));
+    pub fn new(query: Query, db: Arc<Database>) -> Self {
+        let planned = Arc::new(PlannedEval::new(&query, Arc::clone(&db)));
         PreparedQuery { query, db, planned }
     }
 
@@ -124,7 +134,7 @@ impl PreparedQuery {
     }
 
     /// The shared database.
-    pub fn database(&self) -> &Rc<Database> {
+    pub fn database(&self) -> &Arc<Database> {
         &self.db
     }
 
@@ -134,7 +144,7 @@ impl PreparedQuery {
     }
 
     /// The cached root evaluation `Q(D)`.
-    pub fn eval(&self) -> Rc<EvalResult> {
+    pub fn eval(&self) -> Arc<EvalResult> {
         self.planned.eval()
     }
 
@@ -146,7 +156,7 @@ impl PreparedQuery {
 
     /// Solves `ADP(Q, D, k)`, reusing the cached plan, indexes, and
     /// evaluation across calls. Semantically identical to
-    /// [`compute_adp_rc`](super::compute_adp_rc).
+    /// [`compute_adp_arc`](super::compute_adp_arc).
     pub fn solve(&self, k: u64, opts: &AdpOptions) -> Result<AdpOutcome, SolveError> {
         super::solve_prepared(self, k, opts)
     }
@@ -168,8 +178,8 @@ impl PreparedQuery {
     pub(crate) fn root_view(&self) -> View {
         View::root_planned(
             self.query.clone(),
-            Rc::clone(&self.db),
-            Rc::clone(&self.planned),
+            Arc::clone(&self.db),
+            Arc::clone(&self.planned),
         )
     }
 }
@@ -180,6 +190,23 @@ mod tests {
     use crate::query::parse_query;
     use crate::solver::{removed_outputs, AdpOptions};
     use adp_engine::schema::attrs;
+
+    /// Satellite requirement of the `Send + Sync` migration: the shared
+    /// solver types must stay shareable across threads. This fails to
+    /// *compile* if an `Rc`/`RefCell` sneaks back into them.
+    #[test]
+    fn prepared_types_are_send_and_sync() {
+        fn _assert<T: Send + Sync>() {}
+        _assert::<PreparedQuery>();
+        _assert::<PlannedEval>();
+        _assert::<View>();
+        _assert::<Database>();
+        _assert::<QueryPlan>();
+        _assert::<JoinIndexes>();
+        _assert::<EvalResult>();
+        _assert::<AdpOptions>();
+        _assert::<AdpOutcome>();
+    }
 
     fn figure1() -> Database {
         let mut db = Database::new();
@@ -196,12 +223,12 @@ mod tests {
     #[test]
     fn solve_matches_compute_adp_across_k() {
         let q = parse_query("Q1(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)").unwrap();
-        let db = Rc::new(figure1());
-        let prep = PreparedQuery::new(q.clone(), Rc::clone(&db));
+        let db = Arc::new(figure1());
+        let prep = PreparedQuery::new(q.clone(), Arc::clone(&db));
         assert_eq!(prep.output_count(), 4);
         for k in 1..=4 {
             let a = prep.solve(k, &AdpOptions::default()).unwrap();
-            let b = super::super::compute_adp_rc(&q, Rc::clone(&db), k, &AdpOptions::default())
+            let b = super::super::compute_adp_arc(&q, Arc::clone(&db), k, &AdpOptions::default())
                 .unwrap();
             assert_eq!(a.cost, b.cost, "k={k}");
             assert_eq!(a.output_count, b.output_count);
@@ -216,18 +243,33 @@ mod tests {
         db.add_relation("S", attrs(&["NK", "SK"]), &[&[1, 1], &[2, 2]]);
         db.add_relation("PS", attrs(&["SK", "PK"]), &[&[1, 1], &[1, 2], &[2, 1]]);
         db.add_relation("L", attrs(&["OK", "PK"]), &[&[7, 1], &[8, 2]]);
-        let prep = PreparedQuery::new(q, Rc::new(db));
+        let prep = PreparedQuery::new(q, Arc::new(db));
         let e1 = prep.eval();
         prep.solve(1, &AdpOptions::counting()).unwrap();
         let e2 = prep.eval();
-        assert!(Rc::ptr_eq(&e1, &e2), "evaluation must be computed once");
+        assert!(Arc::ptr_eq(&e1, &e2), "evaluation must be computed once");
+    }
+
+    #[test]
+    fn eval_is_computed_once_under_concurrent_first_use() {
+        let q = parse_query("Q1(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)").unwrap();
+        let prep = PreparedQuery::new(q, Arc::new(figure1()));
+        let pool = adp_runtime::ThreadPool::new(4);
+        let evals = pool.par_indexed(16, |_| prep.eval());
+        for e in &evals {
+            assert!(
+                Arc::ptr_eq(e, &evals[0]),
+                "all threads must observe the same cached evaluation"
+            );
+        }
+        assert_eq!(evals[0].output_count(), 4);
     }
 
     #[test]
     fn masked_removed_outputs_matches_rebuild_verifier() {
         let q = parse_query("Q2(A,E) :- R1(A,B), R2(B,C), R3(C,E)").unwrap();
-        let db = Rc::new(figure1());
-        let prep = PreparedQuery::new(q.clone(), Rc::clone(&db));
+        let db = Arc::new(figure1());
+        let prep = PreparedQuery::new(q.clone(), Arc::clone(&db));
         for atom in 0..3usize {
             for idx in 0..db.relations()[atom].len() as u32 {
                 let dels = vec![TupleRef::new(atom, idx)];
@@ -247,7 +289,7 @@ mod tests {
         let mut db = Database::new();
         db.add_relation("R", attrs(&["A"]), &[&[1], &[2]]);
         db.add_relation("S", attrs(&["B"]), &[&[10], &[20], &[30]]);
-        let prep = PreparedQuery::new(q, Rc::new(db));
+        let prep = PreparedQuery::new(q, Arc::new(db));
         assert_eq!(prep.output_count(), 6);
         let out = prep.solve(6, &AdpOptions::default()).unwrap();
         assert!(out.exact);
@@ -259,7 +301,7 @@ mod tests {
         let mut db = Database::new();
         db.add_relation("R", attrs(&["A"]), &[&[1]]);
         db.add_relation("S", attrs(&["A"]), &[]);
-        let prep = PreparedQuery::new(q, Rc::new(db));
+        let prep = PreparedQuery::new(q, Arc::new(db));
         assert_eq!(prep.output_count(), 0);
         assert_eq!(prep.eval().output_count(), 0);
     }

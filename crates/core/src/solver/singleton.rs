@@ -163,12 +163,12 @@ mod tests {
     use adp_engine::database::Database;
     use adp_engine::provenance::TupleRef;
     use adp_engine::schema::attrs;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn solve(qtext: &str, db: Database, cap: u64) -> Solved {
         let q = parse_query(qtext).unwrap();
         let ri = singleton_atom(&q).expect("test query must be singleton");
-        let view = View::root(q, Rc::new(db));
+        let view = View::root(q, Arc::new(db));
         solve_singleton(&view, ri, cap).unwrap()
     }
 
@@ -246,7 +246,7 @@ mod tests {
         let q = parse_query("Q(A) :- V(), R(A)").unwrap();
         let ri = singleton_atom(&q).unwrap();
         assert_eq!(q.atoms()[ri].name(), "V");
-        let view = View::root(q, Rc::new(db));
+        let view = View::root(q, Arc::new(db));
         let s = solve_singleton(&view, ri, 2).unwrap();
         assert_eq!(s.total_outputs, 3);
         assert_eq!(s.min_cost(2).unwrap(), Some(1));

@@ -19,7 +19,7 @@ use crate::query::Query;
 use adp_engine::database::Database;
 use adp_engine::join::{evaluate, EvalResult};
 use adp_engine::provenance::TupleRef;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A query over a transformed database with provenance back to the
 /// original database.
@@ -28,7 +28,7 @@ pub struct View {
     /// The (sub)query evaluated by this view.
     pub query: Query,
     /// The database the view's query runs against.
-    pub db: Rc<Database>,
+    pub db: Arc<Database>,
     /// View atom index → original atom index.
     pub atom_map: Vec<usize>,
     /// Per view atom: new tuple index → original tuple index (`None` =
@@ -38,12 +38,12 @@ pub struct View {
     /// Carried only by root views built from a
     /// [`PreparedQuery`](super::prepared::PreparedQuery); derived views
     /// run over transformed databases, so they drop it.
-    planned: Option<Rc<PlannedEval>>,
+    planned: Option<Arc<PlannedEval>>,
 }
 
 impl View {
     /// The root view: the user's query over the user's database.
-    pub fn root(query: Query, db: Rc<Database>) -> Self {
+    pub fn root(query: Query, db: Arc<Database>) -> Self {
         let n = query.atom_count();
         View {
             query,
@@ -57,7 +57,7 @@ impl View {
     /// A root view carrying a shared evaluation cache (plan-once /
     /// execute-many). `planned` must have been compiled for exactly
     /// `(query, db)`.
-    pub(crate) fn root_planned(query: Query, db: Rc<Database>, planned: Rc<PlannedEval>) -> Self {
+    pub(crate) fn root_planned(query: Query, db: Arc<Database>, planned: Arc<PlannedEval>) -> Self {
         let n = query.atom_count();
         View {
             query,
@@ -71,10 +71,10 @@ impl View {
     /// Evaluates the view's query over its database. Root views built
     /// from a `PreparedQuery` return the cached evaluation (computing it
     /// at most once); derived views compile-and-run a fresh plan.
-    pub fn eval(&self) -> Rc<EvalResult> {
+    pub fn eval(&self) -> Arc<EvalResult> {
         match &self.planned {
             Some(p) => p.eval(),
-            None => Rc::new(evaluate(&self.db, self.query.atoms(), self.query.head())),
+            None => Arc::new(evaluate(&self.db, self.query.atoms(), self.query.head())),
         }
     }
 
@@ -93,7 +93,7 @@ impl View {
     pub fn subview(&self, atom_indices: &[usize]) -> View {
         View {
             query: self.query.subquery(atom_indices),
-            db: Rc::clone(&self.db),
+            db: Arc::clone(&self.db),
             atom_map: atom_indices.iter().map(|&i| self.atom_map[i]).collect(),
             tuple_map: atom_indices
                 .iter()
@@ -119,7 +119,7 @@ impl View {
             .collect();
         View {
             query,
-            db: Rc::new(db),
+            db: Arc::new(db),
             atom_map: self.atom_map.clone(),
             tuple_map,
             planned: None,
@@ -138,7 +138,7 @@ mod tests {
         let mut db = Database::new();
         db.add_relation("R", attrs(&["A"]), &[&[1], &[2], &[3]]);
         db.add_relation("S", attrs(&["A", "B"]), &[&[1, 5], &[2, 6]]);
-        View::root(q, Rc::new(db))
+        View::root(q, Arc::new(db))
     }
 
     #[test]

@@ -327,6 +327,66 @@ mod tests {
         }
     }
 
+    /// The min-cut *edge ids* — not just the flow value — must round-trip
+    /// identically through Dinic and Edmonds–Karp. `min_cut` reports the
+    /// source side reachable in the residual graph, which is the unique
+    /// source-minimal min cut for **any** maximum flow, so the two
+    /// algorithms must agree edge-for-edge even though their residual
+    /// capacities differ.
+    #[test]
+    fn min_cut_edge_ids_round_trip_dinic_and_edmonds_karp() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut nontrivial_cuts = 0;
+        for round in 0..200 {
+            let n = 4 + (rng() % 10) as usize;
+            let m = 6 + (rng() % 24) as usize;
+            let mut edges = Vec::new();
+            for id in 0..m as u32 {
+                let u = rng() % n as u32;
+                let mut v = rng() % n as u32;
+                if u == v {
+                    v = (v + 1) % n as u32;
+                }
+                // Mix finite and INF (undeletable) capacities.
+                let cap = if rng() % 8 == 0 {
+                    INF
+                } else {
+                    (rng() % 12 + 1) as u64
+                };
+                edges.push((u, v, cap, id));
+            }
+            let (s, t) = (0u32, (n - 1) as u32);
+            let mut dinic = FlowNetwork::new(n);
+            let mut ek = FlowNetwork::new(n);
+            for &(u, v, c, id) in &edges {
+                dinic.add_edge(u, v, c, id);
+                ek.add_edge(u, v, c, id);
+            }
+            let fd = dinic.max_flow_dinic(s, t);
+            let fe = ek.max_flow_edmonds_karp(s, t);
+            assert_eq!(fd.value, fe.value, "round {round}: flow values differ");
+            let cut_d = dinic.min_cut(s);
+            let cut_e = ek.min_cut(s);
+            assert_eq!(
+                cut_d, cut_e,
+                "round {round}: min-cut edge ids differ between Dinic and Edmonds–Karp"
+            );
+            if !cut_d.is_empty() {
+                nontrivial_cuts += 1;
+            }
+        }
+        assert!(
+            nontrivial_cuts >= 50,
+            "generator must produce plenty of non-empty cuts ({nontrivial_cuts})"
+        );
+    }
+
     #[test]
     fn disconnected_sink_gives_zero() {
         let (v, cut) = min_cut_value_and_edges(3, &[(0, 1, 7, 0)], 0, 2);

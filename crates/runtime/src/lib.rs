@@ -1,0 +1,158 @@
+//! # adp-runtime
+//!
+//! A dependency-free, std-only parallel execution runtime for the ADP
+//! workspace. The paper's evaluation (Figures 7–29) is embarrassingly
+//! parallel — independent (solver, ρ, dataset) cells, and independent
+//! candidate scoring inside the NP-hard solvers — but parallelism is
+//! only usable if it is **deterministic**: a parallel run must return
+//! byte-identical answers to the sequential path. Everything here is
+//! built around that requirement.
+//!
+//! * [`ThreadPool`] — persistent `std::thread` workers with a scoped
+//!   fork-join API ([`ThreadPool::scope`]) and panic propagation. A
+//!   thread joining a scope *helps* execute queued jobs, so nested
+//!   parallelism (a parallel solver inside a parallel sweep) cannot
+//!   deadlock.
+//! * [`ThreadPool::par_map`] / [`ThreadPool::par_chunks`] /
+//!   [`ThreadPool::par_indexed`] — parallel maps with dynamic load
+//!   balancing and deterministic, input-ordered results.
+//! * [`parallel_sweep`] — the high-level entry point used by
+//!   `adp-bench`: fan the (k, variant, trial) cells of a ρ-sweep out
+//!   across workers, collecting results in cell order.
+//! * [`global`] / [`configure_global`] — a process-wide pool sized by
+//!   `--threads`, the `ADP_THREADS` environment variable, or the
+//!   machine's available parallelism, in that order of precedence.
+//!
+//! The solvers in `adp-core` consult [`global`] and fall back to their
+//! sequential loops whenever the pool has a single worker, so
+//! single-threaded behavior is exactly the pre-runtime code path.
+
+mod pool;
+
+pub use pool::{Scope, ThreadPool};
+
+use std::sync::OnceLock;
+
+/// Fans the cells of a parameter sweep out across the pool's workers.
+///
+/// `run(i, &cells[i])` is invoked once per cell, cells are claimed
+/// dynamically (long cells do not serialize short ones behind them), and
+/// the result vector is in cell order — identical to the sequential
+/// `cells.iter().enumerate().map(...)` loop.
+pub fn parallel_sweep<C, R, F>(pool: &ThreadPool, cells: &[C], run: F) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+    F: Fn(usize, &C) -> R + Sync,
+{
+    pool.par_indexed(cells.len(), |i| run(i, &cells[i]))
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// Default worker count for the global pool: `ADP_THREADS` if set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`].
+pub fn default_threads() -> usize {
+    std::env::var("ADP_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// The error returned when [`configure_global`] loses the race against
+/// first use of the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AlreadyInitialized {
+    /// The worker count the global pool was built with.
+    pub threads: usize,
+}
+
+impl std::fmt::Display for AlreadyInitialized {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "global thread pool already initialized with {} worker(s)",
+            self.threads
+        )
+    }
+}
+
+impl std::error::Error for AlreadyInitialized {}
+
+/// Sets the worker count for the process-wide pool, **building it
+/// eagerly** if it does not exist yet. Call before the first [`global`]
+/// use (e.g. from CLI parsing).
+///
+/// `Ok(())` guarantees the global pool has exactly `threads` workers
+/// from this point on — even against a concurrent racing [`global`]
+/// call, because both sides initialize through the same `OnceLock`
+/// (the loser of the race observes the winner's finished pool).
+/// Idempotent for the same count; a different count reports the actual
+/// size via [`AlreadyInitialized`].
+pub fn configure_global(threads: usize) -> Result<(), AlreadyInitialized> {
+    let threads = threads.max(1);
+    let pool = GLOBAL.get_or_init(|| ThreadPool::new(threads));
+    if pool.threads() == threads {
+        Ok(())
+    } else {
+        Err(AlreadyInitialized {
+            threads: pool.threads(),
+        })
+    }
+}
+
+/// The process-wide pool, built on first use with the configured (or
+/// default) worker count. Solvers treat a 1-worker pool as "run the
+/// sequential path".
+pub fn global() -> &'static ThreadPool {
+    GLOBAL.get_or_init(|| ThreadPool::new(default_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_results_are_in_cell_order() {
+        let pool = ThreadPool::new(4);
+        let cells: Vec<u64> = (0..50).collect();
+        let out = parallel_sweep(&pool, &cells, |i, &c| {
+            assert_eq!(i as u64, c);
+            c * 10
+        });
+        assert_eq!(out, (0..50).map(|c| c * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_matches_sequential_loop_on_uneven_cells() {
+        let pool = ThreadPool::new(3);
+        // Cells of wildly different cost, like a ρ-sweep.
+        let cells: Vec<u64> = vec![900, 1, 5, 400, 2, 777, 3, 10];
+        let work = |c: u64| (0..c).map(|x| x ^ c).sum::<u64>();
+        let seq: Vec<u64> = cells.iter().map(|&c| work(c)).collect();
+        let par = parallel_sweep(&pool, &cells, |_, &c| work(c));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn global_pool_configuration() {
+        // First configure wins; the same value stays accepted afterwards,
+        // a different value is rejected with the actual size.
+        configure_global(2).unwrap();
+        assert_eq!(global().threads(), 2);
+        configure_global(2).unwrap();
+        let err = configure_global(5).unwrap_err();
+        assert_eq!(err.threads, 2);
+        assert!(err.to_string().contains("2 worker"));
+    }
+}

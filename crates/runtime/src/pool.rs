@@ -1,0 +1,480 @@
+//! The worker pool: persistent `std::thread` workers fed by a shared
+//! job queue, with a scoped fork-join API and panic propagation.
+//!
+//! Design constraints (see the crate docs):
+//!
+//! * **std-only** — `Mutex<VecDeque>` + `Condvar`, no external deps;
+//! * **panic-safe** — a panicking job never poisons a worker; the first
+//!   panic payload is re-raised on the thread that owns the scope;
+//! * **nesting-safe** — a thread blocked in [`ThreadPool::scope`] *helps*
+//!   by executing queued jobs **of that same scope** instead of
+//!   sleeping, so solver code running on a worker may freely open
+//!   nested scopes (e.g. parallel greedy scoring inside a parallel
+//!   ρ-sweep) without deadlocking the pool: every scope's owner can
+//!   always drain its own jobs. Helping never executes *unrelated*
+//!   jobs, so time measured inside one task (a bench sweep cell, say)
+//!   is never inflated by another task's work running inline.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work.
+type JobFn = Box<dyn FnOnce() + Send + 'static>;
+
+/// A queued job, tagged with the scope it belongs to so joining
+/// threads can help their own scope without running unrelated work.
+struct Job {
+    /// Identity of the owning scope (`ScopeState` address). Stable for
+    /// the job's lifetime: the scope join waits for every job, so no
+    /// job can outlive (or alias a recycled) `ScopeState`.
+    scope: usize,
+    run: JobFn,
+}
+
+/// First panic payload raised by a scope's jobs.
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Queue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+impl Queue {
+    fn new() -> Self {
+        Queue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        let mut s = self.state.lock().unwrap();
+        s.jobs.push_back(job);
+        drop(s);
+        self.ready.notify_one();
+    }
+
+    /// Non-blocking pop of the oldest job belonging to `scope`, used by
+    /// scope owners helping their own join along.
+    fn try_pop_for(&self, scope: usize) -> Option<Job> {
+        let mut s = self.state.lock().unwrap();
+        let pos = s.jobs.iter().position(|j| j.scope == scope)?;
+        s.jobs.remove(pos)
+    }
+
+    /// Blocking pop, used by workers. `None` means shutdown.
+    fn pop(&self) -> Option<Job> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = s.jobs.pop_front() {
+                return Some(job);
+            }
+            if s.shutdown {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap();
+        }
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.ready.notify_all();
+    }
+}
+
+/// A persistent pool of worker threads executing fork-join workloads.
+///
+/// Workers are spawned once at construction and live until the pool is
+/// dropped; submitting work through [`ThreadPool::scope`] or the
+/// `par_*` helpers never spawns threads.
+pub struct ThreadPool {
+    queue: Arc<Queue>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let queue = Arc::new(Queue::new());
+        let workers = (0..threads)
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("adp-runtime-{i}"))
+                    .spawn(move || {
+                        // Jobs catch their own panics (see `Scope::spawn`),
+                        // so a worker never unwinds.
+                        while let Some(job) = queue.pop() {
+                            (job.run)();
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            queue,
+            workers,
+            threads,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Fork-join: runs `f` with a [`Scope`] handle on which borrowed
+    /// (non-`'static`) jobs can be spawned, and returns only after every
+    /// spawned job has finished.
+    ///
+    /// If any job panics, the first panic payload is re-raised here —
+    /// after all jobs have completed, so borrows stay sound.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            state: Arc::new(ScopeState {
+                sync: Mutex::new(ScopeSync {
+                    pending: 0,
+                    panic: None,
+                }),
+                done: Condvar::new(),
+            }),
+            env: PhantomData,
+        };
+        // The closure itself may panic after spawning jobs; those jobs
+        // still borrow `'env` data, so join before propagating anything.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        self.join_scope(&scope.state);
+        let job_panic = scope.state.sync.lock().unwrap().panic.take();
+        match (result, job_panic) {
+            (Ok(r), None) => r,
+            (_, Some(p)) => resume_unwind(p),
+            (Err(p), None) => resume_unwind(p),
+        }
+    }
+
+    /// Waits until a scope's pending count reaches zero, executing that
+    /// scope's still-queued jobs in the meantime. This keeps nested
+    /// scopes on worker threads deadlock-free (every owner can drain
+    /// its own jobs even when all workers are busy) without ever
+    /// running *unrelated* work on the joining thread.
+    fn join_scope(&self, state: &ScopeState) {
+        let scope_id = state as *const ScopeState as usize;
+        loop {
+            if state.sync.lock().unwrap().pending == 0 {
+                return;
+            }
+            if let Some(job) = self.queue.try_pop_for(scope_id) {
+                (job.run)();
+                continue;
+            }
+            // No queued job of this scope remains, and none can appear:
+            // every spawn happened before the join started (`scope` runs
+            // the closure to completion first), and a job cannot spawn
+            // into its own scope — `Scope::spawn` requires `'env`-
+            // outliving captures, which the scope's own stack reference
+            // never satisfies. The pending jobs are executing on other
+            // threads, so block until their completion notifies `done`
+            // (the decrement and notify happen under this same mutex —
+            // no wakeup can be lost). NOTE: if spawn is ever relaxed to
+            // allow re-spawning into a running scope (as std's scoped
+            // threads do), this wait must go back to polling the queue.
+            let mut s = state.sync.lock().unwrap();
+            while s.pending > 0 {
+                s = state.done.wait(s).unwrap();
+            }
+            return;
+        }
+    }
+
+    /// Applies `f` to `0..n`, in parallel, returning results in index
+    /// order. Work is claimed dynamically (one index at a time) so
+    /// unevenly sized items balance across workers; the output is
+    /// nevertheless deterministic because slot `i` always holds `f(i)`.
+    pub fn par_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.threads <= 1 || n == 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Slot<R>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
+        let drain = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let r = f(i);
+            // SAFETY: index `i` was claimed by exactly one task via
+            // `fetch_add`, so this slot has a unique writer; the scope
+            // join synchronizes the writes with the reads below.
+            unsafe { *slots[i].0.get() = Some(r) };
+        };
+        self.scope(|s| {
+            for _ in 0..self.threads.min(n) {
+                s.spawn(drain);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|c| c.0.into_inner().expect("all indexes claimed"))
+            .collect()
+    }
+
+    /// Parallel map over a slice with deterministic (input-order) results.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_indexed(items.len(), |i| f(&items[i]))
+    }
+
+    /// Parallel map over contiguous chunks of at most `chunk` items,
+    /// returning one result per chunk in slice order.
+    pub fn par_chunks<T, R, F>(&self, items: &[T], chunk: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&[T]) -> R + Sync,
+    {
+        let chunk = chunk.max(1);
+        let n = items.len().div_ceil(chunk);
+        self.par_indexed(n, |i| {
+            let lo = i * chunk;
+            let hi = (lo + chunk).min(items.len());
+            f(&items[lo..hi])
+        })
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.queue.shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One result slot of [`ThreadPool::par_indexed`]. `Sync` is sound
+/// because each slot has exactly one writer (the task that claimed its
+/// index) and readers only run after the scope join.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+struct ScopeSync {
+    pending: usize,
+    panic: Option<PanicPayload>,
+}
+
+struct ScopeState {
+    sync: Mutex<ScopeSync>,
+    done: Condvar,
+}
+
+/// Handle for spawning borrowed jobs inside [`ThreadPool::scope`].
+pub struct Scope<'pool, 'env> {
+    pool: &'pool ThreadPool,
+    state: Arc<ScopeState>,
+    /// Invariant over `'env`, like `std::thread::scope`.
+    env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'pool, 'env> Scope<'pool, 'env> {
+    /// Spawns a job that may borrow from the enclosing `'env`. The job
+    /// runs on some pool worker (or on a thread helping while joining);
+    /// the owning [`ThreadPool::scope`] call returns only after it
+    /// completes.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        self.state.sync.lock().unwrap().pending += 1;
+        let scope_id = Arc::as_ptr(&self.state) as usize;
+        let state = Arc::clone(&self.state);
+        let run: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let result = catch_unwind(AssertUnwindSafe(f));
+            let mut s = state.sync.lock().unwrap();
+            if let Err(p) = result {
+                s.panic.get_or_insert(p);
+            }
+            s.pending -= 1;
+            if s.pending == 0 {
+                state.done.notify_all();
+            }
+        });
+        // SAFETY: `scope` joins every spawned job before returning (even
+        // when the closure or a job panics), so the `'env` borrows
+        // captured by `f` strictly outlive the job's execution. The
+        // transmute only erases that lifetime; layout is identical.
+        let run: JobFn = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(run)
+        };
+        self.pool.queue.push(Job {
+            scope: scope_id,
+            run,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_joins_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn par_indexed_is_ordered_and_complete() {
+        let pool = ThreadPool::new(4);
+        let out = pool.par_indexed(1000, |i| i * i);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let pool = ThreadPool::new(3);
+        let items: Vec<u64> = (0..257).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        let par = pool.par_map(&items, |x| x * 3 + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_chunks_covers_every_item_in_order() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<u32> = (0..103).collect();
+        let chunks = pool.par_chunks(&items, 10, |c| c.to_vec());
+        let flat: Vec<u32> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, items);
+        // chunk = 0 is clamped, not a panic
+        assert_eq!(pool.par_chunks(&items, 0, |c| c.len()).len(), items.len());
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let out = pool.par_indexed(10, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panics_propagate_to_the_scope_owner() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom from job"));
+                s.spawn(|| {}); // sibling jobs still complete
+            });
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom from job");
+        // The pool survives a panicking job.
+        assert_eq!(pool.par_indexed(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn panic_in_par_indexed_closure_propagates() {
+        let pool = ThreadPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_indexed(100, |i| {
+                if i == 37 {
+                    panic!("index 37");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.par_indexed(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn nested_scopes_on_workers_do_not_deadlock() {
+        // More nested scopes than workers: inner scopes can only finish
+        // because joining threads help execute queued jobs.
+        let pool = ThreadPool::new(2);
+        let total = AtomicU64::new(0);
+        let outer = pool.par_indexed(8, |i| {
+            let inner = pool.par_indexed(8, |j| (i * 8 + j) as u64);
+            inner.iter().sum::<u64>()
+        });
+        for v in outer {
+            total.fetch_add(v, Ordering::Relaxed);
+        }
+        assert_eq!(total.load(Ordering::Relaxed), (0..64).sum::<u64>());
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let pool = ThreadPool::new(2);
+        let v = pool.scope(|_| 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn borrowed_data_is_visible_to_jobs() {
+        let pool = ThreadPool::new(3);
+        let data: Vec<u64> = (0..100).collect();
+        let sums = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for c in data.chunks(25) {
+                s.spawn(|| {
+                    sums.lock().unwrap().push(c.iter().sum::<u64>());
+                });
+            }
+        });
+        let total: u64 = sums.lock().unwrap().iter().sum();
+        assert_eq!(total, (0..100).sum::<u64>());
+    }
+}

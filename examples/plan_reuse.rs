@@ -6,7 +6,7 @@
 //! Run with `cargo run --release --example plan_reuse`.
 
 use adp::{attrs, parse_query, AdpOptions, AliveMask, Database, PreparedQuery, QueryPlan};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     // The paper's Figure 1 database and Q1.
@@ -19,10 +19,10 @@ fn main() {
         &[&[1, 1], &[2, 2], &[2, 3], &[3, 3]],
     );
     db.add_relation("R3", attrs(&["C", "E"]), &[&[1, 1], &[2, 3], &[3, 3]]);
-    let db = Rc::new(db);
+    let db = Arc::new(db);
 
     // Compile once; every solve below reuses the plan + indexes + join.
-    let prep = PreparedQuery::new(q.clone(), Rc::clone(&db));
+    let prep = PreparedQuery::new(q.clone(), Arc::clone(&db));
     let total = prep.output_count();
     println!("|Q1(D)| = {total}");
     for k in 1..=total {

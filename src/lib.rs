@@ -16,7 +16,10 @@
 //! * [`core`] — query model, both complexity dichotomies, hardness
 //!   certificates, and the `ComputeADP` solver;
 //! * [`datagen`] — deterministic workload generators for the paper's
-//!   experiments.
+//!   experiments;
+//! * [`runtime`] — std-only parallel execution runtime ([`ThreadPool`],
+//!   [`parallel_sweep`]); the solvers use its global pool automatically
+//!   and stay **byte-identical** to their sequential paths.
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -40,6 +43,7 @@ pub use adp_core as core;
 pub use adp_datagen as datagen;
 pub use adp_engine as engine;
 pub use adp_flow as flow;
+pub use adp_runtime as runtime;
 
 pub use adp_core::analysis::{
     find_hard_structures, hardness_certificate, has_hard_structure, is_ptime, is_ptime_trace,
@@ -48,7 +52,7 @@ pub use adp_core::query::{parse_query, Query};
 pub use adp_core::selection::{solve_selection, SelectionQuery};
 pub use adp_core::solver::brute::{brute_force, brute_force_prepared, BruteForceOptions};
 pub use adp_core::solver::{
-    apply_deletions, compute_adp, compute_adp_rc, compute_adp_with_policy, compute_resilience,
+    apply_deletions, compute_adp, compute_adp_arc, compute_adp_with_policy, compute_resilience,
     removed_outputs, AdpOptions, AdpOutcome, DeletionPolicy, Mode, PreparedQuery,
 };
 pub use adp_core::{QueryError, SolveError};
@@ -57,3 +61,4 @@ pub use adp_engine::plan::{AliveMask, JoinIndexes, QueryPlan};
 pub use adp_engine::provenance::TupleRef;
 pub use adp_engine::schema::{attr, attrs, Attr, RelationSchema};
 pub use adp_engine::value::{Interner, Value};
+pub use adp_runtime::{parallel_sweep, ThreadPool};
