@@ -174,6 +174,52 @@ fn bench_parallel_sweep(c: &mut Criterion) {
     });
 }
 
+/// The acceptance benchmark for the incremental delta maintenance
+/// layer: the same fig10-style hard workload (`Q_path` over skewed Zipf
+/// data), solved by greedy at ρ=75%, once per round-strategy —
+/// `greedy_rounds_masked` pays a full scoring rescan per round
+/// (`full_reeval`, the pre-delta oracle), `greedy_rounds_delta` runs on
+/// the incrementally maintained scores (`O(Δ)` per round). Outcomes are
+/// asserted byte-identical (cost, deletion set, outputs removed)
+/// **before** either variant is timed; the delta pair must be ≥5×
+/// faster (measured ~14–20× at this size, growing with n).
+fn bench_greedy_rounds(c: &mut Criterion) {
+    let db = Arc::new(adp_datagen::zipf_pair(&ZipfConfig::new(
+        4_000, 0.5, 21, true,
+    )));
+    let prep = PreparedQuery::new(queries::qpath(), db);
+    let total = prep.output_count();
+    let k = adp_bench::k_for_ratio(total, 0.75);
+    // Sequential inner loops in both variants: the pair isolates the
+    // per-round maintenance strategy, not the pool.
+    let delta_opts = AdpOptions {
+        force_greedy: true,
+        sequential: true,
+        ..Default::default()
+    };
+    let masked_opts = AdpOptions {
+        full_reeval: true,
+        ..delta_opts.clone()
+    };
+
+    // Determinism gate: the incremental rounds must be byte-identical.
+    let d = prep.solve(k, &delta_opts).unwrap();
+    let m = prep.solve(k, &masked_opts).unwrap();
+    assert_eq!(d.cost, m.cost, "delta rounds changed the cost");
+    assert_eq!(d.achieved, m.achieved, "delta rounds changed coverage");
+    assert_eq!(
+        d.solution, m.solution,
+        "delta rounds changed the deletion set"
+    );
+
+    c.bench_function("greedy_rounds_masked", |b| {
+        b.iter(|| black_box(prep.solve(k, &masked_opts).unwrap().cost))
+    });
+    c.bench_function("greedy_rounds_delta", |b| {
+        b.iter(|| black_box(prep.solve(k, &delta_opts).unwrap().cost))
+    });
+}
+
 fn bench_provenance(c: &mut Criterion) {
     let db = adp_datagen::zipf_pair(&ZipfConfig::new(5_000, 0.5, 7, true));
     let q = queries::qpath();
@@ -273,6 +319,7 @@ criterion_group!(
     bench_plan_reuse,
     bench_prepared_sweep,
     bench_parallel_sweep,
+    bench_greedy_rounds,
     bench_provenance,
     bench_semijoin,
     bench_mincut_resilience,

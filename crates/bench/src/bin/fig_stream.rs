@@ -1,0 +1,9 @@
+//! Streaming-deletion figure: incremental delta maintenance vs masked
+//! full re-evaluation per batch (see adp-bench::experiments). Pass
+//! `--quick` for CI-sized inputs, `--threads N` to size the worker
+//! pool, and `--seed S` to re-roll the workload data.
+
+fn main() {
+    adp_bench::cli::init();
+    adp_bench::experiments::fig_stream();
+}

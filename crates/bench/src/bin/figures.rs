@@ -11,6 +11,7 @@ fn main() {
     e::fig14_15();
     e::fig_zipf_hard();
     e::fig_zipf_easy();
+    e::fig_stream();
     e::fig28();
     e::fig29();
 }

@@ -49,12 +49,10 @@ where
                 let v = it
                     .next()
                     .ok_or_else(|| "--threads requires a value".to_owned())?;
-                let n: usize = v.as_ref().parse().map_err(|_| {
-                    format!("--threads expects a positive integer, got {}", v.as_ref())
-                })?;
-                if n == 0 {
-                    return Err("--threads must be at least 1".to_owned());
-                }
+                // Same strict parser as ADP_THREADS, so flag and env can
+                // never accept different syntaxes.
+                let n = adp_runtime::parse_thread_count(v.as_ref())
+                    .map_err(|e| format!("invalid --threads: {e}"))?;
                 args.threads = Some(n);
             }
             "--seed" => {
@@ -93,14 +91,35 @@ pub fn init() -> BenchArgs {
     if std::env::var("ADP_BENCH_QUICK").is_ok() {
         parsed.quick = true;
     }
-    // Size the pool before anything touches it. Default: available
-    // parallelism (or ADP_THREADS), decided inside adp-runtime.
-    let threads = parsed.threads.unwrap_or_else(adp_runtime::default_threads);
+    // Size the pool before anything touches it. Precedence: `--threads`
+    // flag > `ADP_THREADS` > available parallelism — and an *invalid*
+    // ADP_THREADS is always an error, never a silent fallback (even when
+    // the flag would win, so typos cannot hide).
+    let threads = match resolve_threads(parsed.threads, adp_runtime::env_threads()) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    };
     if let Err(e) = adp_runtime::configure_global(threads) {
         eprintln!("warning: {e}; continuing with the existing pool");
     }
     let _ = ARGS.set(parsed);
     parsed
+}
+
+/// Resolves the worker count from the `--threads` flag and the
+/// (pre-validated) `ADP_THREADS` environment value. The flag wins over
+/// the variable; the variable wins over auto-detection; a malformed
+/// variable is an error regardless of the flag.
+fn resolve_threads(
+    flag: Option<usize>,
+    env: Result<Option<usize>, String>,
+) -> Result<usize, String> {
+    let env = env?;
+    Ok(flag.or(env).unwrap_or_else(adp_runtime::auto_threads))
 }
 
 /// The arguments stored by [`init`], or the environment-variable
@@ -124,7 +143,8 @@ fn usage() -> String {
          options:\n  \
          --quick      CI-sized inputs (also: ADP_BENCH_QUICK=1)\n  \
          --threads N  worker threads for ρ-sweeps and the parallel\n               \
-         solvers (default: available cores, or ADP_THREADS)\n  \
+         solvers; overrides ADP_THREADS (default: ADP_THREADS,\n               \
+         then available cores); 0 and non-numbers are rejected\n  \
          --seed S     override workload RNG seeds (u64); combined with\n               \
          each figure's default so figures still differ\n  \
          -h, --help   this message"
@@ -193,7 +213,31 @@ mod tests {
         assert!(parse(["--threads", "0"])
             .unwrap_err()
             .contains("at least 1"));
+        assert!(parse(["--threads", "-1"])
+            .unwrap_err()
+            .contains("positive integer"));
         assert!(parse(["--seed"]).unwrap_err().contains("value"));
         assert!(parse(["--seed", "-3"]).unwrap_err().contains("u64"));
+    }
+
+    /// Regression: the flag and `ADP_THREADS` used to disagree — the
+    /// flag rejected bad values while the env var silently fell back to
+    /// auto-detection. Both now share one strict parser, with the
+    /// documented precedence flag > env > auto.
+    #[test]
+    fn thread_resolution_precedence_and_strictness() {
+        // flag wins over a valid env var
+        assert_eq!(resolve_threads(Some(3), Ok(Some(8))), Ok(3));
+        // env var wins over auto-detection
+        assert_eq!(resolve_threads(None, Ok(Some(8))), Ok(8));
+        // neither set: auto-detection, always positive
+        assert!(resolve_threads(None, Ok(None)).unwrap() >= 1);
+        // invalid env var errors even when the flag would win
+        let err = resolve_threads(Some(3), Err("invalid ADP_THREADS: …".into())).unwrap_err();
+        assert!(err.contains("ADP_THREADS"));
+        // the env validation itself is adp_runtime's strict parser
+        assert!(adp_runtime::parse_thread_count("0").is_err());
+        assert!(adp_runtime::parse_thread_count("four").is_err());
+        assert_eq!(adp_runtime::parse_thread_count("6"), Ok(6));
     }
 }

@@ -400,3 +400,104 @@ pub fn fig29() {
     }
     fig.finish();
 }
+
+/// `fig_stream`: the streaming-deletion workload the delta layer opens
+/// up. A `Q_path` instance over skewed Zipf data receives a stream of
+/// deletion batches (with periodic re-insertion batches, as a serving
+/// layer undoing speculative deletions would); after every batch the
+/// maintained `|Q(D − S)|` is **asserted equal** to a masked full
+/// re-evaluation of the cached plan, and both maintenance strategies
+/// are timed. The delta series does `O(Δ)` work per batch; the masked
+/// series re-joins.
+pub fn fig_stream() {
+    use adp_engine::delta::DeltaProvenance;
+    use adp_engine::plan::{AliveMask, QueryPlan};
+    use adp_engine::provenance::TupleRef;
+
+    let sizes = size_ladder(&[10_000, 50_000, 200_000], &[2_000, 8_000]);
+    let batches = if quick_mode() { 48 } else { 192 };
+    let batch_size = 8usize;
+    let q = queries::qpath();
+    let mut fig = Figure::new(
+        "fig-stream",
+        "Streaming deletions: delta maintenance vs masked re-eval (avg ms/batch)",
+    );
+    for &n in &sizes {
+        let db = adp_datagen::zipf_pair(&ZipfConfig::new(n, 0.5, workload_seed(0x57E), true));
+        let plan = QueryPlan::new(&db, q.atoms(), q.head());
+        let indexes = plan.build_indexes(&db);
+        let eval = plan.execute(&db, &indexes);
+        let mut delta = DeltaProvenance::try_new(&eval).expect("instance fits u32 witness ids");
+        let mut mask = AliveMask::all_alive(&db, q.atoms());
+        let rel_lens: Vec<u64> = q
+            .atoms()
+            .iter()
+            .map(|a| db.expect(a.name()).len() as u64)
+            .collect();
+
+        // Deterministic LCG op stream; every 4th batch restores tuples
+        // deleted earlier instead of deleting new ones.
+        let mut state = workload_seed(0x57E) | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut deleted: Vec<TupleRef> = Vec::new();
+        let (mut delta_ms, mut masked_ms) = (0.0f64, 0.0f64);
+        for round in 0..batches {
+            let restore_round = round % 4 == 3 && !deleted.is_empty();
+            let batch: Vec<TupleRef> = if restore_round {
+                (0..batch_size.min(deleted.len()))
+                    .map(|_| deleted[(next() as usize) % deleted.len()])
+                    .collect()
+            } else {
+                (0..batch_size)
+                    .map(|_| {
+                        let atom = (next() as usize) % rel_lens.len();
+                        TupleRef::new(atom, (next() % rel_lens[atom]) as u32)
+                    })
+                    .collect()
+            };
+
+            let start = Instant::now();
+            if restore_round {
+                delta.restore_batch(&batch);
+            } else {
+                delta.delete_batch(&batch);
+            }
+            delta_ms += start.elapsed().as_secs_f64() * 1e3;
+
+            for &t in &batch {
+                if restore_round {
+                    mask.revive(t.atom, t.index);
+                    deleted.retain(|&d| d != t);
+                } else if mask.kill(t.atom, t.index) {
+                    deleted.push(t);
+                }
+            }
+            let start = Instant::now();
+            let masked = plan.execute_masked(&db, &indexes, &mask);
+            masked_ms += start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                delta.live_outputs(),
+                masked.output_count(),
+                "delta maintenance diverged from the masked oracle at batch {round}"
+            );
+        }
+        fig.push(
+            "Delta (O(batch))",
+            n as f64,
+            delta_ms / batches as f64,
+            delta.removed_outputs(),
+        );
+        fig.push(
+            "Masked re-eval",
+            n as f64,
+            masked_ms / batches as f64,
+            delta.removed_outputs(),
+        );
+    }
+    fig.finish();
+}

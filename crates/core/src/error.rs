@@ -1,5 +1,6 @@
 //! Error types for query construction and solving.
 
+use adp_engine::error::AdpError;
 use std::fmt;
 
 /// Errors raised while building or parsing queries.
@@ -57,6 +58,15 @@ pub enum SolveError {
         /// outputs removable under the policy
         removable: u64,
     },
+    /// The engine refused to build an index over the evaluation (e.g.
+    /// [`AdpError::TooManyWitnesses`]): solving would corrupt provenance.
+    Engine(AdpError),
+}
+
+impl From<AdpError> for SolveError {
+    fn from(e: AdpError) -> Self {
+        SolveError::Engine(e)
+    }
 }
 
 impl fmt::Display for SolveError {
@@ -72,6 +82,7 @@ impl fmt::Display for SolveError {
                 f,
                 "cannot remove {k} outputs: the deletion policy only allows removing {removable}"
             ),
+            SolveError::Engine(e) => write!(f, "{e}"),
         }
     }
 }

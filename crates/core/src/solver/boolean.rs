@@ -112,8 +112,7 @@ fn component_resilience(
             // (the subview's head is empty, so `eval` has boolean
             // semantics).
             let eval = sub.eval();
-            let solved =
-                super::greedy::solve_greedy_filtered(sub, &eval, 1, deletable, !opts.sequential)?;
+            let solved = super::greedy::solve_greedy_filtered(sub, &eval, 1, deletable, opts)?;
             let Some(cost) = solved.min_cost(1)? else {
                 return Ok(None);
             };

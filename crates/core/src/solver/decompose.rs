@@ -505,10 +505,11 @@ mod tests {
         let mut db = Database::new();
         db.add_relation("R", attrs(&["A"]), &[&[1]]);
         db.add_relation("S", attrs(&["B"]), &[]);
-        let err = compute_adp(&q, &db, 1, &AdpOptions::default()).unwrap_err();
-        assert!(matches!(
-            err,
-            crate::error::SolveError::KTooLarge { available: 0, .. }
-        ));
+        // An empty component empties the cross product: zero outputs,
+        // so the answer is the empty deletion set at cost 0.
+        let out = compute_adp(&q, &db, 1, &AdpOptions::default()).unwrap();
+        assert_eq!(out.output_count, 0);
+        assert_eq!(out.cost, 0);
+        assert_eq!(out.solution.as_deref(), Some(&[][..]));
     }
 }

@@ -26,6 +26,7 @@
 use super::profile::CostProfile;
 use super::solved::{Extractor, Solved, Step};
 use super::view::View;
+use super::AdpOptions;
 use crate::analysis::roles::endogenous_atoms;
 use crate::error::SolveError;
 use adp_engine::join::EvalResult;
@@ -100,16 +101,18 @@ where
 
 /// `GreedyForCQ` (Algorithm 6). The view's query must be connected and
 /// non-boolean... in fact any query works; it is simply not optimal.
-/// With `parallel`, candidate scoring uses the global pool (results
-/// stay byte-identical to the sequential path).
+/// Unless `opts.sequential`, candidate scoring uses the global pool;
+/// unless `opts.full_reeval`, rounds run on the incremental
+/// [`DeltaProvenance`] instead of full rescans. All four combinations
+/// return byte-identical results.
 pub(crate) fn solve_greedy(
     view: &View,
     eval: &EvalResult,
     cap: u64,
-    parallel: bool,
+    opts: &AdpOptions,
 ) -> Result<Solved, SolveError> {
     let deletable = vec![true; view.query.atom_count()];
-    solve_greedy_filtered(view, eval, cap, &deletable, parallel)
+    solve_greedy_filtered(view, eval, cap, &deletable, opts)
 }
 
 /// [`solve_greedy`] restricted to deletable atoms (deletion policies,
@@ -123,15 +126,8 @@ pub(crate) fn solve_greedy_filtered(
     eval: &EvalResult,
     cap: u64,
     deletable: &[bool],
-    parallel: bool,
+    opts: &AdpOptions,
 ) -> Result<Solved, SolveError> {
-    let pool = if parallel {
-        let p = adp_runtime::global();
-        (p.threads() > 1).then_some(p)
-    } else {
-        None
-    };
-    let mut prov = ProvenanceIndex::new(eval);
     let total = eval.output_count();
     let policy_active = deletable.iter().any(|&d| !d);
     let endo: Vec<bool> = endogenous_atoms(&view.query)
@@ -140,6 +136,76 @@ pub(crate) fn solve_greedy_filtered(
         .map(|(e, &d)| if policy_active { d } else { e })
         .collect();
     let cap = cap.min(total);
+    let steps = if opts.full_reeval {
+        rescan_rounds(view, eval, cap, &endo, !opts.sequential)?
+    } else {
+        delta_rounds(view, eval, cap, &endo, !opts.sequential)?
+    };
+    let profile = CostProfile::from_pairs(steps.iter().map(|s| (s.cost_cum, s.removed_cum)));
+    Ok(Solved::eager(
+        profile,
+        Extractor::Steps(steps),
+        false,
+        total,
+    ))
+}
+
+/// Incremental greedy rounds: scores are maintained by the
+/// [`DeltaProvenance`](adp_engine::delta::DeltaProvenance) across
+/// deletions, so each round costs `O(Δ)` in the affected witnesses plus
+/// a logarithmic argmax — instead of a full pass over every live
+/// witness. The candidate order is the same `(score, Reverse((atom,
+/// idx)))` total order as the rescan path, so the deletion sequence is
+/// byte-identical.
+fn delta_rounds(
+    view: &View,
+    eval: &EvalResult,
+    cap: u64,
+    endo: &[bool],
+    parallel: bool,
+) -> Result<Vec<Step>, SolveError> {
+    let mut prov = view.delta_provenance(eval, parallel)?;
+    prov.enable_selection(endo.to_vec());
+    let mut steps: Vec<Step> = Vec::new();
+    let (mut removed, mut cost) = (0u64, 0u64);
+    while removed < cap && prov.live_outputs() > 0 {
+        // Best sole killer; when none exists, the tuple on the most live
+        // witnesses — exactly the rescan path's picks.
+        let picked = prov
+            .best_profit_candidate()
+            .or_else(|| prov.best_count_candidate());
+        let Some((_, atom, idx)) = picked else {
+            break; // no deletable candidate remains
+        };
+        let died = prov.delete(TupleRef::new(atom, idx));
+        removed += died;
+        cost += 1;
+        steps.push(Step {
+            tuples: vec![view.to_original(atom, idx)],
+            removed_cum: removed,
+            cost_cum: cost,
+        });
+    }
+    Ok(steps)
+}
+
+/// The pre-delta greedy rounds: one full scoring pass over every live
+/// witness per round (fanned over the pool when allowed). Kept as the
+/// differential oracle behind `AdpOptions::full_reeval`.
+fn rescan_rounds(
+    view: &View,
+    eval: &EvalResult,
+    cap: u64,
+    endo: &[bool],
+    parallel: bool,
+) -> Result<Vec<Step>, SolveError> {
+    let pool = if parallel {
+        let p = adp_runtime::global();
+        (p.threads() > 1).then_some(p)
+    } else {
+        None
+    };
+    let mut prov = ProvenanceIndex::try_new(eval)?;
 
     let mut steps: Vec<Step> = Vec::new();
     let (mut removed, mut cost) = (0u64, 0u64);
@@ -205,14 +271,7 @@ pub(crate) fn solve_greedy_filtered(
             cost_cum: cost,
         });
     }
-
-    let profile = CostProfile::from_pairs(steps.iter().map(|s| (s.cost_cum, s.removed_cum)));
-    Ok(Solved::eager(
-        profile,
-        Extractor::Steps(steps),
-        false,
-        total,
-    ))
+    Ok(steps)
 }
 
 /// `DrasticGreedyForFullCQ` (Algorithm 7). Requires a full CQ: witnesses
@@ -226,7 +285,7 @@ pub(crate) fn solve_drastic(
         view.query.is_full(),
         "DrasticGreedyForFullCQ requires a full CQ (paper §7.4)"
     );
-    let prov = ProvenanceIndex::new(eval);
+    let prov = ProvenanceIndex::try_new(eval)?;
     let total = eval.output_count();
     let cap = cap.min(total);
     let endo = endogenous_atoms(&view.query);
@@ -303,13 +362,21 @@ mod tests {
         db
     }
 
+    /// Sequential solver options (delta rounds, no pool).
+    fn seq_opts() -> AdpOptions {
+        AdpOptions {
+            sequential: true,
+            ..Default::default()
+        }
+    }
+
     #[test]
     fn greedy_is_feasible_and_monotone() {
         let q = parse_query("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
         let view = View::root(q.clone(), Arc::new(chain_db()));
         let eval = evaluate(&view.db, q.atoms(), q.head());
         let total = eval.output_count();
-        let s = solve_greedy(&view, &eval, total, false).unwrap();
+        let s = solve_greedy(&view, &eval, total, &seq_opts()).unwrap();
         assert_eq!(s.total_outputs, total);
         assert_eq!(s.max_removable(), total, "greedy can always finish");
         assert!(!s.exact);
@@ -329,7 +396,7 @@ mod tests {
         let q = parse_query("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
         let view = View::root(q.clone(), Arc::new(chain_db()));
         let eval = evaluate(&view.db, q.atoms(), q.head());
-        let s = solve_greedy(&view, &eval, 2, false).unwrap();
+        let s = solve_greedy(&view, &eval, 2, &seq_opts()).unwrap();
         assert_eq!(s.min_cost(2).unwrap(), Some(1));
     }
 
@@ -343,7 +410,7 @@ mod tests {
         let q = parse_query("Q(A) :- R(A,B), S(B)").unwrap();
         let view = View::root(q.clone(), Arc::new(db));
         let eval = evaluate(&view.db, q.atoms(), q.head());
-        let s = solve_greedy(&view, &eval, 1, false).unwrap();
+        let s = solve_greedy(&view, &eval, 1, &seq_opts()).unwrap();
         // output a=1 needs both branches cut: cost 2
         assert_eq!(s.min_cost(1).unwrap(), Some(2));
     }
@@ -365,7 +432,7 @@ mod tests {
         let q = parse_query("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
         let view = View::root(q.clone(), Arc::new(chain_db()));
         let eval = evaluate(&view.db, q.atoms(), q.head());
-        let g = solve_greedy(&view, &eval, 2, false).unwrap();
+        let g = solve_greedy(&view, &eval, 2, &seq_opts()).unwrap();
         let d = solve_drastic(&view, &eval, 2).unwrap();
         assert_eq!(
             g.min_cost(2).unwrap(),

@@ -107,6 +107,15 @@ pub struct AdpOptions {
     /// tests and for apples-to-apples benchmarking, not for
     /// correctness.
     pub sequential: bool,
+    /// Opt out of the incremental delta maintenance layer
+    /// ([`adp_engine::delta`]) and pay a full scoring rescan per greedy
+    /// round instead — the pre-delta code path, kept as the
+    /// differential oracle. Delta and full-re-evaluation runs return
+    /// **byte-identical** results (enforced by the `delta_differential`
+    /// proptest suite and the `greedy_rounds_{masked,delta}` bench
+    /// pair); this switch exists for those checks and for
+    /// benchmarking, not for correctness.
+    pub full_reeval: bool,
 }
 
 impl Default for AdpOptions {
@@ -121,6 +130,7 @@ impl Default for AdpOptions {
             dense_limit: 16_000_000,
             pair_points_limit: 4_000_000,
             sequential: false,
+            full_reeval: false,
         }
     }
 }
@@ -189,15 +199,33 @@ pub(crate) fn solve_prepared(
     }
     let view = prep.root_view();
     let solved = solve(&view, k, opts)?;
+    if solved.total_outputs == 0 {
+        // Degenerate instance: the query is unsatisfiable (empty join or
+        // empty relation), so there is nothing to remove — the empty
+        // deletion set at cost 0 is the (vacuously optimal) answer.
+        return Ok(AdpOutcome {
+            cost: 0,
+            achieved: 0,
+            exact: true,
+            output_count: 0,
+            solution: (opts.mode == Mode::Report).then(Vec::new),
+        });
+    }
     if k > solved.total_outputs {
         return Err(SolveError::KTooLarge {
             k,
             available: solved.total_outputs,
         });
     }
-    let cost = solved
-        .min_cost(k)?
-        .expect("profile covers k ≤ |Q(D)| for feasible instances");
+    let Some(cost) = solved.min_cost(k)? else {
+        // The profile stops short of k (possible when a policy or an
+        // exhausted candidate pool truncated a heuristic profile);
+        // surface it instead of panicking.
+        return Err(SolveError::Infeasible {
+            k,
+            removable: solved.max_removable(),
+        });
+    };
     let solution = match opts.mode {
         Mode::Report => Some({
             let mut s = solved.extract(k)?;
@@ -292,7 +320,7 @@ pub(crate) fn solve(view: &View, cap: u64, opts: &AdpOptions) -> Result<Solved, 
         return if opts.use_drastic && q.is_full() {
             greedy::solve_drastic(view, &eval, cap)
         } else {
-            greedy::solve_greedy(view, &eval, cap, !opts.sequential)
+            greedy::solve_greedy(view, &eval, cap, opts)
         };
     }
 
@@ -321,7 +349,7 @@ pub(crate) fn solve(view: &View, cap: u64, opts: &AdpOptions) -> Result<Solved, 
     if opts.use_drastic && q.is_full() {
         greedy::solve_drastic(view, &eval, cap)
     } else {
-        greedy::solve_greedy(view, &eval, cap, !opts.sequential)
+        greedy::solve_greedy(view, &eval, cap, opts)
     }
 }
 
@@ -406,6 +434,76 @@ mod tests {
             compute_adp(&q, &db, 2, &AdpOptions::default()),
             Err(SolveError::KTooLarge { .. })
         ));
+    }
+
+    /// Regression (degenerate instances): an unsatisfiable query used to
+    /// bubble up as `KTooLarge` (and crashed the bench harness, whose
+    /// `k_for_ratio` clamp always requests k ≥ 1). Zero-output instances
+    /// must instead return the empty deletion set at cost 0 — there is
+    /// nothing to remove.
+    #[test]
+    fn unsatisfiable_query_returns_empty_solution_at_cost_zero() {
+        // Non-empty relations whose join is empty.
+        let q = parse_query("Q(A) :- R(A), S(A)").unwrap();
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A"]), &[&[1], &[2]]);
+        db.add_relation("S", attrs(&["A"]), &[&[7], &[8]]);
+        for opts in [
+            AdpOptions::default(),
+            AdpOptions::counting(),
+            AdpOptions {
+                force_greedy: true,
+                ..Default::default()
+            },
+        ] {
+            let out = compute_adp(&q, &db, 3, &opts).unwrap();
+            assert_eq!(out.cost, 0);
+            assert_eq!(out.achieved, 0);
+            assert_eq!(out.output_count, 0);
+            assert!(out.exact);
+            match opts.mode {
+                Mode::Report => assert_eq!(out.solution.as_deref(), Some(&[][..])),
+                Mode::Count => assert!(out.solution.is_none()),
+            }
+        }
+    }
+
+    /// Regression (degenerate instances): same contract when a body
+    /// relation is entirely empty, across the solver shapes that used to
+    /// reach `ProvenanceIndex`/profile code on zero-witness evaluations.
+    #[test]
+    fn empty_relation_returns_empty_solution_at_cost_zero() {
+        for text in [
+            "Q(A,B) :- R(A), S(A,B)",           // singleton
+            "Q(A,B) :- R(A), S(B)",             // decompose
+            "Q() :- R(A), S(A,B)",              // boolean
+            "Q(A,B,C) :- R(A), S(A,B), T(B,C)", // hard leaf
+        ] {
+            let q = parse_query(text).unwrap();
+            let mut db = Database::new();
+            for atom in q.atoms() {
+                let mut inst = adp_engine::relation::RelationInstance::new(atom.clone());
+                if atom.name() != "S" {
+                    inst.insert(&vec![1; atom.arity()]);
+                }
+                db.add(inst); // S stays empty
+            }
+            let out = compute_adp(&q, &db, 1, &AdpOptions::default())
+                .unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(out.cost, 0, "{text}");
+            assert_eq!(out.solution.as_deref(), Some(&[][..]), "{text}");
+            let greedy = compute_adp(
+                &q,
+                &db,
+                2,
+                &AdpOptions {
+                    force_greedy: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{text} (greedy): {e}"));
+            assert_eq!(greedy.cost, 0, "{text} (greedy)");
+        }
     }
 
     #[test]

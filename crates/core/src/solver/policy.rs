@@ -96,7 +96,7 @@ pub fn compute_adp_with_policy(
         boolean::solve_boolean_with_policy(&view, opts, &deletable)?
     } else {
         let eval = view.eval();
-        solve_greedy_filtered(&view, &eval, k, &deletable, !opts.sequential)?
+        solve_greedy_filtered(&view, &eval, k, &deletable, opts)?
     };
     if k > solved.total_outputs {
         return Err(SolveError::KTooLarge {

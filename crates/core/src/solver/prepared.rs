@@ -33,10 +33,42 @@ use super::{AdpOptions, AdpOutcome};
 use crate::error::SolveError;
 use crate::query::Query;
 use adp_engine::database::Database;
+use adp_engine::delta::DeltaProvenance;
+use adp_engine::error::AdpError;
 use adp_engine::join::EvalResult;
 use adp_engine::plan::{AliveMask, JoinIndexes, QueryPlan};
-use adp_engine::provenance::TupleRef;
+use adp_engine::provenance::{ProvenanceIndex, TupleRef};
 use std::sync::{Arc, OnceLock};
+
+/// Builds a scored [`DeltaProvenance`] for an evaluation, fanning the
+/// initial scoring pass out over the global [`adp_runtime`] pool (the
+/// same range-partitioned scoring the parallel greedy rescan used)
+/// when `parallel` is set and the instance is large enough. Disjoint
+/// output ranges contribute additively, so the installed scores are
+/// equal to the sequential build's.
+pub(crate) fn build_delta_provenance(
+    eval: &EvalResult,
+    parallel: bool,
+) -> Result<DeltaProvenance, AdpError> {
+    let mut delta = DeltaProvenance::new_unscored(eval)?;
+    let slots = delta.output_slots();
+    let pool = adp_runtime::global();
+    if parallel
+        && pool.threads() > 1
+        && eval.witness_count() >= super::greedy::PAR_SCORING_MIN_WITNESSES
+        && slots > 1
+    {
+        let chunk = slots.div_ceil(pool.threads() * 2).max(1);
+        let parts = pool.par_indexed(slots.div_ceil(chunk), |i| {
+            delta.score_range(i * chunk, ((i + 1) * chunk).min(slots))
+        });
+        delta.install_scores(parts);
+    } else {
+        let scores = delta.score_range(0, slots);
+        delta.install_scores(vec![scores]);
+    }
+    Ok(delta)
+}
 
 /// A compiled query plan plus lazily built, cached indexes and
 /// evaluation result, all against one shared database. `Send + Sync`:
@@ -47,6 +79,13 @@ pub struct PlannedEval {
     plan: QueryPlan,
     indexes: OnceLock<Arc<JoinIndexes>>,
     eval: OnceLock<Arc<EvalResult>>,
+    /// Pristine (all-alive) provenance over the root evaluation, for
+    /// O(Δ) set verification (`killed_by_set`) and participating-tuple
+    /// lookups without rebuilding the postings per solve.
+    prov: OnceLock<Result<Arc<ProvenanceIndex>, AdpError>>,
+    /// Pristine scored delta index; greedy solves clone it (an O(n)
+    /// memcpy) instead of re-deriving postings + scores per solve.
+    delta: OnceLock<Result<Arc<DeltaProvenance>, AdpError>>,
 }
 
 impl PlannedEval {
@@ -59,6 +98,8 @@ impl PlannedEval {
             plan,
             indexes: OnceLock::new(),
             eval: OnceLock::new(),
+            prov: OnceLock::new(),
+            delta: OnceLock::new(),
         }
     }
 
@@ -102,6 +143,27 @@ impl PlannedEval {
     /// and indexes. Witness indices stay in original coordinates.
     pub fn eval_masked(&self, mask: &AliveMask) -> EvalResult {
         self.plan.execute_masked(&self.db, &self.indexes(), mask)
+    }
+
+    /// The pristine provenance index over the root evaluation, computed
+    /// once and shared. Used for `O(Δ)` deletion-set verification and
+    /// participating-tuple lookups.
+    pub fn provenance(&self) -> Result<Arc<ProvenanceIndex>, AdpError> {
+        self.prov
+            .get_or_init(|| ProvenanceIndex::try_new(&self.eval()).map(Arc::new))
+            .clone()
+    }
+
+    /// The pristine scored [`DeltaProvenance`] template, computed once
+    /// and cloned by each incremental solve. The first builder decides
+    /// whether the one-time scoring pass may fan out over the global
+    /// pool (`parallel`); either way the installed scores are equal, so
+    /// later callers share the cached template regardless of their own
+    /// flag.
+    pub fn delta_template(&self, parallel: bool) -> Result<Arc<DeltaProvenance>, AdpError> {
+        self.delta
+            .get_or_init(|| build_delta_provenance(&self.eval(), parallel).map(Arc::new))
+            .clone()
     }
 
     /// An all-alive mask shaped for this plan's atoms.
@@ -162,9 +224,24 @@ impl PreparedQuery {
     }
 
     /// Number of outputs removed by deleting `deletions`:
-    /// `|Q(D)| − |Q(D − S)|`, via masked re-execution of the cached plan
-    /// (no database copy, no index rebuild).
+    /// `|Q(D)| − |Q(D − S)|`, answered in `O(Δ)` from the cached
+    /// provenance postings (`killed_by_set`) — no re-join at all. Falls
+    /// back to [`removed_outputs_masked`](Self::removed_outputs_masked)
+    /// if the instance is too large to index.
     pub fn removed_outputs(&self, deletions: &[TupleRef]) -> u64 {
+        if deletions.is_empty() {
+            return 0;
+        }
+        match self.planned.provenance() {
+            Ok(prov) => prov.killed_by_set(deletions),
+            Err(_) => self.removed_outputs_masked(deletions),
+        }
+    }
+
+    /// [`removed_outputs`](Self::removed_outputs) by masked re-execution
+    /// of the cached plan — the full re-evaluation oracle the delta path
+    /// is differentially tested against.
+    pub fn removed_outputs_masked(&self, deletions: &[TupleRef]) -> u64 {
         let before = self.eval().output_count();
         if deletions.is_empty() {
             return 0;

@@ -14,7 +14,6 @@ use super::profile::CostProfile;
 use super::solved::{Extractor, Solved, Step};
 use super::view::View;
 use crate::error::SolveError;
-use adp_engine::provenance::ProvenanceIndex;
 use adp_engine::value::Value;
 use std::collections::HashMap;
 
@@ -53,7 +52,11 @@ pub(crate) fn solve_singleton(view: &View, ri: usize, cap: u64) -> Result<Solved
     let steps = if case1 {
         case1_steps(view, ri, &eval, cap)
     } else {
-        case2_steps(view, ri, &eval, cap)
+        // Non-dangling Ri tuples come from the (possibly cached) pristine
+        // provenance: planned root views share one postings build across
+        // every solve instead of re-deriving it here.
+        let participating = view.pristine_provenance(&eval)?.participating_tuples();
+        case2_steps(view, ri, cap, &participating[ri])
     };
     let profile = CostProfile::from_pairs(steps.iter().map(|s| (s.cost_cum, s.removed_cum)));
     Ok(Solved::eager(profile, Extractor::Steps(steps), true, total))
@@ -117,17 +120,14 @@ fn case1_steps(view: &View, ri: usize, eval: &adp_engine::join::EvalResult, cap:
     steps
 }
 
-/// Case 2: group non-dangling `Ri` tuples by output; sort outputs by
-/// increasing group size.
-fn case2_steps(view: &View, ri: usize, eval: &adp_engine::join::EvalResult, cap: u64) -> Vec<Step> {
+/// Case 2: group the non-dangling `Ri` tuples (`participating`) by
+/// output; sort outputs by increasing group size.
+fn case2_steps(view: &View, ri: usize, cap: u64, participating: &[u32]) -> Vec<Step> {
     let q = &view.query;
     let atom = &q.atoms()[ri];
     let rel = view.db.expect(atom.name());
     let head = q.head().to_vec();
 
-    // Non-dangling Ri tuples, grouped by their head projection.
-    let prov = ProvenanceIndex::new(eval);
-    let participating = &prov.participating_tuples()[ri];
     let mut groups: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
     for &idx in participating {
         groups.entry(rel.project(idx, &head)).or_default().push(idx);

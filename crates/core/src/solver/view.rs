@@ -14,11 +14,13 @@
 //! groups share a universal-attribute value before projection; selections
 //! fix the selected attributes), so the maps stay simple vectors.
 
-use super::prepared::PlannedEval;
+use super::prepared::{build_delta_provenance, PlannedEval};
+use crate::error::SolveError;
 use crate::query::Query;
 use adp_engine::database::Database;
+use adp_engine::delta::DeltaProvenance;
 use adp_engine::join::{evaluate, EvalResult};
-use adp_engine::provenance::TupleRef;
+use adp_engine::provenance::{ProvenanceIndex, TupleRef};
 use std::sync::Arc;
 
 /// A query over a transformed database with provenance back to the
@@ -75,6 +77,38 @@ impl View {
         match &self.planned {
             Some(p) => p.eval(),
             None => Arc::new(evaluate(&self.db, self.query.atoms(), self.query.head())),
+        }
+    }
+
+    /// A mutable, scored [`DeltaProvenance`] over `eval` (this view's
+    /// already-computed evaluation) for one incremental solve. Root
+    /// views built from a
+    /// [`PreparedQuery`](super::prepared::PreparedQuery) clone the
+    /// planned template (postings and scores are derived at most once
+    /// per prepared query); derived views build one from the passed
+    /// evaluation — never re-joining — fanning the scoring pass over
+    /// the pool when `parallel` allows.
+    pub(crate) fn delta_provenance(
+        &self,
+        eval: &EvalResult,
+        parallel: bool,
+    ) -> Result<DeltaProvenance, SolveError> {
+        match &self.planned {
+            Some(p) => Ok(p.delta_template(parallel)?.as_ref().clone()),
+            None => Ok(build_delta_provenance(eval, parallel)?),
+        }
+    }
+
+    /// The pristine (all-alive) provenance index over `eval` (this
+    /// view's already-computed evaluation), shared via the planned
+    /// cache for root views.
+    pub(crate) fn pristine_provenance(
+        &self,
+        eval: &EvalResult,
+    ) -> Result<Arc<ProvenanceIndex>, SolveError> {
+        match &self.planned {
+            Some(p) => Ok(p.provenance()?),
+            None => Ok(Arc::new(ProvenanceIndex::try_new(eval)?)),
         }
     }
 

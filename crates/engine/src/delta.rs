@@ -1,0 +1,780 @@
+//! Incremental delta maintenance of witnesses, outputs, and scores.
+//!
+//! The ADP solvers are iterative: each greedy round, boolean fallback
+//! round, and streaming deletion batch changes only a handful of input
+//! tuples, yet the pre-delta code paths re-derived the full scoring
+//! state — a pass over *every* live witness per round
+//! ([`ProvenanceIndex::profits`](crate::provenance::ProvenanceIndex::profits))
+//! — or re-ran the masked join. [`DeltaProvenance`] keeps all of that
+//! state **live** instead, updating it in time proportional to the
+//! witnesses actually affected by a batch:
+//!
+//! * witness liveness, via a per-witness *dead-tuple refcount* — unlike
+//!   [`ProvenanceIndex`](crate::provenance::ProvenanceIndex), deletions
+//!   can be **undone** ([`restore_batch`](DeltaProvenance::restore_batch)),
+//!   which is what solver backtracking and streaming re-insertions need;
+//! * per-output live-witness counts and the global `|Q(D − S)|`;
+//! * the *profit* map (sole killers per output, maintained through a
+//!   cached per-output agreement vector) and the *live-count* map — the
+//!   two scores every greedy round reads;
+//! * optionally ([`enable_selection`](DeltaProvenance::enable_selection))
+//!   two ordered candidate sets over the scores, so the greedy argmax —
+//!   under the same `(score, Reverse((atom, idx)))` total order as the
+//!   full-scan path — is an `O(log n)` lookup instead of a map scan.
+//!
+//! A deletion batch of Δ tuples costs `O(Σ_{w affected} p + Σ_{o
+//! touched} |witnesses(o)| · p)` plus logarithmic selector updates:
+//! `O(Δ)` in the affected incidence, independent of `|Q(D)|`.
+//!
+//! The initial scoring pass is the one full-scan the structure ever
+//! pays. It is exposed range-wise ([`score_range`](DeltaProvenance::score_range) /
+//! [`install_scores`](DeltaProvenance::install_scores)) so callers with
+//! a thread pool can fan it out over disjoint output ranges — the same
+//! partitioning contract as
+//! [`ProvenanceIndex::profits_range`](crate::provenance::ProvenanceIndex::profits_range).
+//!
+//! Every maintained quantity is differentially testable against the
+//! masked full re-evaluation oracle
+//! ([`QueryPlan::execute_masked`](crate::plan::QueryPlan::execute_masked));
+//! the workspace proptest suite does exactly that after every batch.
+
+use crate::error::AdpError;
+use crate::join::EvalResult;
+use crate::provenance::TupleRef;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Candidate key ordered like the greedy pick: highest score first,
+/// then smallest `(atom, idx)`. The set's maximum element is the round
+/// winner.
+type Candidate = (u64, Reverse<(usize, u32)>);
+
+/// Ordered candidate sets over the maintained scores, restricted to the
+/// atoms a solver may delete from.
+#[derive(Clone, Debug)]
+struct Selector {
+    selectable: Vec<bool>,
+    by_profit: BTreeSet<Candidate>,
+    by_count: BTreeSet<Candidate>,
+}
+
+/// Partial scores over one output range, produced by
+/// [`DeltaProvenance::score_range`] and merged by
+/// [`DeltaProvenance::install_scores`]. Contributions are additive
+/// across any partition of `0..output_slots()`.
+#[derive(Clone, Debug, Default)]
+pub struct RangeScores {
+    profits: Vec<HashMap<u32, u64>>,
+    counts: Vec<HashMap<u32, u64>>,
+    /// (output id, agreement vector) for live outputs in the range.
+    agreed: Vec<(u32, Box<[Option<u32>]>)>,
+}
+
+/// Incidence structure over an [`EvalResult`] with **incremental**
+/// deletion/re-insertion semantics and live-maintained scores.
+#[derive(Clone, Debug)]
+pub struct DeltaProvenance {
+    /// witness → tuple index per atom (query-atom order).
+    witness_tuples: Vec<Box<[u32]>>,
+    witness_output: Vec<u32>,
+    /// witness → number of its input tuples currently deleted. Alive
+    /// iff 0; the refcount is what makes deletion reversible.
+    witness_dead: Vec<u32>,
+    /// output → live witness count.
+    output_live: Vec<u32>,
+    output_witnesses: Vec<Vec<u32>>,
+    /// per atom: tuple index → witnesses containing it.
+    tuple_witnesses: Vec<HashMap<u32, Vec<u32>>>,
+    /// per atom: currently deleted tuple indices (including tuples on
+    /// no witness, so delete/restore stay symmetric).
+    deleted: Vec<HashSet<u32>>,
+    live_outputs: u64,
+    live_witnesses: u64,
+    total_outputs: u64,
+    n_atoms: usize,
+    /// Maintained profit map (sole killers), no zero entries — equal to
+    /// `ProvenanceIndex::profits()` at every deletion state.
+    profits: Vec<HashMap<u32, u64>>,
+    /// Maintained live-witness counts, no zero entries — equal to
+    /// `ProvenanceIndex::live_counts()` at every deletion state.
+    counts: Vec<HashMap<u32, u64>>,
+    /// output → cached agreement vector (its current profit
+    /// contribution); `None` for dead outputs.
+    agreed: Vec<Option<Box<[Option<u32>]>>>,
+    scored: bool,
+    selector: Option<Selector>,
+}
+
+impl DeltaProvenance {
+    /// Builds the index and scores it sequentially. Fails with
+    /// [`AdpError::TooManyWitnesses`] instead of truncating witness ids.
+    pub fn try_new(result: &EvalResult) -> Result<Self, AdpError> {
+        let mut d = Self::new_unscored(result)?;
+        let scores = d.score_range(0, d.output_slots());
+        d.install_scores(vec![scores]);
+        Ok(d)
+    }
+
+    /// [`try_new`](Self::try_new) with an injected witness-id cap, for
+    /// testing the overflow guard without materializing 4B witnesses.
+    pub fn try_new_with_cap(result: &EvalResult, cap: u64) -> Result<Self, AdpError> {
+        let mut d = Self::new_unscored_capped(result, cap)?;
+        let scores = d.score_range(0, d.output_slots());
+        d.install_scores(vec![scores]);
+        Ok(d)
+    }
+
+    /// Builds the incidence structure without the initial scoring pass.
+    /// Callers with a thread pool fan [`score_range`](Self::score_range)
+    /// out over output ranges and then [`install_scores`](Self::install_scores);
+    /// mutation is rejected until scores are installed.
+    pub fn new_unscored(result: &EvalResult) -> Result<Self, AdpError> {
+        Self::new_unscored_capped(result, u32::MAX as u64)
+    }
+
+    fn new_unscored_capped(result: &EvalResult, cap: u64) -> Result<Self, AdpError> {
+        let witnesses = result.witnesses.len() as u64;
+        if witnesses > cap {
+            return Err(AdpError::TooManyWitnesses { witnesses, cap });
+        }
+        let n_atoms = result.atom_names.len();
+        let mut tuple_witnesses: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); n_atoms];
+        for (wid, w) in result.witnesses.iter().enumerate() {
+            for (atom, &t) in w.tuples.iter().enumerate() {
+                tuple_witnesses[atom].entry(t).or_default().push(wid as u32);
+            }
+        }
+        Ok(DeltaProvenance {
+            witness_tuples: result.witnesses.iter().map(|w| w.tuples.clone()).collect(),
+            witness_output: result.witness_output.clone(),
+            witness_dead: vec![0; result.witnesses.len()],
+            output_live: result
+                .output_witnesses
+                .iter()
+                .map(|ws| ws.len() as u32)
+                .collect(),
+            output_witnesses: result.output_witnesses.clone(),
+            tuple_witnesses,
+            deleted: vec![HashSet::new(); n_atoms],
+            live_outputs: result.outputs.len() as u64,
+            live_witnesses: result.witnesses.len() as u64,
+            total_outputs: result.outputs.len() as u64,
+            n_atoms,
+            profits: vec![HashMap::new(); n_atoms],
+            counts: vec![HashMap::new(); n_atoms],
+            agreed: vec![None; result.outputs.len()],
+            scored: false,
+            selector: None,
+        })
+    }
+
+    /// Number of atoms in the underlying query.
+    pub fn atom_count(&self) -> usize {
+        self.n_atoms
+    }
+
+    /// Output slots (live or dead); [`score_range`](Self::score_range)
+    /// ranges partition `0..output_slots()`.
+    pub fn output_slots(&self) -> usize {
+        self.output_witnesses.len()
+    }
+
+    /// Witness slots (live or dead).
+    pub fn witness_slots(&self) -> usize {
+        self.witness_tuples.len()
+    }
+
+    /// Outputs still alive: `|Q(D − S)|` for the current deletion set.
+    pub fn live_outputs(&self) -> u64 {
+        self.live_outputs
+    }
+
+    /// Witnesses still alive.
+    pub fn live_witnesses(&self) -> u64 {
+        self.live_witnesses
+    }
+
+    /// `|Q(D)|` before any deletion.
+    pub fn total_outputs(&self) -> u64 {
+        self.total_outputs
+    }
+
+    /// Outputs removed by the current deletion set.
+    pub fn removed_outputs(&self) -> u64 {
+        self.total_outputs - self.live_outputs
+    }
+
+    /// Is the tuple currently deleted?
+    pub fn is_deleted(&self, t: TupleRef) -> bool {
+        self.deleted[t.atom].contains(&t.index)
+    }
+
+    /// The input tuples participating in at least one witness (dead or
+    /// alive), per atom, sorted.
+    pub fn participating_tuples(&self) -> Vec<Vec<u32>> {
+        self.tuple_witnesses
+            .iter()
+            .map(|m| {
+                let mut v: Vec<u32> = m.keys().copied().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect()
+    }
+
+    /// Computes profit/count/agreement contributions of the outputs in
+    /// `lo..hi` under the **current** witness liveness. Pure; disjoint
+    /// ranges may be scored from multiple threads and merged with
+    /// [`install_scores`](Self::install_scores).
+    pub fn score_range(&self, lo: usize, hi: usize) -> RangeScores {
+        let mut scores = RangeScores {
+            profits: vec![HashMap::new(); self.n_atoms],
+            counts: vec![HashMap::new(); self.n_atoms],
+            agreed: Vec::new(),
+        };
+        for out in lo..hi {
+            if self.output_live[out] == 0 {
+                continue;
+            }
+            // Every witness belongs to exactly one output, so per-output
+            // iteration partitions the witness set too.
+            for &w in &self.output_witnesses[out] {
+                if self.witness_dead[w as usize] != 0 {
+                    continue;
+                }
+                for (atom, &t) in self.witness_tuples[w as usize].iter().enumerate() {
+                    *scores.counts[atom].entry(t).or_insert(0) += 1;
+                }
+            }
+            if let Some(a) = self.compute_agreement(out) {
+                for (atom, slot) in a.iter().enumerate() {
+                    if let Some(t) = slot {
+                        *scores.profits[atom].entry(*t).or_insert(0) += 1;
+                    }
+                }
+                scores.agreed.push((out as u32, a));
+            }
+        }
+        scores
+    }
+
+    /// Installs the merged scores of a full partition of
+    /// `0..output_slots()`. Must be called exactly once, before any
+    /// mutation or selection.
+    pub fn install_scores(&mut self, parts: Vec<RangeScores>) {
+        assert!(!self.scored, "scores already installed");
+        assert!(self.selector.is_none());
+        for part in parts {
+            for (atom, map) in part.profits.into_iter().enumerate() {
+                for (t, c) in map {
+                    *self.profits[atom].entry(t).or_insert(0) += c;
+                }
+            }
+            for (atom, map) in part.counts.into_iter().enumerate() {
+                for (t, c) in map {
+                    *self.counts[atom].entry(t).or_insert(0) += c;
+                }
+            }
+            for (out, a) in part.agreed {
+                debug_assert!(self.agreed[out as usize].is_none());
+                self.agreed[out as usize] = Some(a);
+            }
+        }
+        self.scored = true;
+    }
+
+    /// The maintained profit maps (`ProvenanceIndex::profits()` at the
+    /// current deletion state), one per atom. No zero entries.
+    pub fn profits(&self) -> &[HashMap<u32, u64>] {
+        assert!(self.scored, "scores not installed");
+        &self.profits
+    }
+
+    /// The maintained live-count maps (`ProvenanceIndex::live_counts()`
+    /// at the current deletion state), one per atom. No zero entries.
+    pub fn live_counts(&self) -> &[HashMap<u32, u64>] {
+        assert!(self.scored, "scores not installed");
+        &self.counts
+    }
+
+    /// Builds the ordered candidate sets over the atoms in `selectable`,
+    /// turning [`best_profit_candidate`](Self::best_profit_candidate) /
+    /// [`best_count_candidate`](Self::best_count_candidate) into
+    /// `O(log n)` lookups that stay current across batches.
+    pub fn enable_selection(&mut self, selectable: Vec<bool>) {
+        assert!(self.scored, "scores not installed");
+        assert_eq!(selectable.len(), self.n_atoms);
+        let mut sel = Selector {
+            selectable,
+            by_profit: BTreeSet::new(),
+            by_count: BTreeSet::new(),
+        };
+        for (atom, map) in self.profits.iter().enumerate() {
+            if sel.selectable[atom] {
+                sel.by_profit
+                    .extend(map.iter().map(|(&i, &p)| (p, Reverse((atom, i)))));
+            }
+        }
+        for (atom, map) in self.counts.iter().enumerate() {
+            if sel.selectable[atom] {
+                sel.by_count
+                    .extend(map.iter().map(|(&i, &c)| (c, Reverse((atom, i)))));
+            }
+        }
+        self.selector = Some(sel);
+    }
+
+    /// The selectable tuple with the highest profit, ties broken toward
+    /// the smallest `(atom, idx)` — exactly the full-scan greedy pick.
+    pub fn best_profit_candidate(&self) -> Option<(u64, usize, u32)> {
+        let sel = self.selector.as_ref().expect("selection not enabled");
+        sel.by_profit
+            .iter()
+            .next_back()
+            .map(|&(p, Reverse((atom, idx)))| (p, atom, idx))
+    }
+
+    /// The selectable tuple on the most live witnesses (the greedy
+    /// tie-breaker round), same total order.
+    pub fn best_count_candidate(&self) -> Option<(u64, usize, u32)> {
+        let sel = self.selector.as_ref().expect("selection not enabled");
+        sel.by_count
+            .iter()
+            .next_back()
+            .map(|&(c, Reverse((atom, idx)))| (c, atom, idx))
+    }
+
+    /// Deletes one tuple. Returns the number of outputs that died.
+    pub fn delete(&mut self, t: TupleRef) -> u64 {
+        self.delete_batch(&[t])
+    }
+
+    /// Restores one tuple. Returns the number of outputs revived.
+    pub fn restore(&mut self, t: TupleRef) -> u64 {
+        self.restore_batch(&[t])
+    }
+
+    /// Deletes a batch of tuples (already-deleted members are ignored).
+    /// Returns the number of outputs that died. Cost is proportional to
+    /// the affected witnesses, not to `|Q(D)|`.
+    pub fn delete_batch(&mut self, batch: &[TupleRef]) -> u64 {
+        assert!(self.scored, "scores not installed");
+        let mut touched: Vec<u32> = Vec::new();
+        let mut died = 0u64;
+        for &t in batch {
+            if !self.deleted[t.atom].insert(t.index) {
+                continue;
+            }
+            let Some(ws) = self.tuple_witnesses[t.atom].get(&t.index).cloned() else {
+                continue;
+            };
+            for w in ws {
+                let wd = &mut self.witness_dead[w as usize];
+                *wd += 1;
+                if *wd != 1 {
+                    continue; // was already dead through another tuple
+                }
+                self.live_witnesses -= 1;
+                let tuples = self.witness_tuples[w as usize].clone();
+                for (atom, &tt) in tuples.iter().enumerate() {
+                    self.count_sub(atom, tt);
+                }
+                let out = self.witness_output[w as usize];
+                let live = &mut self.output_live[out as usize];
+                *live -= 1;
+                if *live == 0 {
+                    self.live_outputs -= 1;
+                    died += 1;
+                }
+                touched.push(out);
+            }
+        }
+        self.rescore_touched(touched);
+        died
+    }
+
+    /// Restores a batch of tuples (members not currently deleted are
+    /// ignored). Returns the number of outputs revived.
+    pub fn restore_batch(&mut self, batch: &[TupleRef]) -> u64 {
+        assert!(self.scored, "scores not installed");
+        let mut touched: Vec<u32> = Vec::new();
+        let mut revived = 0u64;
+        for &t in batch {
+            if !self.deleted[t.atom].remove(&t.index) {
+                continue;
+            }
+            let Some(ws) = self.tuple_witnesses[t.atom].get(&t.index).cloned() else {
+                continue;
+            };
+            for w in ws {
+                let wd = &mut self.witness_dead[w as usize];
+                *wd -= 1;
+                if *wd != 0 {
+                    continue; // still dead through another tuple
+                }
+                self.live_witnesses += 1;
+                let tuples = self.witness_tuples[w as usize].clone();
+                for (atom, &tt) in tuples.iter().enumerate() {
+                    self.count_add(atom, tt);
+                }
+                let out = self.witness_output[w as usize];
+                let live = &mut self.output_live[out as usize];
+                *live += 1;
+                if *live == 1 {
+                    self.live_outputs += 1;
+                    revived += 1;
+                }
+                touched.push(out);
+            }
+        }
+        self.rescore_touched(touched);
+        revived
+    }
+
+    /// Re-derives the profit contribution of every output whose witness
+    /// set changed in this batch.
+    fn rescore_touched(&mut self, mut touched: Vec<u32>) {
+        touched.sort_unstable();
+        touched.dedup();
+        for out in touched {
+            self.rescore_output(out as usize);
+        }
+    }
+
+    fn rescore_output(&mut self, out: usize) {
+        if let Some(old) = self.agreed[out].take() {
+            for (atom, slot) in old.iter().enumerate() {
+                if let Some(t) = slot {
+                    self.profit_sub(atom, *t);
+                }
+            }
+        }
+        let fresh = if self.output_live[out] == 0 {
+            None
+        } else {
+            self.compute_agreement(out)
+        };
+        if let Some(a) = &fresh {
+            for (atom, slot) in a.iter().enumerate() {
+                if let Some(t) = slot {
+                    self.profit_add(atom, *t);
+                }
+            }
+        }
+        self.agreed[out] = fresh;
+    }
+
+    /// Per-atom sole killers of one output: the tuple all its live
+    /// witnesses agree on, if any. `None` when no witness is alive.
+    fn compute_agreement(&self, out: usize) -> Option<Box<[Option<u32>]>> {
+        let mut agreed: Option<Box<[Option<u32>]>> = None;
+        for &w in &self.output_witnesses[out] {
+            let w = w as usize;
+            if self.witness_dead[w] != 0 {
+                continue;
+            }
+            let tuples = &self.witness_tuples[w];
+            match agreed.as_mut() {
+                None => agreed = Some(tuples.iter().map(|&t| Some(t)).collect()),
+                Some(a) => {
+                    for (atom, slot) in a.iter_mut().enumerate() {
+                        if let Some(t) = *slot {
+                            if t != tuples[atom] {
+                                *slot = None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        agreed
+    }
+
+    fn profit_add(&mut self, atom: usize, idx: u32) {
+        let e = self.profits[atom].entry(idx).or_insert(0);
+        let old = *e;
+        *e += 1;
+        let new = *e;
+        if let Some(sel) = &mut self.selector {
+            sel.changed(Score::Profit, atom, idx, old, new);
+        }
+    }
+
+    fn profit_sub(&mut self, atom: usize, idx: u32) {
+        let e = self.profits[atom]
+            .get_mut(&idx)
+            .expect("profit underflow: contribution was never added");
+        let old = *e;
+        *e -= 1;
+        let new = *e;
+        if new == 0 {
+            self.profits[atom].remove(&idx);
+        }
+        if let Some(sel) = &mut self.selector {
+            sel.changed(Score::Profit, atom, idx, old, new);
+        }
+    }
+
+    fn count_add(&mut self, atom: usize, idx: u32) {
+        let e = self.counts[atom].entry(idx).or_insert(0);
+        let old = *e;
+        *e += 1;
+        let new = *e;
+        if let Some(sel) = &mut self.selector {
+            sel.changed(Score::Count, atom, idx, old, new);
+        }
+    }
+
+    fn count_sub(&mut self, atom: usize, idx: u32) {
+        let e = self.counts[atom]
+            .get_mut(&idx)
+            .expect("count underflow: witness was never counted");
+        let old = *e;
+        *e -= 1;
+        let new = *e;
+        if new == 0 {
+            self.counts[atom].remove(&idx);
+        }
+        if let Some(sel) = &mut self.selector {
+            sel.changed(Score::Count, atom, idx, old, new);
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Score {
+    Profit,
+    Count,
+}
+
+impl Selector {
+    fn changed(&mut self, which: Score, atom: usize, idx: u32, old: u64, new: u64) {
+        if !self.selectable[atom] {
+            return;
+        }
+        let set = match which {
+            Score::Profit => &mut self.by_profit,
+            Score::Count => &mut self.by_count,
+        };
+        if old > 0 {
+            set.remove(&(old, Reverse((atom, idx))));
+        }
+        if new > 0 {
+            set.insert((new, Reverse((atom, idx))));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::join::evaluate;
+    use crate::provenance::ProvenanceIndex;
+    use crate::schema::{attrs, RelationSchema};
+
+    /// Figure 1 database with Q2(A,E) (projection query).
+    fn q2_eval() -> (Database, EvalResult) {
+        let mut db = Database::new();
+        db.add_relation("R1", attrs(&["A", "B"]), &[&[1, 1], &[2, 2], &[3, 3]]);
+        db.add_relation(
+            "R2",
+            attrs(&["B", "C"]),
+            &[&[1, 1], &[2, 2], &[2, 3], &[3, 3]],
+        );
+        db.add_relation("R3", attrs(&["C", "E"]), &[&[1, 1], &[2, 3], &[3, 3]]);
+        let atoms = vec![
+            RelationSchema::new("R1", attrs(&["A", "B"])),
+            RelationSchema::new("R2", attrs(&["B", "C"])),
+            RelationSchema::new("R3", attrs(&["C", "E"])),
+        ];
+        let r = evaluate(&db, &atoms, &attrs(&["A", "E"]));
+        (db, r)
+    }
+
+    /// Trimmed-map equality with a fresh `ProvenanceIndex` after the
+    /// same kill sequence: the maintained scores must be *equal*, not
+    /// just equivalent.
+    fn assert_scores_match(d: &DeltaProvenance, p: &ProvenanceIndex) {
+        assert_eq!(d.profits(), &p.profits()[..], "profit maps diverged");
+        assert_eq!(d.live_counts(), &p.live_counts()[..], "count maps diverged");
+        assert_eq!(d.live_outputs(), p.live_outputs());
+        assert_eq!(d.live_witnesses(), p.live_witnesses());
+    }
+
+    #[test]
+    fn initial_scores_equal_provenance_index() {
+        let (_, eval) = q2_eval();
+        let d = DeltaProvenance::try_new(&eval).unwrap();
+        let p = ProvenanceIndex::new(&eval);
+        assert_scores_match(&d, &p);
+        assert_eq!(d.total_outputs(), 3);
+        assert_eq!(d.removed_outputs(), 0);
+    }
+
+    #[test]
+    fn delete_matches_provenance_kill() {
+        let (db, eval) = q2_eval();
+        let mut d = DeltaProvenance::try_new(&eval).unwrap();
+        let mut p = ProvenanceIndex::new(&eval);
+        let b2c2 = db.expect("R2").index_of(&[2, 2]).unwrap();
+        let t = TupleRef::new(1, b2c2);
+        assert_eq!(d.delete(t), p.kill(t));
+        assert_scores_match(&d, &p);
+        assert!(d.is_deleted(t));
+        // Killing the now-sole witness path removes both outputs of a2/a3.
+        let c3e3 = db.expect("R3").index_of(&[3, 3]).unwrap();
+        let t2 = TupleRef::new(2, c3e3);
+        assert_eq!(d.delete(t2), p.kill(t2));
+        assert_scores_match(&d, &p);
+    }
+
+    #[test]
+    fn restore_round_trips_to_initial_state() {
+        let (_, eval) = q2_eval();
+        let pristine = DeltaProvenance::try_new(&eval).unwrap();
+        let mut d = pristine.clone();
+        let batch = [
+            TupleRef::new(0, 0),
+            TupleRef::new(1, 1),
+            TupleRef::new(2, 2),
+        ];
+        let died = d.delete_batch(&batch);
+        assert!(died > 0);
+        assert_eq!(d.restore_batch(&batch), died);
+        assert_eq!(d.profits(), pristine.profits());
+        assert_eq!(d.live_counts(), pristine.live_counts());
+        assert_eq!(d.live_outputs(), pristine.live_outputs());
+        assert_eq!(d.live_witnesses(), pristine.live_witnesses());
+        assert_eq!(d.removed_outputs(), 0);
+    }
+
+    #[test]
+    fn overlapping_deletes_are_refcounted() {
+        let (db, eval) = q2_eval();
+        let mut d = DeltaProvenance::try_new(&eval).unwrap();
+        // Both tuples sit on the (a1,e1) witness; restoring only one of
+        // them must keep the witness dead.
+        let a1b1 = TupleRef::new(0, db.expect("R1").index_of(&[1, 1]).unwrap());
+        let b1c1 = TupleRef::new(1, db.expect("R2").index_of(&[1, 1]).unwrap());
+        assert_eq!(d.delete_batch(&[a1b1, b1c1]), 1);
+        assert_eq!(d.restore(b1c1), 0, "witness still dead through R1");
+        assert_eq!(d.live_outputs(), 2);
+        assert_eq!(d.restore(a1b1), 1, "last deleted tuple revives it");
+        assert_eq!(d.live_outputs(), 3);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_tuples_are_ignored() {
+        let (_, eval) = q2_eval();
+        let mut d = DeltaProvenance::try_new(&eval).unwrap();
+        let t = TupleRef::new(0, 0);
+        let died = d.delete(t);
+        assert_eq!(d.delete(t), 0, "double delete is a no-op");
+        assert_eq!(d.restore(TupleRef::new(0, 99)), 0, "unknown tuple");
+        assert_eq!(d.restore(t), died);
+        assert_eq!(d.restore(t), 0, "double restore is a no-op");
+    }
+
+    #[test]
+    fn selection_tracks_the_full_scan_argmax() {
+        let (_, eval) = q2_eval();
+        let mut d = DeltaProvenance::try_new(&eval).unwrap();
+        d.enable_selection(vec![true; 3]);
+        let mut p = ProvenanceIndex::new(&eval);
+        loop {
+            // Reference pick: full scan of the fresh index's maps.
+            let scan_best = |maps: &[HashMap<u32, u64>]| {
+                let mut best: Option<(u64, usize, u32)> = None;
+                for (atom, map) in maps.iter().enumerate() {
+                    for (&idx, &s) in map {
+                        let better = match best {
+                            None => true,
+                            Some((bs, ba, bi)) => {
+                                (s, Reverse((atom, idx))) > (bs, Reverse((ba, bi)))
+                            }
+                        };
+                        if better {
+                            best = Some((s, atom, idx));
+                        }
+                    }
+                }
+                best
+            };
+            assert_eq!(d.best_profit_candidate(), scan_best(&p.profits()));
+            assert_eq!(d.best_count_candidate(), scan_best(&p.live_counts()));
+            let Some((_, atom, idx)) = d.best_profit_candidate() else {
+                break;
+            };
+            let t = TupleRef::new(atom, idx);
+            assert_eq!(d.delete(t), p.kill(t));
+        }
+        assert_eq!(d.live_outputs(), 0);
+    }
+
+    #[test]
+    fn selection_respects_the_selectable_mask() {
+        let (_, eval) = q2_eval();
+        let mut d = DeltaProvenance::try_new(&eval).unwrap();
+        d.enable_selection(vec![false, true, false]);
+        while let Some((_, atom, idx)) = d
+            .best_profit_candidate()
+            .or_else(|| d.best_count_candidate())
+        {
+            assert_eq!(atom, 1, "only R2 is selectable");
+            d.delete(TupleRef::new(atom, idx));
+        }
+        // R2 alone cannot be fully... it can: all witnesses pass through R2.
+        assert_eq!(d.live_outputs(), 0);
+    }
+
+    #[test]
+    fn range_scoring_partitions_match_sequential_install() {
+        let (_, eval) = q2_eval();
+        let seq = DeltaProvenance::try_new(&eval).unwrap();
+        for chunk in 1..=seq.output_slots() {
+            let mut par = DeltaProvenance::new_unscored(&eval).unwrap();
+            let parts: Vec<RangeScores> = (0..par.output_slots())
+                .step_by(chunk)
+                .map(|lo| par.score_range(lo, (lo + chunk).min(par.output_slots())))
+                .collect();
+            par.install_scores(parts);
+            assert_eq!(par.profits(), seq.profits(), "chunk={chunk}");
+            assert_eq!(par.live_counts(), seq.live_counts(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn witness_cap_guard_surfaces_too_many_witnesses() {
+        let (_, eval) = q2_eval();
+        let err = DeltaProvenance::try_new_with_cap(&eval, 3).unwrap_err();
+        assert_eq!(
+            err,
+            AdpError::TooManyWitnesses {
+                witnesses: 4,
+                cap: 3
+            }
+        );
+        assert!(err.to_string().contains("4 witnesses"));
+        assert!(DeltaProvenance::try_new_with_cap(&eval, 4).is_ok());
+    }
+
+    #[test]
+    fn empty_evaluation_is_harmless() {
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A"]), &[&[1]]);
+        db.add_relation("S", attrs(&["A"]), &[]);
+        let atoms = vec![
+            RelationSchema::new("R", attrs(&["A"])),
+            RelationSchema::new("S", attrs(&["A"])),
+        ];
+        let eval = evaluate(&db, &atoms, &attrs(&["A"]));
+        let mut d = DeltaProvenance::try_new(&eval).unwrap();
+        assert_eq!(d.live_outputs(), 0);
+        assert_eq!(d.delete(TupleRef::new(0, 0)), 0);
+        assert_eq!(d.restore(TupleRef::new(0, 0)), 0);
+        d.enable_selection(vec![true; 2]);
+        assert_eq!(d.best_profit_candidate(), None);
+        assert_eq!(d.best_count_candidate(), None);
+    }
+}

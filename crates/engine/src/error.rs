@@ -1,0 +1,38 @@
+//! Engine-level errors.
+//!
+//! The engine stores witness ids as dense `u32`s (a witness is one
+//! full-join row; instances large enough to overflow that space cannot
+//! be represented without corrupting the incidence structure). Building
+//! a provenance or delta index over such a result surfaces
+//! [`AdpError::TooManyWitnesses`] instead of silently truncating ids.
+
+use std::fmt;
+
+/// Errors raised by the engine's index-building layers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdpError {
+    /// The evaluation produced more witnesses than the dense `u32` id
+    /// space (or an injected test cap) can address. Proceeding would
+    /// alias distinct witnesses onto one id and corrupt every
+    /// profit/live-count the solvers read.
+    TooManyWitnesses {
+        /// Witnesses in the evaluation result.
+        witnesses: u64,
+        /// Maximum representable witness count.
+        cap: u64,
+    },
+}
+
+impl fmt::Display for AdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdpError::TooManyWitnesses { witnesses, cap } => write!(
+                f,
+                "evaluation has {witnesses} witnesses but witness ids only address {cap}; \
+                 refusing to build a corrupt provenance index"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdpError {}

@@ -29,6 +29,8 @@
 
 pub mod catalog;
 pub mod database;
+pub mod delta;
+pub mod error;
 pub mod join;
 pub mod naive;
 pub mod plan;
@@ -40,6 +42,8 @@ pub mod value;
 
 pub use catalog::{AttrId, Catalog, RelId};
 pub use database::Database;
+pub use delta::DeltaProvenance;
+pub use error::AdpError;
 pub use join::{evaluate, EvalResult, Witness};
 pub use plan::{AliveMask, JoinIndexes, QueryPlan};
 pub use provenance::{ProvenanceIndex, TupleRef};

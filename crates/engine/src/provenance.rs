@@ -13,6 +13,7 @@
 //! *sole killer* of an output iff every live witness of that output uses
 //! the tuple — computed by a per-output agreement scan (`profits`).
 
+use crate::error::AdpError;
 use crate::join::EvalResult;
 use std::collections::HashMap;
 
@@ -53,7 +54,29 @@ pub struct ProvenanceIndex {
 
 impl ProvenanceIndex {
     /// Builds the index from an evaluation result.
+    ///
+    /// Panics if the result has more witnesses than the dense `u32` id
+    /// space can address; fallible callers should use
+    /// [`try_new`](Self::try_new), which surfaces
+    /// [`AdpError::TooManyWitnesses`] instead.
     pub fn new(result: &EvalResult) -> Self {
+        Self::try_new(result).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds the index, rejecting results whose witness count overflows
+    /// the `u32` id space (which would silently alias distinct witnesses
+    /// and corrupt the incidence).
+    pub fn try_new(result: &EvalResult) -> Result<Self, AdpError> {
+        Self::try_new_with_cap(result, u32::MAX as u64)
+    }
+
+    /// [`try_new`](Self::try_new) with an injected witness-id cap, so the
+    /// overflow guard is testable without materializing 4B witnesses.
+    pub fn try_new_with_cap(result: &EvalResult, cap: u64) -> Result<Self, AdpError> {
+        let witnesses = result.witnesses.len() as u64;
+        if witnesses > cap {
+            return Err(AdpError::TooManyWitnesses { witnesses, cap });
+        }
         let n_atoms = result.atom_names.len();
         let mut tuple_witnesses: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); n_atoms];
         for (wid, w) in result.witnesses.iter().enumerate() {
@@ -61,7 +84,7 @@ impl ProvenanceIndex {
                 tuple_witnesses[atom].entry(t).or_default().push(wid as u32);
             }
         }
-        ProvenanceIndex {
+        Ok(ProvenanceIndex {
             witness_tuples: result.witnesses.iter().map(|w| w.tuples.clone()).collect(),
             witness_output: result.witness_output.clone(),
             witness_alive: vec![true; result.witnesses.len()],
@@ -74,7 +97,7 @@ impl ProvenanceIndex {
             tuple_witnesses,
             live_outputs: result.outputs.len() as u64,
             n_atoms,
-        }
+        })
     }
 
     /// Number of atoms in the underlying query.
@@ -385,6 +408,38 @@ mod tests {
                 .collect();
             assert_eq!(merge(parts), p.live_counts(), "live_counts chunk={chunk}");
         }
+    }
+
+    #[test]
+    fn witness_cap_guard_surfaces_too_many_witnesses() {
+        // Regression: witness ids used to be truncated with `wid as u32`,
+        // silently aliasing witnesses past the id space. The guard must
+        // surface the overflow instead (tested at an injected small cap).
+        let mut db = Database::new();
+        db.add_relation("R1", attrs(&["A", "B"]), &[&[1, 1], &[2, 2], &[3, 3]]);
+        db.add_relation(
+            "R2",
+            attrs(&["B", "C"]),
+            &[&[1, 1], &[2, 2], &[2, 3], &[3, 3]],
+        );
+        db.add_relation("R3", attrs(&["C", "E"]), &[&[1, 1], &[2, 3], &[3, 3]]);
+        let atoms = vec![
+            RelationSchema::new("R1", attrs(&["A", "B"])),
+            RelationSchema::new("R2", attrs(&["B", "C"])),
+            RelationSchema::new("R3", attrs(&["C", "E"])),
+        ];
+        let r = evaluate(&db, &atoms, &attrs(&["A", "E"]));
+        assert_eq!(r.witness_count(), 4);
+        let err = ProvenanceIndex::try_new_with_cap(&r, 3).unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::AdpError::TooManyWitnesses {
+                witnesses: 4,
+                cap: 3
+            }
+        );
+        assert!(ProvenanceIndex::try_new_with_cap(&r, 4).is_ok());
+        assert!(ProvenanceIndex::try_new(&r).is_ok());
     }
 
     #[test]

@@ -50,18 +50,51 @@ where
 
 static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
 
-/// Default worker count for the global pool: `ADP_THREADS` if set to a
-/// positive integer, otherwise [`std::thread::available_parallelism`].
+/// Strictly parses a worker-count string: a positive integer, nothing
+/// else. Shared by the `--threads` flag and the `ADP_THREADS`
+/// environment variable so the two can never drift apart.
+pub fn parse_thread_count(v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(0) => Err("thread count must be at least 1, got 0".to_owned()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "thread count must be a positive integer, got {v:?}"
+        )),
+    }
+}
+
+/// The `ADP_THREADS` environment variable, strictly validated:
+/// `Ok(None)` when unset, `Ok(Some(n))` for a positive integer, and an
+/// error (never a silent fallback) for `0` or non-numeric values.
+pub fn env_threads() -> Result<Option<usize>, String> {
+    match std::env::var("ADP_THREADS") {
+        Ok(v) => parse_thread_count(&v)
+            .map(Some)
+            .map_err(|e| format!("invalid ADP_THREADS: {e}")),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Auto-detected worker count: [`std::thread::available_parallelism`],
+/// falling back to 1. The single source of the detection policy for
+/// every caller (the runtime default and the bench CLI).
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Default worker count for the global pool: `ADP_THREADS` if set,
+/// otherwise [`auto_threads`]. An *invalid* `ADP_THREADS` is a hard
+/// error (panic with the validation message), not a silent fallback —
+/// binaries that can report it gracefully should call [`env_threads`]
+/// themselves first (as `adp-bench` does).
 pub fn default_threads() -> usize {
-    std::env::var("ADP_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    match env_threads() {
+        Ok(Some(n)) => n,
+        Ok(None) => auto_threads(),
+        Err(msg) => panic!("{msg}"),
+    }
 }
 
 /// The error returned when [`configure_global`] loses the race against
@@ -142,6 +175,22 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    /// Regression: `ADP_THREADS=0` and non-numeric values used to fall
+    /// back to auto-detection silently; the parser must reject them.
+    #[test]
+    fn thread_count_parser_rejects_zero_and_garbage() {
+        assert_eq!(parse_thread_count("4"), Ok(4));
+        assert_eq!(parse_thread_count(" 2 "), Ok(2));
+        assert!(parse_thread_count("0").unwrap_err().contains("at least 1"));
+        assert!(parse_thread_count("four")
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse_thread_count("-2")
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse_thread_count("").unwrap_err().contains("\"\""));
     }
 
     #[test]

@@ -57,6 +57,8 @@ pub use adp_core::solver::{
 };
 pub use adp_core::{QueryError, SolveError};
 pub use adp_engine::database::Database;
+pub use adp_engine::delta::DeltaProvenance;
+pub use adp_engine::error::AdpError;
 pub use adp_engine::plan::{AliveMask, JoinIndexes, QueryPlan};
 pub use adp_engine::provenance::TupleRef;
 pub use adp_engine::schema::{attr, attrs, Attr, RelationSchema};

@@ -1,0 +1,250 @@
+//! Differential tests for the incremental delta maintenance layer
+//! (`adp-engine::delta`).
+//!
+//! The invariant is strict equality against the masked full
+//! re-evaluation oracle: for random `(Q, D)` and random interleaved
+//! delete/undelete batches, every maintained quantity — live outputs,
+//! live witnesses, profit maps, live-count maps — must equal what a
+//! fresh masked re-execution (plus a fresh `ProvenanceIndex` over it)
+//! reports **after every batch**, for the sequentially scored index and
+//! for one scored through a 4-worker range fan-out. On top of that, the
+//! delta-driven greedy solver must be byte-identical to the
+//! `full_reeval` rescan path, and delta-based deletion-set verification
+//! must equal masked verification.
+
+use adp::core::solver::{AdpOptions, PreparedQuery};
+use adp::engine::delta::{DeltaProvenance, RangeScores};
+use adp::engine::plan::{AliveMask, QueryPlan};
+use adp::engine::provenance::ProvenanceIndex;
+use adp::{parse_query, Database, Query, TupleRef};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Pins the global pool to 4 workers so the parallel scoring paths run
+/// even on a single-core box.
+fn four_workers() -> &'static adp::ThreadPool {
+    let _ = adp::runtime::configure_global(4);
+    let pool = adp::runtime::global();
+    assert_eq!(pool.threads(), 4);
+    pool
+}
+
+/// Strategy: a random self-join-free query over attributes A..E with
+/// 1..=4 atoms of arity 1..=3 and a random head.
+fn arb_query() -> impl Strategy<Value = Query> {
+    let attr_pool = ["A", "B", "C", "D", "E"];
+    proptest::collection::vec(
+        proptest::collection::btree_set(0usize..attr_pool.len(), 1..=3),
+        1..=4,
+    )
+    .prop_flat_map(move |atom_sets| {
+        let used: Vec<usize> = {
+            let mut v: Vec<usize> = atom_sets.iter().flatten().copied().collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let used_len = used.len();
+        (
+            Just(atom_sets),
+            proptest::collection::btree_set(0usize..used_len, 0..=used_len),
+            Just(used),
+        )
+    })
+    .prop_map(move |(atom_sets, head_pick, used)| {
+        let atoms_txt: Vec<String> = atom_sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let names: Vec<&str> = s.iter().map(|&a| attr_pool[a]).collect();
+                format!("R{}({})", i, names.join(","))
+            })
+            .collect();
+        let head_names: Vec<&str> = head_pick.iter().map(|&i| attr_pool[used[i]]).collect();
+        let text = format!("Q({}) :- {}", head_names.join(","), atoms_txt.join(", "));
+        parse_query(&text).expect("generated query is valid")
+    })
+}
+
+/// Strategy: a small random database for a query.
+fn arb_db(q: &Query, max_rows: usize, dom: u64) -> impl Strategy<Value = Database> {
+    let atoms: Vec<_> = q.atoms().to_vec();
+    proptest::collection::vec(
+        proptest::collection::vec(0..dom, 0..=10),
+        atoms.len()..=atoms.len(),
+    )
+    .prop_map(move |value_streams| {
+        let mut db = Database::new();
+        for (atom, stream) in atoms.iter().zip(value_streams) {
+            let mut inst = adp::engine::relation::RelationInstance::new(atom.clone());
+            if atom.arity() == 0 {
+                inst.insert(&[]);
+            } else {
+                let rows = (stream.len() / atom.arity().max(1)).min(max_rows);
+                for r in 0..rows {
+                    let t: Vec<u64> = (0..atom.arity())
+                        .map(|c| stream[(r * atom.arity() + c) % stream.len()])
+                        .collect();
+                    inst.insert(&t);
+                }
+            }
+            db.add(inst);
+        }
+        db
+    })
+}
+
+/// Builds a delta index scored through a 4-worker range fan-out, so the
+/// parallel install path is exercised regardless of chunk heuristics.
+fn delta_scored_on_pool(eval: &adp::engine::EvalResult) -> DeltaProvenance {
+    let pool = four_workers();
+    let mut d = DeltaProvenance::new_unscored(eval).unwrap();
+    let slots = d.output_slots();
+    let chunk = slots.div_ceil(pool.threads()).max(1);
+    let parts: Vec<RangeScores> = pool.par_indexed(slots.div_ceil(chunk), |i| {
+        d.score_range(i * chunk, ((i + 1) * chunk).min(slots))
+    });
+    d.install_scores(parts);
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Delta maintenance ≡ masked full re-evaluation after every batch,
+    /// with maintained scores equal to a fresh `ProvenanceIndex` over
+    /// the masked result — for the sequentially scored index and the
+    /// 4-worker-scored index alike.
+    #[test]
+    fn delta_batches_match_masked_reeval(
+        (q, db, ops) in arb_query().prop_flat_map(|q| {
+            let db = arb_db(&q, 8, 3);
+            // (delete?, atom selector, tuple selector) per op; ops are
+            // grouped into batches of up to 3.
+            let ops = proptest::collection::vec(
+                (0u8..2, 0usize..8, 0u64..64),
+                0..=14,
+            );
+            (Just(q), db, ops)
+        })
+    ) {
+        let plan = QueryPlan::new(&db, q.atoms(), q.head());
+        let indexes = plan.build_indexes(&db);
+        let eval = plan.execute(&db, &indexes);
+        let mut mask = AliveMask::all_alive(&db, q.atoms());
+        let mut delta = DeltaProvenance::try_new(&eval).unwrap();
+        let mut delta_par = delta_scored_on_pool(&eval);
+        let mut deleted: Vec<TupleRef> = Vec::new();
+
+        for batch in ops.chunks(3) {
+            // Translate ops into a concrete delete batch and restore
+            // batch; restores pick from the currently deleted set.
+            let mut dels: Vec<TupleRef> = Vec::new();
+            let mut rests: Vec<TupleRef> = Vec::new();
+            for &(is_delete, a, i) in batch {
+                if is_delete == 1 {
+                    let atom = a % q.atom_count();
+                    let len = db.expect(q.atoms()[atom].name()).len() as u64;
+                    if len > 0 {
+                        dels.push(TupleRef::new(atom, (i % len) as u32));
+                    }
+                } else if !deleted.is_empty() {
+                    rests.push(deleted[(i as usize) % deleted.len()]);
+                }
+            }
+            for &t in &dels {
+                if mask.kill(t.atom, t.index) {
+                    deleted.push(t);
+                }
+            }
+            for &t in &rests {
+                mask.revive(t.atom, t.index);
+                deleted.retain(|&d| d != t);
+            }
+            let seq_died = delta.delete_batch(&dels);
+            let par_died = delta_par.delete_batch(&dels);
+            prop_assert_eq!(seq_died, par_died, "{}: batch effect diverged", q);
+            prop_assert_eq!(delta.restore_batch(&rests), delta_par.restore_batch(&rests));
+
+            // Oracle: masked full re-evaluation + fresh provenance.
+            let masked = plan.execute_masked(&db, &indexes, &mask);
+            prop_assert_eq!(
+                delta.live_outputs(), masked.output_count(),
+                "{}: live outputs diverged from masked re-eval", q
+            );
+            prop_assert_eq!(
+                delta.live_witnesses(), masked.witness_count(),
+                "{}: live witnesses diverged from masked re-eval", q
+            );
+            let oracle = ProvenanceIndex::new(&masked);
+            prop_assert_eq!(
+                delta.profits(), &oracle.profits()[..],
+                "{}: maintained profits diverged", q
+            );
+            prop_assert_eq!(
+                delta.live_counts(), &oracle.live_counts()[..],
+                "{}: maintained live counts diverged", q
+            );
+
+            // The 4-worker-scored index must track the sequential one
+            // exactly at every state.
+            prop_assert_eq!(delta_par.live_outputs(), delta.live_outputs());
+            prop_assert_eq!(delta_par.profits(), delta.profits());
+            prop_assert_eq!(delta_par.live_counts(), delta.live_counts());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The delta-driven greedy solver is byte-identical to the
+    /// `full_reeval` rescan oracle — sequentially and on the 4-worker
+    /// pool — and delta-based deletion-set verification equals masked
+    /// verification.
+    #[test]
+    fn delta_solver_and_verifier_match_full_reeval(
+        (q, db) in arb_query().prop_flat_map(|q| {
+            let db = arb_db(&q, 6, 3);
+            (Just(q), db)
+        })
+    ) {
+        four_workers();
+        let prep = PreparedQuery::new(q.clone(), Arc::new(db.clone()));
+        let total = prep.output_count();
+        let ks: Vec<u64> = [1, total / 2, total]
+            .into_iter()
+            .filter(|&k| k >= 1 && k <= total)
+            .collect();
+        for k in ks {
+            for sequential in [true, false] {
+                let delta_out = prep.solve(k, &AdpOptions {
+                    force_greedy: true,
+                    sequential,
+                    ..Default::default()
+                }).unwrap();
+                let rescan_out = prep.solve(k, &AdpOptions {
+                    force_greedy: true,
+                    sequential,
+                    full_reeval: true,
+                    ..Default::default()
+                }).unwrap();
+                prop_assert_eq!(delta_out.cost, rescan_out.cost,
+                    "{} k={} seq={}: cost diverged", q, k, sequential);
+                prop_assert_eq!(delta_out.achieved, rescan_out.achieved,
+                    "{} k={} seq={}: coverage diverged", q, k, sequential);
+                prop_assert_eq!(&delta_out.solution, &rescan_out.solution,
+                    "{} k={} seq={}: deletion set diverged", q, k, sequential);
+
+                // Verification: O(Δ) postings-based == masked re-eval.
+                if let Some(sol) = &delta_out.solution {
+                    prop_assert_eq!(
+                        prep.removed_outputs(sol),
+                        prep.removed_outputs_masked(sol),
+                        "{} k={}: verification paths diverged", q, k
+                    );
+                }
+            }
+        }
+    }
+}
