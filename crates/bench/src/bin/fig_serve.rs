@@ -1,0 +1,12 @@
+//! Serving-layer figure: closed-loop load against `adp-service` (shared
+//! plan cache) vs cold plan-per-request, over client thread counts (see
+//! adp-bench::experiments::fig_serve). Pass `--quick` for CI-sized
+//! inputs, `--threads N` to size the solver worker pool, and `--seed S`
+//! to re-roll the workload data. Exits non-zero if any served response
+//! diverges from the direct sequential solve.
+
+fn main() {
+    adp_bench::cli::init();
+    adp_bench::experiments::fig_serve();
+    adp_bench::checks::finish();
+}

@@ -1,9 +1,11 @@
 //! Streaming-deletion figure: incremental delta maintenance vs masked
 //! full re-evaluation per batch (see adp-bench::experiments). Pass
 //! `--quick` for CI-sized inputs, `--threads N` to size the worker
-//! pool, and `--seed S` to re-roll the workload data.
+//! pool, and `--seed S` to re-roll the workload data. Exits non-zero if
+//! the maintained state ever diverges from the masked oracle.
 
 fn main() {
     adp_bench::cli::init();
     adp_bench::experiments::fig_stream();
+    adp_bench::checks::finish();
 }

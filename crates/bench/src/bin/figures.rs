@@ -1,17 +1,26 @@
-//! Runs every experiment (Figures 7-29). Pass `--quick` for CI sizes,
-//! `--threads N` to size the worker pool, `--seed S` to re-roll data.
+//! Runs every experiment (Figures 7-29 plus the streaming and serving
+//! figures). Pass `--quick` for CI sizes, `--threads N` to size the
+//! worker pool, `--seed S` to re-roll data.
+//!
+//! Each figure runs guarded: a panic (or a failed internal equality
+//! check) is recorded, the remaining figures still run, and the process
+//! exits non-zero at the end — so CI smoke jobs fail on divergence
+//! without losing the other figures' output.
 
 fn main() {
     adp_bench::cli::init();
+    use adp_bench::checks::{finish, run_guarded};
     use adp_bench::experiments as e;
-    e::fig07();
-    e::fig08_09();
-    e::fig10_11();
-    e::fig12_13();
-    e::fig14_15();
-    e::fig_zipf_hard();
-    e::fig_zipf_easy();
-    e::fig_stream();
-    e::fig28();
-    e::fig29();
+    run_guarded("fig07", e::fig07);
+    run_guarded("fig08_09", e::fig08_09);
+    run_guarded("fig10_11", e::fig10_11);
+    run_guarded("fig12_13", e::fig12_13);
+    run_guarded("fig14_15", e::fig14_15);
+    run_guarded("fig_zipf_hard", e::fig_zipf_hard);
+    run_guarded("fig_zipf_easy", e::fig_zipf_easy);
+    run_guarded("fig_stream", e::fig_stream);
+    run_guarded("fig_serve", e::fig_serve);
+    run_guarded("fig28", e::fig28);
+    run_guarded("fig29", e::fig29);
+    finish();
 }

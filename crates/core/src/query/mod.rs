@@ -181,6 +181,66 @@ impl Query {
     pub fn is_connected(&self) -> bool {
         self.connected_components().len() == 1
     }
+
+    /// Canonical cache-key text for this query: the head (already sorted
+    /// and deduplicated by [`Query::new`]) and the body atoms in
+    /// declaration order, with canonical punctuation and **without the
+    /// query name** (the name is display-only and never affects
+    /// solving). Two query texts normalize to the same string iff the
+    /// solver treats them identically, so the text is safe to key a
+    /// shared plan cache: `"Q(A) :- R(A)"`, `"Q(A):-R(A)"`, and
+    /// `"Other(A) :- R(A)"` all map to `"(A) :- R(A)"`.
+    ///
+    /// Atom order and per-atom attribute order are preserved: they feed
+    /// the solver's atom indexing ([`TupleRef.atom`] coordinates), so
+    /// reordering them would conflate requests whose deletion sets are
+    /// not interchangeable.
+    ///
+    /// [`TupleRef.atom`]: adp_engine::provenance::TupleRef
+    pub fn normalized_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        out.push('(');
+        for (i, h) in self.head.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{h}");
+        }
+        out.push_str(") :- ");
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{a}");
+        }
+        out
+    }
+
+    /// 64-bit FNV-1a fingerprint of [`normalized_text`](Self::normalized_text).
+    /// Stable across processes and builds (unlike `DefaultHasher`
+    /// values, which the std documentation reserves the right to
+    /// change), so it can shard caches and key persisted artifacts.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.normalized_text().as_bytes())
+    }
+}
+
+/// 64-bit FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Parses `text` and returns its canonical cache-key form (see
+/// [`Query::normalized_text`]). The cheap front door for serving
+/// layers: one parse, then string keys.
+pub fn normalize_query_text(text: &str) -> Result<String, QueryError> {
+    Ok(parse_query(text)?.normalized_text())
 }
 
 impl fmt::Debug for Query {
@@ -291,6 +351,38 @@ mod tests {
         assert!(!q.is_connected());
         let sub = q.subquery(&[1, 4]);
         assert_eq!(sub.head(), &attrs(&["F", "G", "H"])[..]);
+    }
+
+    #[test]
+    fn normalized_text_canonicalizes_lexical_noise_only() {
+        // Whitespace and the query name are noise; atom order is not.
+        let a = q("Q(A,B) :- R1(A,B), R2(B)");
+        let b = parse_query("Other( B , A )   :-   R1( A , B ),R2( B )").unwrap();
+        assert_eq!(a.normalized_text(), "(A,B) :- R1(A,B), R2(B)");
+        assert_eq!(a.normalized_text(), b.normalized_text());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let reordered = q("Q(A,B) :- R2(B), R1(A,B)");
+        assert_ne!(
+            a.normalized_text(),
+            reordered.normalized_text(),
+            "atom order carries TupleRef coordinates and must stay distinct"
+        );
+        assert_eq!(
+            normalize_query_text("X(A,B):-R1(A,B)  ,  R2(B)").unwrap(),
+            a.normalized_text()
+        );
+        assert!(normalize_query_text("not a query").is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        // FNV-1a is a fixed algorithm: the value must never drift across
+        // runs or builds (it keys shared caches).
+        let f = q("Q(A) :- R(A)").fingerprint();
+        assert_eq!(f, q("Z(A) :- R(A)").fingerprint());
+        assert_eq!(f, super::fnv1a("(A) :- R(A)".as_bytes()));
+        assert_ne!(f, q("Q(A) :- S(A)").fingerprint());
+        assert_ne!(f, q("Q() :- R(A)").fingerprint());
     }
 
     #[test]

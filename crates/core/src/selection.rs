@@ -116,7 +116,15 @@ pub fn solve_selection(
             available: solved.total_outputs,
         });
     }
-    let cost = solved.min_cost(k)?.expect("k ≤ |Q(D)|");
+    let Some(cost) = solved.min_cost(k)? else {
+        if solved.truncated {
+            return solver::truncated_outcome(&solved, opts);
+        }
+        return Err(SolveError::Infeasible {
+            k,
+            removable: solved.max_removable(),
+        });
+    };
     let solution = match opts.mode {
         solver::Mode::Report => {
             let mut s = solved.extract(k)?;
@@ -130,6 +138,7 @@ pub fn solve_selection(
         cost,
         achieved: k,
         exact: solved.exact,
+        truncated: solved.truncated,
         output_count: solved.total_outputs,
         solution,
     })

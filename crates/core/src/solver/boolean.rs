@@ -57,11 +57,18 @@ pub(crate) fn solve_boolean_with_policy(
 
     let mut best: Option<(u64, Vec<TupleRef>, bool)> = None;
     let mut all_exact = true;
+    let mut truncated = false;
     for comp in rview.query.connected_components() {
         let sub = rview.subview(&comp);
         let sub_deletable: Vec<bool> = comp.iter().map(|&i| deletable[i]).collect();
-        let Some((cost, tuples, exact)) = component_resilience(&sub, opts, &sub_deletable)? else {
-            continue; // no finite cut under the policy
+        let (res, comp_truncated) = component_resilience(&sub, opts, &sub_deletable)?;
+        truncated |= comp_truncated;
+        // A budget-truncated component is not a proven "no finite cut":
+        // its (possibly cheaper) resilience is simply unknown, so any
+        // answer built without it is at best a bound.
+        all_exact &= !comp_truncated;
+        let Some((cost, tuples, exact)) = res else {
+            continue; // no finite cut under the policy (or budget expired)
         };
         all_exact &= exact;
         if best.as_ref().map(|(c, _, _)| cost < *c).unwrap_or(true) {
@@ -69,6 +76,18 @@ pub(crate) fn solve_boolean_with_policy(
         }
     }
     let Some((cost, tuples, chosen_exact)) = best else {
+        if truncated {
+            // The budget expired before any component could be made
+            // false: report best-so-far (nothing achieved yet) with the
+            // truncation flag, NOT a proven infeasibility.
+            return Ok(Solved::eager(
+                super::profile::CostProfile::empty(),
+                Extractor::Empty,
+                false,
+                1,
+            )
+            .with_truncated(true));
+        }
         // policy leaves no way to make the query false
         return Ok(Solved::eager(
             super::profile::CostProfile::empty(),
@@ -79,6 +98,9 @@ pub(crate) fn solve_boolean_with_policy(
     };
     // The overall value is exact only if every component bound is exact
     // (an inexact smaller bound could hide a cheaper exact component).
+    // A truncated sibling component keeps the flag visible even though
+    // this cut is complete: its unexplored component might have been
+    // cheaper, so the answer is budget-limited, not final.
     let exact = chosen_exact && all_exact;
     Ok(Solved::eager(
         CostProfile::single(cost, 1),
@@ -89,23 +111,33 @@ pub(crate) fn solve_boolean_with_policy(
         }]),
         exact,
         1,
-    ))
+    )
+    .with_truncated(truncated))
 }
 
+/// One component's answer: `(cost, cut tuples, exact)` when a finite
+/// cut was found, paired with whether the wall-clock budget truncated
+/// the search.
+type ComponentCut = (Option<(u64, Vec<TupleRef>, bool)>, bool);
+
 /// Resilience of one connected boolean component over a reduced view.
-/// Returns `None` when the deletion policy admits no finite cut.
+/// The first slot is `None` when the deletion policy admits no finite
+/// cut (or, on the triad path, when the wall-clock budget expired
+/// before the component could be made false); the second reports that
+/// budget truncation so the caller can distinguish "proven infinite"
+/// from "ran out of time".
 fn component_resilience(
     sub: &View,
     opts: &AdpOptions,
     deletable: &[bool],
-) -> Result<Option<(u64, Vec<TupleRef>, bool)>, SolveError> {
+) -> Result<ComponentCut, SolveError> {
     match find_linear_order(sub.query.atoms()) {
         Some(order) => {
             let (cost, tuples) = min_cut_resilience(sub, &order, deletable);
             if cost >= INF {
-                return Ok(None);
+                return Ok((None, false));
             }
-            Ok(Some((cost, tuples, true)))
+            Ok((Some((cost, tuples, true)), false))
         }
         None => {
             // Triad case (NP-hard): greedy heuristic on the boolean query
@@ -114,10 +146,10 @@ fn component_resilience(
             let eval = sub.eval();
             let solved = super::greedy::solve_greedy_filtered(sub, &eval, 1, deletable, opts)?;
             let Some(cost) = solved.min_cost(1)? else {
-                return Ok(None);
+                return Ok((None, solved.truncated));
             };
             let tuples = solved.extract(1)?;
-            Ok(Some((cost, tuples, false)))
+            Ok((Some((cost, tuples, false)), solved.truncated))
         }
     }
 }
@@ -306,6 +338,68 @@ mod tests {
         let (cost, tuples, _) = solve("Q() :- R1(A), R2(A,B), R3(B)", db);
         assert_eq!(cost, 1);
         assert_ne!(tuples[0], TupleRef::new(0, 1), "dangling tuple not chosen");
+    }
+
+    /// Regression: an expired budget on the triad (greedy) path used to
+    /// be misreported as "no finite cut" — a falsely *exact* empty
+    /// result that `solve_prepared` surfaced as `Infeasible`. It must
+    /// instead propagate the truncation flag so the caller gets the
+    /// documented best-so-far outcome.
+    #[test]
+    fn expired_deadline_on_triad_truncates_instead_of_infeasible() {
+        // Two disjoint triangles = one boolean output with two
+        // witnesses and no sole killer: the guaranteed first greedy
+        // round cannot make the query false, so the expired deadline
+        // truncates with nothing achieved yet.
+        let mut db = Database::new();
+        db.add_relation("R1", attrs(&["A", "B"]), &[&[1, 2], &[4, 5]]);
+        db.add_relation("R2", attrs(&["B", "C"]), &[&[2, 3], &[5, 6]]);
+        db.add_relation("R3", attrs(&["C", "A"]), &[&[3, 1], &[6, 4]]);
+        let q = parse_query("Q() :- R1(A,B), R2(B,C), R3(C,A)").unwrap();
+        let opts = AdpOptions {
+            deadline: Some(std::time::Instant::now()),
+            ..Default::default()
+        };
+        let out = crate::solver::compute_adp(&q, &db, 1, &opts).unwrap();
+        assert!(out.truncated, "budget expiry must be visible, not an error");
+        assert!(!out.exact);
+        assert_eq!(out.achieved, 0);
+        assert_eq!(out.cost, 0);
+        assert_eq!(out.solution.as_deref(), Some(&[][..]));
+        // Without a deadline the same instance is solvable (both
+        // triangles must break): never truncated.
+        let out = crate::solver::compute_adp(&q, &db, 1, &AdpOptions::default()).unwrap();
+        assert!(!out.truncated);
+        assert_eq!(out.cost, 2);
+    }
+
+    /// Regression (second half of the truncation contract): when a
+    /// *sibling* component truncates but another component still yields
+    /// a finite cut, the flag must survive on the success path — the
+    /// unexplored component might have been cheaper.
+    #[test]
+    fn truncated_sibling_component_keeps_flag_on_success_path() {
+        // Triad component (truncates under the expired budget: two
+        // disjoint triangles, no sole killer in round one) + a linear
+        // single-tuple component whose min-cut ignores the deadline.
+        let mut db = Database::new();
+        db.add_relation("R1", attrs(&["A", "B"]), &[&[1, 2], &[4, 5]]);
+        db.add_relation("R2", attrs(&["B", "C"]), &[&[2, 3], &[5, 6]]);
+        db.add_relation("R3", attrs(&["C", "A"]), &[&[3, 1], &[6, 4]]);
+        db.add_relation("S", attrs(&["X"]), &[&[7]]);
+        let q = parse_query("Q() :- R1(A,B), R2(B,C), R3(C,A), S(X)").unwrap();
+        let opts = AdpOptions {
+            deadline: Some(std::time::Instant::now()),
+            ..Default::default()
+        };
+        let out = crate::solver::compute_adp(&q, &db, 1, &opts).unwrap();
+        assert_eq!(out.cost, 1, "deleting S(7) still makes the query false");
+        assert_eq!(out.achieved, 1);
+        assert!(
+            out.truncated,
+            "the truncated triad sibling must keep the budget expiry visible"
+        );
+        assert!(!out.exact, "the unexplored component could be cheaper");
     }
 
     #[test]

@@ -55,35 +55,40 @@ pub(crate) fn combine_product(
     let total = u64::try_from(total).unwrap_or(u64::MAX);
     let cap = cap.min(total);
 
-    match opts.decompose {
-        DecomposeStrategy::NaiveFull => naive_full(children, cap, total),
-        DecomposeStrategy::NaivePairs => naive_pairs(children, cap, total, opts),
-        DecomposeStrategy::ImprovedDp => improved_dp(children, cap, total, opts),
+    // A deadline-truncated child makes the whole combination best-so-far.
+    let truncated = children.iter().any(|c| c.truncated);
+    let solved = match opts.decompose {
+        DecomposeStrategy::NaiveFull => naive_full(children, cap, total)?,
+        DecomposeStrategy::NaivePairs => naive_pairs(children, cap, total, opts)?,
+        DecomposeStrategy::ImprovedDp => improved_dp(children, cap, total, opts)?,
         DecomposeStrategy::Auto => {
             // Two components: the lazy pair answers min-cost queries in
             // O(B₁ log B₂) — strictly better than any dense table. More
             // components: dense DP while it fits (nested pairs would
             // materialize cross-product profiles), lazy pairs otherwise.
             if children.len() == 2 {
-                return Ok(lazy_pairs(children));
-            }
-            let width = cap + 1;
-            let fits = width <= opts.dense_limit
-                && (opts.mode == Mode::Count
-                    || width.saturating_mul(children.len() as u64) <= opts.dense_limit);
-            if fits {
-                improved_dp(children, cap, total, opts)
+                lazy_pairs(children)
             } else {
-                Ok(lazy_pairs(children))
+                let width = cap + 1;
+                let fits = width <= opts.dense_limit
+                    && (opts.mode == Mode::Count
+                        || width.saturating_mul(children.len() as u64) <= opts.dense_limit);
+                if fits {
+                    improved_dp(children, cap, total, opts)?
+                } else {
+                    lazy_pairs(children)
+                }
             }
         }
-    }
+    };
+    Ok(solved.with_truncated(truncated))
 }
 
 /// Lazy sparse combination: fold into nested [`PairNode`]s. Queries are
 /// answered on demand; nothing dense is materialized.
 fn lazy_pairs(children: Vec<Solved>) -> Solved {
     let exact = children.iter().all(|c| c.exact);
+    let truncated = children.iter().any(|c| c.truncated);
     let mut iter = children.into_iter();
     let mut acc = iter.next().expect("at least two children");
     for right in iter {
@@ -93,6 +98,7 @@ fn lazy_pairs(children: Vec<Solved>) -> Solved {
         acc = Solved {
             repr: Repr::Pair(Box::new(PairNode { left: acc, right })),
             exact,
+            truncated,
             total_outputs: total,
         };
     }

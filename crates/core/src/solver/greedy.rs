@@ -136,18 +136,21 @@ pub(crate) fn solve_greedy_filtered(
         .map(|(e, &d)| if policy_active { d } else { e })
         .collect();
     let cap = cap.min(total);
-    let steps = if opts.full_reeval {
-        rescan_rounds(view, eval, cap, &endo, !opts.sequential)?
+    let (steps, truncated) = if opts.full_reeval {
+        rescan_rounds(view, eval, cap, &endo, !opts.sequential, opts.deadline)?
     } else {
-        delta_rounds(view, eval, cap, &endo, !opts.sequential)?
+        delta_rounds(view, eval, cap, &endo, !opts.sequential, opts.deadline)?
     };
     let profile = CostProfile::from_pairs(steps.iter().map(|s| (s.cost_cum, s.removed_cum)));
-    Ok(Solved::eager(
-        profile,
-        Extractor::Steps(steps),
-        false,
-        total,
-    ))
+    Ok(Solved::eager(profile, Extractor::Steps(steps), false, total).with_truncated(truncated))
+}
+
+/// True if `deadline` has passed and at least one round already ran.
+/// The first round is exempt: an expired budget still yields one unit
+/// of progress, so a truncated response is never an empty shrug when
+/// something removable exists.
+fn deadline_expired(deadline: Option<std::time::Instant>, rounds_done: usize) -> bool {
+    rounds_done > 0 && deadline.is_some_and(|d| std::time::Instant::now() >= d)
 }
 
 /// Incremental greedy rounds: scores are maintained by the
@@ -163,12 +166,16 @@ fn delta_rounds(
     cap: u64,
     endo: &[bool],
     parallel: bool,
-) -> Result<Vec<Step>, SolveError> {
+    deadline: Option<std::time::Instant>,
+) -> Result<(Vec<Step>, bool), SolveError> {
     let mut prov = view.delta_provenance(eval, parallel)?;
     prov.enable_selection(endo.to_vec());
     let mut steps: Vec<Step> = Vec::new();
     let (mut removed, mut cost) = (0u64, 0u64);
     while removed < cap && prov.live_outputs() > 0 {
+        if deadline_expired(deadline, steps.len()) {
+            return Ok((steps, true));
+        }
         // Best sole killer; when none exists, the tuple on the most live
         // witnesses — exactly the rescan path's picks.
         let picked = prov
@@ -186,7 +193,7 @@ fn delta_rounds(
             cost_cum: cost,
         });
     }
-    Ok(steps)
+    Ok((steps, false))
 }
 
 /// The pre-delta greedy rounds: one full scoring pass over every live
@@ -198,7 +205,8 @@ fn rescan_rounds(
     cap: u64,
     endo: &[bool],
     parallel: bool,
-) -> Result<Vec<Step>, SolveError> {
+    deadline: Option<std::time::Instant>,
+) -> Result<(Vec<Step>, bool), SolveError> {
     let pool = if parallel {
         let p = adp_runtime::global();
         (p.threads() > 1).then_some(p)
@@ -210,6 +218,9 @@ fn rescan_rounds(
     let mut steps: Vec<Step> = Vec::new();
     let (mut removed, mut cost) = (0u64, 0u64);
     while removed < cap && prov.live_outputs() > 0 {
+        if deadline_expired(deadline, steps.len()) {
+            return Ok((steps, true));
+        }
         // Profit of each endogenous tuple under the current deletions.
         let profits = scored_profits(&prov, pool);
         let mut best: Option<(u64, usize, u32)> = None; // (profit, atom, idx)
@@ -271,7 +282,7 @@ fn rescan_rounds(
             cost_cum: cost,
         });
     }
-    Ok(steps)
+    Ok((steps, false))
 }
 
 /// `DrasticGreedyForFullCQ` (Algorithm 7). Requires a full CQ: witnesses

@@ -116,6 +116,21 @@ pub struct AdpOptions {
     /// pair); this switch exists for those checks and for
     /// benchmarking, not for correctness.
     pub full_reeval: bool,
+    /// Wall-clock budget for the greedy rounds (the only open-ended
+    /// loop in the solver): once the instant passes, the current
+    /// best-so-far deletion set is returned with
+    /// [`AdpOutcome::truncated`] set instead of running to the target.
+    /// The first round always runs, so a truncated answer still makes
+    /// progress whenever anything is removable. Exact (poly-time) paths
+    /// and the single-pass drastic heuristic ignore the deadline.
+    /// `None` (the default) never truncates.
+    ///
+    /// Note that where a deadline fires depends on wall-clock speed, so
+    /// truncated results are **not** byte-identical across the
+    /// delta/full-re-evaluation or sequential/parallel variants — this
+    /// knob is for serving-layer latency bounds, not for the
+    /// differential suites.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for AdpOptions {
@@ -131,6 +146,7 @@ impl Default for AdpOptions {
             pair_points_limit: 4_000_000,
             sequential: false,
             full_reeval: false,
+            deadline: None,
         }
     }
 }
@@ -155,6 +171,16 @@ pub struct AdpOutcome {
     pub achieved: u64,
     /// True if the answer is provably optimal (poly-time query shape).
     pub exact: bool,
+    /// True if a wall-clock deadline ([`AdpOptions::deadline`]) expired
+    /// somewhere during solving: the answer is budget-limited, not a
+    /// finished run. At a greedy leaf this means `cost`/`achieved`/
+    /// `solution` are the best-so-far deletion set with
+    /// `achieved < k`; in combined shapes (e.g. a multi-component
+    /// boolean query) the reported set may reach the target while a
+    /// truncated sibling component — possibly cheaper — went
+    /// unexplored, so the flag stays visible either way (and `exact` is
+    /// false).
+    pub truncated: bool,
     /// `|Q(D)|`.
     pub output_count: u64,
     /// The deletion set in original-database coordinates (report mode).
@@ -207,6 +233,7 @@ pub(crate) fn solve_prepared(
             cost: 0,
             achieved: 0,
             exact: true,
+            truncated: false,
             output_count: 0,
             solution: (opts.mode == Mode::Report).then(Vec::new),
         });
@@ -218,6 +245,12 @@ pub(crate) fn solve_prepared(
         });
     }
     let Some(cost) = solved.min_cost(k)? else {
+        if solved.truncated {
+            // The deadline expired before the greedy rounds reached k:
+            // answer with the best-so-far deletion set instead of an
+            // error (paper-style anytime behavior for serving layers).
+            return truncated_outcome(&solved, opts);
+        }
         // The profile stops short of k (possible when a policy or an
         // exhausted candidate pool truncated a heuristic profile);
         // surface it instead of panicking.
@@ -236,17 +269,43 @@ pub(crate) fn solve_prepared(
         Mode::Count => None,
     };
     // `achieved` is the removal at the chosen profile point.
-    let achieved = match &solution {
-        Some(_) => {
-            // the profile point actually used
-            best_achieved(&solved, k, cost)?
-        }
-        None => best_achieved(&solved, k, cost)?,
-    };
+    let achieved = best_achieved(&solved, k, cost)?;
     Ok(AdpOutcome {
         cost,
         achieved,
         exact: solved.exact,
+        truncated: solved.truncated,
+        output_count: solved.total_outputs,
+        solution,
+    })
+}
+
+/// Builds the best-so-far [`AdpOutcome`] for a deadline-truncated
+/// [`Solved`] whose profile stopped short of the requested target:
+/// everything the expired greedy rounds managed to remove, at the cost
+/// they paid. Shared by the prepared, policy, and selection front ends
+/// so truncation semantics cannot drift between them.
+pub(crate) fn truncated_outcome(
+    solved: &Solved,
+    opts: &AdpOptions,
+) -> Result<AdpOutcome, SolveError> {
+    debug_assert!(solved.truncated);
+    let achieved = solved.max_removable();
+    let cost = solved.min_cost(achieved)?.unwrap_or(0);
+    let solution = match opts.mode {
+        Mode::Report => Some({
+            let mut s = solved.extract(achieved)?;
+            s.sort_unstable();
+            s.dedup();
+            s
+        }),
+        Mode::Count => None,
+    };
+    Ok(AdpOutcome {
+        cost,
+        achieved,
+        exact: false,
+        truncated: true,
         output_count: solved.total_outputs,
         solution,
     })
@@ -504,6 +563,70 @@ mod tests {
             .unwrap_or_else(|e| panic!("{text} (greedy): {e}"));
             assert_eq!(greedy.cost, 0, "{text} (greedy)");
         }
+    }
+
+    /// Satellite (deadline edge case): a budget that expires mid-greedy
+    /// returns the best-so-far deletion set with the truncation flag,
+    /// never an `Infeasible` error — and the first round always runs, so
+    /// a truncated answer still removes something when possible.
+    #[test]
+    fn expired_deadline_truncates_greedy_with_best_so_far() {
+        let q = parse_query("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
+        let mut db = Database::new();
+        db.add_relation("S", attrs(&["NK", "SK"]), &[&[1, 1], &[2, 2]]);
+        db.add_relation("PS", attrs(&["SK", "PK"]), &[&[1, 1], &[1, 2], &[2, 1]]);
+        db.add_relation("L", attrs(&["OK", "PK"]), &[&[7, 1], &[8, 2]]);
+        let total = 3;
+        for full_reeval in [false, true] {
+            let opts = AdpOptions {
+                force_greedy: true,
+                full_reeval,
+                // Already in the past by the time the loop checks it.
+                deadline: Some(std::time::Instant::now()),
+                ..Default::default()
+            };
+            let out = compute_adp(&q, &db, total, &opts).unwrap();
+            assert!(out.truncated, "full_reeval={full_reeval}");
+            assert!(!out.exact);
+            assert_eq!(out.output_count, total);
+            assert!(
+                out.achieved >= 1 && out.achieved < total,
+                "one round must run, but not all: achieved={} (full_reeval={full_reeval})",
+                out.achieved
+            );
+            let sol = out.solution.unwrap();
+            assert_eq!(sol.len() as u64, out.cost);
+            assert_eq!(
+                verify::removed_outputs(&q, &db, &sol),
+                out.achieved,
+                "best-so-far set must actually remove `achieved` outputs"
+            );
+        }
+    }
+
+    /// A deadline far in the future never truncates and returns exactly
+    /// the unbudgeted result.
+    #[test]
+    fn distant_deadline_is_a_no_op() {
+        let q = parse_query("Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)").unwrap();
+        let mut db = Database::new();
+        db.add_relation("S", attrs(&["NK", "SK"]), &[&[1, 1], &[2, 2]]);
+        db.add_relation("PS", attrs(&["SK", "PK"]), &[&[1, 1], &[1, 2], &[2, 1]]);
+        db.add_relation("L", attrs(&["OK", "PK"]), &[&[7, 1], &[8, 2]]);
+        let base = AdpOptions {
+            force_greedy: true,
+            ..Default::default()
+        };
+        let with_deadline = AdpOptions {
+            deadline: Some(std::time::Instant::now() + std::time::Duration::from_secs(3600)),
+            ..base.clone()
+        };
+        let a = compute_adp(&q, &db, 3, &base).unwrap();
+        let b = compute_adp(&q, &db, 3, &with_deadline).unwrap();
+        assert!(!b.truncated);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.achieved, b.achieved);
+        assert_eq!(a.solution, b.solution);
     }
 
     #[test]

@@ -104,10 +104,15 @@ pub fn compute_adp_with_policy(
             available: solved.total_outputs,
         });
     }
-    let cost = solved.min_cost(k)?.ok_or(SolveError::Infeasible {
-        k,
-        removable: solved.max_removable(),
-    })?;
+    let Some(cost) = solved.min_cost(k)? else {
+        if solved.truncated {
+            return super::truncated_outcome(&solved, opts);
+        }
+        return Err(SolveError::Infeasible {
+            k,
+            removable: solved.max_removable(),
+        });
+    };
     let solution = match opts.mode {
         Mode::Report => Some({
             let mut s = solved.extract(k)?;
@@ -121,6 +126,7 @@ pub fn compute_adp_with_policy(
         cost,
         achieved: k,
         exact: solved.exact,
+        truncated: solved.truncated,
         output_count: solved.total_outputs,
         solution,
     })

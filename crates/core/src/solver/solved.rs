@@ -11,6 +11,12 @@ pub struct Solved {
     pub(crate) repr: Repr,
     /// Is the profile exact (vs. a heuristic upper bound)?
     pub exact: bool,
+    /// True if a per-request deadline ([`AdpOptions::deadline`]) expired
+    /// before the greedy rounds reached the caller's cap: the profile is
+    /// a valid best-so-far prefix, not the full heuristic profile.
+    ///
+    /// [`AdpOptions::deadline`]: super::AdpOptions::deadline
+    pub truncated: bool,
     /// `|Q(D)|` for this subinstance (used by `Decompose`'s cross-product
     /// arithmetic; may be larger than the profile's removable range when
     /// a cap was applied).
@@ -79,8 +85,16 @@ impl Solved {
         Solved {
             repr: Repr::Eager { profile, extract },
             exact,
+            truncated: false,
             total_outputs,
         }
+    }
+
+    /// Marks (ORs in) deadline truncation, e.g. when combining children
+    /// of which one was cut short.
+    pub(crate) fn with_truncated(mut self, truncated: bool) -> Self {
+        self.truncated |= truncated;
+        self
     }
 
     /// An empty result (nothing removable).
@@ -329,6 +343,7 @@ mod tests {
                 right: right.clone(),
             })),
             exact: true,
+            truncated: false,
             total_outputs: 6,
         };
         // brute force over (r1, r2) splits
@@ -354,6 +369,7 @@ mod tests {
         let pair = Solved {
             repr: Repr::Pair(Box::new(PairNode { left, right })),
             exact: true,
+            truncated: false,
             total_outputs: 6,
         };
         let sol = pair.extract(4).unwrap();
@@ -377,6 +393,7 @@ mod tests {
         let pair = Solved {
             repr: Repr::Pair(Box::new(PairNode { left, right })),
             exact: true,
+            truncated: false,
             total_outputs: 6,
         };
         let pts = pair.points(1000).unwrap();

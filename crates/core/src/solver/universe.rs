@@ -167,6 +167,7 @@ pub(crate) fn combine_disjoint(
         let c = opt[j as usize];
         (c != UNREACHED).then_some((c, j))
     }));
+    let truncated = children.iter().any(|c| c.truncated);
     Ok(Solved::eager(
         profile,
         Extractor::Dp(DpNode {
@@ -175,7 +176,8 @@ pub(crate) fn combine_disjoint(
         }),
         exact,
         total,
-    ))
+    )
+    .with_truncated(truncated))
 }
 
 #[cfg(test)]

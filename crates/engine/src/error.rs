@@ -5,10 +5,17 @@
 //! be represented without corrupting the incidence structure). Building
 //! a provenance or delta index over such a result surfaces
 //! [`AdpError::TooManyWitnesses`] instead of silently truncating ids.
+//!
+//! [`AdpError::Overloaded`] is the shared admission-control error:
+//! bounded execution layers (the `adp-service` request queue) shed load
+//! with it instead of blocking callers forever. It lives here — the
+//! lowest layer every crate already depends on — so any layer can
+//! type-match one overload error without new dependency edges.
 
 use std::fmt;
 
-/// Errors raised by the engine's index-building layers.
+/// Errors raised by the engine's index-building layers and by bounded
+/// execution layers built on top of them.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AdpError {
     /// The evaluation produced more witnesses than the dense `u32` id
@@ -21,6 +28,15 @@ pub enum AdpError {
         /// Maximum representable witness count.
         cap: u64,
     },
+    /// A bounded admission queue is full: the request was shed instead
+    /// of queued, so callers never block behind an unbounded backlog.
+    /// Retry later or raise the limit.
+    Overloaded {
+        /// Requests already admitted and not yet finished.
+        in_flight: u64,
+        /// The admission bound that was hit.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for AdpError {
@@ -30,6 +46,11 @@ impl fmt::Display for AdpError {
                 f,
                 "evaluation has {witnesses} witnesses but witness ids only address {cap}; \
                  refusing to build a corrupt provenance index"
+            ),
+            AdpError::Overloaded { in_flight, limit } => write!(
+                f,
+                "overloaded: {in_flight} request(s) in flight at admission limit {limit}; \
+                 the request was shed, not queued"
             ),
         }
     }

@@ -1,0 +1,762 @@
+//! # adp-service
+//!
+//! A std-only, in-process **serving layer** for ADP: the shared front
+//! door that turns the plan-once/execute-many substrate
+//! ([`PreparedQuery`], the [`adp_runtime`] pool, the O(Δ) delta
+//! templates) into a concurrent request API. Before this crate every
+//! caller hand-rolled `PreparedQuery` construction; now requests from
+//! any number of threads share plans, and streaming updates can never
+//! be answered with stale plans.
+//!
+//! Three pieces:
+//!
+//! * **Plan cache** — a sharded LRU keyed by `(normalized query text,
+//!   db epoch)` holding `Arc<PreparedQuery>`. Concurrent requests for
+//!   the same query share one plan, one root evaluation, one provenance
+//!   index, and one scored delta template (all lazily built behind
+//!   `OnceLock`s), so a hot query pays its join exactly once per epoch.
+//! * **Request API** — [`SolveRequest`] (`k` or ρ target, solver
+//!   policy, wall-clock budget) → [`SolveResponse`] (deletion set,
+//!   cost, and stats: cache hit, plan/solve microseconds, solver
+//!   chosen, answering epoch). [`Service::solve`] runs on the calling
+//!   thread behind a **bounded admission queue** that sheds load with
+//!   [`AdpError::Overloaded`] instead of queuing unboundedly;
+//!   [`Service::solve_batch`] fans a slice of requests out over the
+//!   global [`adp_runtime`] pool.
+//! * **Epoch management** — the service owns the database. Streaming
+//!   delete/restore batches ([`Service::delete_tuples`] /
+//!   [`Service::restore_tuples`]) atomically install a new snapshot and
+//!   bump the epoch; because the epoch is part of the cache key, a
+//!   request that snapshotted epoch `e` can only hit plans compiled
+//!   against epoch `e` — **stale answers are impossible by
+//!   construction**, and post-bump invalidation merely reclaims memory.
+//!
+//! Every answer is byte-identical to a direct
+//! [`compute_adp_arc`](adp_core::solver::compute_adp_arc) call on the
+//! same `(Q, D, k)` — cache hit or cold miss, one client thread or
+//! many. The `service_differential` proptest suite enforces it.
+//!
+//! [`PreparedQuery`]: adp_core::solver::PreparedQuery
+//! [`AdpError::Overloaded`]: adp_engine::error::AdpError::Overloaded
+
+mod cache;
+mod error;
+mod request;
+mod stats;
+
+pub use error::ServiceError;
+pub use request::{RequestStats, SolveRequest, SolveResponse, Target};
+pub use stats::ServiceStats;
+
+use adp_core::query::parse_query;
+use adp_core::solver::{AdpOptions, AdpOutcome, Mode, PreparedQuery};
+use adp_engine::database::Database;
+use adp_engine::error::AdpError;
+use adp_engine::provenance::TupleRef;
+use cache::PlanCache;
+use stats::StatsInner;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Tuning knobs for a [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Plan-cache shards. Distinct hot queries land on distinct shard
+    /// mutexes (sharded by query fingerprint).
+    pub cache_shards: usize,
+    /// LRU capacity per shard; total capacity is
+    /// `cache_shards × cache_entries_per_shard`.
+    pub cache_entries_per_shard: usize,
+    /// Bounded admission queue: at most this many requests may be in
+    /// flight; further requests are shed with
+    /// [`AdpError::Overloaded`](adp_engine::error::AdpError::Overloaded).
+    pub max_in_flight: usize,
+    /// Solver options used when a request does not carry its own.
+    pub default_opts: AdpOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache_shards: 8,
+            cache_entries_per_shard: 32,
+            max_in_flight: 64,
+            default_opts: AdpOptions::default(),
+        }
+    }
+}
+
+/// One immutable database epoch. Readers clone the `Arc`s out under a
+/// read lock and then work lock-free; writers build the next state
+/// outside the lock (serialized by `Service::mutation`) and install it
+/// under a brief write lock, so `(epoch, db)` pairs are always
+/// consistent and solves never wait behind an O(n) rebuild.
+struct EpochState {
+    epoch: u64,
+    /// The snapshot requests solve against.
+    db: Arc<Database>,
+    /// The original database; deletions are tracked against its
+    /// coordinates so they can be restored.
+    base: Arc<Database>,
+    /// Per base-relation slot: base tuple indices currently deleted.
+    deleted: Vec<BTreeSet<u32>>,
+    /// Per base-relation slot: snapshot tuple index → base tuple index
+    /// (`None` = identity, nothing deleted in that relation). Lets
+    /// deletion sets reported against this epoch's snapshot be mapped
+    /// back to base coordinates ([`Service::to_base_tuples`]).
+    back_maps: Vec<Option<Arc<Vec<u32>>>>,
+}
+
+impl EpochState {
+    /// Rebuilds the snapshot from `base` minus `deleted`. Relations
+    /// keep their insertion order; surviving tuples are densely
+    /// re-indexed per relation (the returned back maps record the
+    /// re-indexing).
+    #[allow(clippy::type_complexity)]
+    fn materialize(
+        base: &Arc<Database>,
+        deleted: &[BTreeSet<u32>],
+    ) -> (Arc<Database>, Vec<Option<Arc<Vec<u32>>>>) {
+        let mut db = Database::new();
+        let mut back_maps = Vec::with_capacity(base.relations().len());
+        for (slot, rel) in base.relations().iter().enumerate() {
+            if deleted[slot].is_empty() {
+                db.add(rel.clone());
+                back_maps.push(None);
+            } else {
+                let (filtered, back) = rel.filter_by_index(|i| !deleted[slot].contains(&i));
+                db.add(filtered);
+                back_maps.push(Some(Arc::new(back)));
+            }
+        }
+        (Arc::new(db), back_maps)
+    }
+}
+
+/// A reserved slot in the bounded admission queue. Dropping it releases
+/// the slot. Obtainable directly via [`Service::try_admit`] when a
+/// caller wants to reserve capacity before building a request.
+pub struct AdmissionPermit<'a> {
+    svc: &'a Service,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.svc.in_flight.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The concurrent, plan-cached ADP serving layer. See the crate docs
+/// for the architecture. `Send + Sync`: share one instance behind an
+/// `Arc` (or plain references) across any number of client threads.
+pub struct Service {
+    config: ServiceConfig,
+    state: RwLock<EpochState>,
+    /// Serializes epoch mutations so the O(n) snapshot rebuild can run
+    /// *outside* the `state` write lock without writers racing each
+    /// other; readers only ever wait for the brief install.
+    mutation: Mutex<()>,
+    cache: PlanCache,
+    in_flight: AtomicUsize,
+    stats: StatsInner,
+}
+
+impl Service {
+    /// Builds a service owning `db` at epoch 0, with default config.
+    pub fn new(db: Database) -> Self {
+        Self::with_config(db, ServiceConfig::default())
+    }
+
+    /// Builds a service owning `db` at epoch 0.
+    pub fn with_config(db: Database, config: ServiceConfig) -> Self {
+        let base = Arc::new(db);
+        let slots = base.relations().len();
+        let cache = PlanCache::new(config.cache_shards, config.cache_entries_per_shard);
+        Service {
+            state: RwLock::new(EpochState {
+                epoch: 0,
+                db: Arc::clone(&base),
+                base,
+                deleted: vec![BTreeSet::new(); slots],
+                back_maps: vec![None; slots],
+            }),
+            mutation: Mutex::new(()),
+            cache,
+            in_flight: AtomicUsize::new(0),
+            stats: StatsInner::default(),
+            config,
+        }
+    }
+
+    /// The current database epoch.
+    pub fn epoch(&self) -> u64 {
+        self.state.read().unwrap().epoch
+    }
+
+    /// A consistent `(epoch, database)` snapshot — the same pair a
+    /// concurrently admitted request would solve against.
+    pub fn snapshot(&self) -> (u64, Arc<Database>) {
+        let s = self.state.read().unwrap();
+        (s.epoch, Arc::clone(&s.db))
+    }
+
+    /// Counter snapshot (see [`ServiceStats`] for the invariants).
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.snapshot()
+    }
+
+    /// Cached plan entries across all shards.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Tries to reserve an admission slot, shedding with
+    /// [`AdpError::Overloaded`] when `max_in_flight` requests are
+    /// already running. Never blocks.
+    pub fn try_admit(&self) -> Result<AdmissionPermit<'_>, ServiceError> {
+        let limit = self.config.max_in_flight.max(1);
+        let mut cur = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur >= limit {
+                StatsInner::bump(&self.stats.shed);
+                return Err(ServiceError::Admission(AdpError::Overloaded {
+                    in_flight: cur as u64,
+                    limit: limit as u64,
+                }));
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(AdmissionPermit { svc: self }),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Serves one request on the calling thread: admission, epoch
+    /// snapshot, plan-cache lookup, solve. The solver itself may fan
+    /// out over the global [`adp_runtime`] pool; results are
+    /// byte-identical to a direct
+    /// [`compute_adp_arc`](adp_core::solver::compute_adp_arc) call on
+    /// the snapshot.
+    pub fn solve(&self, req: &SolveRequest) -> Result<SolveResponse, ServiceError> {
+        let _permit = self.try_admit()?;
+        self.solve_admitted(req)
+    }
+
+    /// Fans a slice of requests out over the global [`adp_runtime`]
+    /// pool, one result per request in request order. Each request is
+    /// individually admitted, so a batch larger than the admission
+    /// limit sheds its overflow instead of deadlocking the pool.
+    pub fn solve_batch(&self, reqs: &[SolveRequest]) -> Vec<Result<SolveResponse, ServiceError>> {
+        adp_runtime::global().par_indexed(reqs.len(), |i| self.solve(&reqs[i]))
+    }
+
+    fn solve_admitted(&self, req: &SolveRequest) -> Result<SolveResponse, ServiceError> {
+        // Reject malformed targets before any plan work: a bad request
+        // must not compile (and cache) a plan, pollute the LRU, or
+        // count as cache traffic.
+        if let Target::Ratio(rho) = req.target {
+            if !rho.is_finite() || !(0.0..=1.0).contains(&rho) {
+                return Err(ServiceError::BadRequest(format!(
+                    "removal ratio must be a finite value in [0, 1], got {rho}"
+                )));
+            }
+        }
+        let (epoch, db) = self.snapshot();
+
+        let plan_start = Instant::now();
+        let query = parse_query(&req.query).map_err(ServiceError::Query)?;
+        let fingerprint = query.fingerprint();
+        let key = (query.normalized_text(), epoch);
+        let (prep, cache_hit, evicted) = self
+            .cache
+            .get_or_insert(fingerprint, key, || PreparedQuery::new(query, db));
+        StatsInner::bump(&self.stats.requests);
+        StatsInner::bump(if cache_hit {
+            &self.stats.cache_hits
+        } else {
+            &self.stats.cache_misses
+        });
+        StatsInner::add(&self.stats.evicted, evicted);
+        let plan_micros = plan_start.elapsed().as_micros() as u64;
+
+        let mut opts = req
+            .opts
+            .clone()
+            .unwrap_or_else(|| self.config.default_opts.clone());
+        if let Some(budget) = req.budget {
+            opts.deadline = Some(Instant::now() + budget);
+        }
+
+        // On a cold plan, `output_count` triggers the one-time
+        // evaluation; it is charged to the solve (it is solving work,
+        // and every later request for this key gets it for free).
+        let solve_start = Instant::now();
+        let total = prep.output_count();
+        let k = match req.target {
+            Target::Outputs(k) => k,
+            // Validated before the cache lookup above.
+            Target::Ratio(rho) => (total as f64 * rho).ceil() as u64,
+        };
+        // k = 0 is trivially satisfied; k > |Q(D)| clamps to full
+        // deletion (the resilience-style request). Both are serving
+        // semantics: the raw solver treats them as caller errors.
+        let k = k.min(total);
+        let (outcome, solver) = if k == 0 {
+            (
+                AdpOutcome {
+                    cost: 0,
+                    achieved: 0,
+                    exact: true,
+                    truncated: false,
+                    output_count: total,
+                    solution: (opts.mode == Mode::Report).then(Vec::new),
+                },
+                "trivial",
+            )
+        } else {
+            let outcome = prep.solve(k, &opts).map_err(ServiceError::Solve)?;
+            let solver = if outcome.exact {
+                "exact"
+            } else if opts.use_drastic && prep.query().is_full() {
+                "drastic-greedy"
+            } else {
+                "greedy"
+            };
+            (outcome, solver)
+        };
+        let solve_micros = solve_start.elapsed().as_micros() as u64;
+
+        Ok(SolveResponse {
+            outcome,
+            stats: RequestStats {
+                epoch,
+                cache_hit,
+                plan_micros,
+                solve_micros,
+                solver,
+            },
+        })
+    }
+
+    /// Deletes a batch of base tuples (named by `(relation, base tuple
+    /// index)`), installing a new snapshot and bumping the epoch.
+    /// Validates the whole batch first: on any unknown relation or
+    /// out-of-range index, nothing changes. Deleting an
+    /// already-deleted tuple is a no-op within the batch. Returns the
+    /// new epoch.
+    pub fn delete_tuples(&self, batch: &[(&str, u32)]) -> Result<u64, ServiceError> {
+        self.apply_batch(batch, true)
+    }
+
+    /// Restores previously deleted base tuples (the inverse of
+    /// [`delete_tuples`](Self::delete_tuples)); restoring a live tuple
+    /// is a no-op within the batch. Returns the new epoch.
+    pub fn restore_tuples(&self, batch: &[(&str, u32)]) -> Result<u64, ServiceError> {
+        self.apply_batch(batch, false)
+    }
+
+    fn apply_batch(&self, batch: &[(&str, u32)], delete: bool) -> Result<u64, ServiceError> {
+        // Writers serialize on `mutation`, so the read-modify-write
+        // below cannot lose updates even though the O(n) rebuild runs
+        // without the `state` lock — concurrent solves keep snapshotting
+        // the previous epoch until the brief install at the end.
+        let _writer = self.mutation.lock().unwrap();
+        let (base, mut deleted) = {
+            let state = self.state.read().unwrap();
+            (Arc::clone(&state.base), state.deleted.clone())
+        };
+        // Validate before mutating: a bad batch must not half-apply.
+        let mut resolved = Vec::with_capacity(batch.len());
+        for &(name, index) in batch {
+            let Some(rel_id) = base.rel_id(name) else {
+                return Err(ServiceError::BadRequest(format!(
+                    "unknown relation {name:?} in epoch batch"
+                )));
+            };
+            let len = base.relation_by_id(rel_id).len() as u32;
+            if index >= len {
+                return Err(ServiceError::BadRequest(format!(
+                    "tuple index {index} out of range for relation {name:?} (len {len})"
+                )));
+            }
+            resolved.push((rel_id.index(), index));
+        }
+        for (slot, index) in resolved {
+            if delete {
+                deleted[slot].insert(index);
+            } else {
+                deleted[slot].remove(&index);
+            }
+        }
+        let (db, back_maps) = EpochState::materialize(&base, &deleted);
+        let epoch = {
+            let mut state = self.state.write().unwrap();
+            state.db = db;
+            state.deleted = deleted;
+            state.back_maps = back_maps;
+            state.epoch += 1;
+            state.epoch
+        };
+        StatsInner::bump(&self.stats.epoch_bumps);
+        StatsInner::add(&self.stats.invalidated, self.cache.invalidate_before(epoch));
+        Ok(epoch)
+    }
+
+    /// Maps a deletion set reported against the **current** epoch's
+    /// snapshot (a [`SolveResponse`] whose `stats.epoch` equals
+    /// [`Service::epoch`]) back to `(relation name, base tuple index)`
+    /// pairs — the coordinates [`delete_tuples`](Self::delete_tuples)
+    /// consumes. This is the safe way to act on a served answer:
+    /// snapshot indices are densely re-numbered per epoch, so feeding
+    /// them to `delete_tuples` directly would delete the wrong base
+    /// tuples after any bump.
+    ///
+    /// `query_text` must be the request's query (its atom order names
+    /// the relations `TupleRef.atom` indexes). Fails with
+    /// [`ServiceError::BadRequest`] if `epoch` is not the current epoch
+    /// (the mapping for superseded snapshots is gone — re-solve and map
+    /// the fresh answer) or if a tuple reference is out of range.
+    pub fn to_base_tuples(
+        &self,
+        query_text: &str,
+        epoch: u64,
+        deletions: &[TupleRef],
+    ) -> Result<Vec<(String, u32)>, ServiceError> {
+        let query = parse_query(query_text).map_err(ServiceError::Query)?;
+        let state = self.state.read().unwrap();
+        if state.epoch != epoch {
+            return Err(ServiceError::BadRequest(format!(
+                "deletion set from epoch {epoch} cannot be mapped at epoch {}; \
+                 re-solve against the current snapshot",
+                state.epoch
+            )));
+        }
+        let mut out = Vec::with_capacity(deletions.len());
+        for t in deletions {
+            let Some(atom) = query.atoms().get(t.atom) else {
+                return Err(ServiceError::BadRequest(format!(
+                    "tuple ref atom {} out of range for {query_text:?}",
+                    t.atom
+                )));
+            };
+            let name = atom.name();
+            let Some(rel_id) = state.base.rel_id(name) else {
+                return Err(ServiceError::BadRequest(format!(
+                    "unknown relation {name:?} in tuple ref"
+                )));
+            };
+            let slot = rel_id.index();
+            let base_index = match &state.back_maps[slot] {
+                None => t.index,
+                Some(back) => match back.get(t.index as usize) {
+                    Some(&b) => b,
+                    None => {
+                        return Err(ServiceError::BadRequest(format!(
+                            "tuple index {} out of range for relation {name:?} at epoch {epoch}",
+                            t.index
+                        )))
+                    }
+                },
+            };
+            out.push((name.to_owned(), base_index));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adp_core::solver::compute_adp_arc;
+    use adp_engine::schema::attrs;
+
+    fn chain_db() -> Database {
+        let mut db = Database::new();
+        db.add_relation("R1", attrs(&["A"]), &[&[1], &[2]]);
+        db.add_relation("R2", attrs(&["A", "B"]), &[&[1, 1], &[1, 2], &[2, 1]]);
+        db.add_relation("R3", attrs(&["B"]), &[&[1], &[2]]);
+        db
+    }
+
+    const Q: &str = "Q(A,B) :- R1(A), R2(A,B), R3(B)";
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn _assert<T: Send + Sync>() {}
+        _assert::<Service>();
+        _assert::<SolveRequest>();
+        _assert::<SolveResponse>();
+        _assert::<ServiceError>();
+    }
+
+    #[test]
+    fn solve_matches_direct_compute_and_caches_the_plan() {
+        let svc = Service::new(chain_db());
+        let (_, db) = svc.snapshot();
+        let q = parse_query(Q).unwrap();
+        for k in 1..=3u64 {
+            let a = svc.solve(&SolveRequest::outputs(Q, k)).unwrap();
+            let b = compute_adp_arc(&q, Arc::clone(&db), k, &AdpOptions::default()).unwrap();
+            assert_eq!(a.outcome.cost, b.cost, "k={k}");
+            assert_eq!(a.outcome.achieved, b.achieved, "k={k}");
+            assert_eq!(a.outcome.solution, b.solution, "k={k}");
+            assert_eq!(a.stats.epoch, 0);
+            assert_eq!(a.stats.cache_hit, k > 1, "first request compiles, rest hit");
+        }
+        let s = svc.stats();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(svc.cached_plans(), 1);
+    }
+
+    #[test]
+    fn lexically_different_texts_share_one_plan() {
+        let svc = Service::new(chain_db());
+        svc.solve(&SolveRequest::outputs(Q, 1)).unwrap();
+        let noisy = "Other( B ,A ):-R1( A ), R2( A , B ),R3( B )";
+        let r = svc.solve(&SolveRequest::outputs(noisy, 1)).unwrap();
+        assert!(r.stats.cache_hit, "normalization must fold lexical noise");
+        assert_eq!(svc.cached_plans(), 1);
+    }
+
+    /// Satellite (k = 0 edge case): trivially satisfied, never an error.
+    #[test]
+    fn k_zero_returns_empty_set_at_cost_zero() {
+        let svc = Service::new(chain_db());
+        let r = svc.solve(&SolveRequest::outputs(Q, 0)).unwrap();
+        assert_eq!(r.outcome.cost, 0);
+        assert_eq!(r.outcome.achieved, 0);
+        assert!(r.outcome.exact);
+        assert_eq!(r.deletion_set(), Some(&[][..]));
+        assert_eq!(r.stats.solver, "trivial");
+        // Ratio 0 is the same trivial request.
+        let r = svc.solve(&SolveRequest::ratio(Q, 0.0)).unwrap();
+        assert_eq!(r.outcome.cost, 0);
+    }
+
+    /// Satellite (k > |Q(D)| edge case): clamps to full deletion
+    /// instead of erroring like the raw solver.
+    #[test]
+    fn k_beyond_output_count_clamps_to_full_deletion() {
+        let svc = Service::new(chain_db());
+        let (_, db) = svc.snapshot();
+        let q = parse_query(Q).unwrap();
+        let total = svc
+            .solve(&SolveRequest::outputs(Q, 1))
+            .unwrap()
+            .outcome
+            .output_count;
+        let r = svc.solve(&SolveRequest::outputs(Q, total + 100)).unwrap();
+        let full = compute_adp_arc(&q, db, total, &AdpOptions::default()).unwrap();
+        assert_eq!(r.outcome.achieved, total, "everything must go");
+        assert_eq!(r.outcome.cost, full.cost);
+        assert_eq!(r.outcome.solution, full.solution);
+        // Ratio 1.0 is the same full-deletion request.
+        let r2 = svc.solve(&SolveRequest::ratio(Q, 1.0)).unwrap();
+        assert_eq!(r2.outcome.cost, full.cost);
+    }
+
+    #[test]
+    fn bad_requests_are_typed() {
+        let svc = Service::new(chain_db());
+        assert!(matches!(
+            svc.solve(&SolveRequest::outputs("nonsense", 1)),
+            Err(ServiceError::Query(_))
+        ));
+        for rho in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                svc.solve(&SolveRequest::ratio(Q, rho)),
+                Err(ServiceError::BadRequest(_))
+            ));
+        }
+        assert!(matches!(
+            svc.delete_tuples(&[("NoSuchRel", 0)]),
+            Err(ServiceError::BadRequest(_))
+        ));
+        assert!(matches!(
+            svc.delete_tuples(&[("R1", 99)]),
+            Err(ServiceError::BadRequest(_))
+        ));
+        // a bad batch must not half-apply or bump the epoch
+        assert_eq!(svc.epoch(), 0);
+        // ...and malformed requests must not have compiled, cached, or
+        // counted anything.
+        assert_eq!(svc.cached_plans(), 0);
+        assert_eq!(svc.stats().requests, 0);
+        assert_eq!(svc.stats().cache_misses, 0);
+    }
+
+    #[test]
+    fn admission_queue_sheds_with_typed_overload() {
+        let svc = Service::with_config(
+            chain_db(),
+            ServiceConfig {
+                max_in_flight: 2,
+                ..Default::default()
+            },
+        );
+        let p1 = svc.try_admit().unwrap();
+        let _p2 = svc.try_admit().unwrap();
+        let err = svc.solve(&SolveRequest::outputs(Q, 1)).unwrap_err();
+        assert!(err.is_overloaded());
+        assert!(matches!(
+            err,
+            ServiceError::Admission(AdpError::Overloaded {
+                in_flight: 2,
+                limit: 2
+            })
+        ));
+        drop(p1);
+        // capacity freed: the same request now succeeds
+        svc.solve(&SolveRequest::outputs(Q, 1)).unwrap();
+        assert_eq!(svc.stats().shed, 1);
+    }
+
+    #[test]
+    fn epoch_bumps_invalidate_and_answers_track_the_new_snapshot() {
+        let svc = Service::new(chain_db());
+        let before = svc.solve(&SolveRequest::outputs(Q, 1)).unwrap();
+        assert_eq!(before.stats.epoch, 0);
+        assert_eq!(svc.cached_plans(), 1);
+
+        // Delete R2(1,1) and R2(1,2): output count drops from 3 to 1.
+        let epoch = svc.delete_tuples(&[("R2", 0), ("R2", 1)]).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(svc.cached_plans(), 0, "stale-epoch plans invalidated");
+        let after = svc.solve(&SolveRequest::outputs(Q, 1)).unwrap();
+        assert_eq!(after.stats.epoch, 1);
+        assert!(!after.stats.cache_hit, "new epoch = new plan key");
+        assert_eq!(after.outcome.output_count, 1);
+
+        // The response must equal direct computation on the snapshot.
+        let (_, db) = svc.snapshot();
+        let q = parse_query(Q).unwrap();
+        let direct = compute_adp_arc(&q, db, 1, &AdpOptions::default()).unwrap();
+        assert_eq!(after.outcome.cost, direct.cost);
+        assert_eq!(after.outcome.solution, direct.solution);
+
+        // Restoring brings the original state back at a fresh epoch.
+        let epoch = svc.restore_tuples(&[("R2", 0), ("R2", 1)]).unwrap();
+        assert_eq!(epoch, 2);
+        let restored = svc.solve(&SolveRequest::outputs(Q, 1)).unwrap();
+        assert_eq!(restored.outcome.output_count, 3);
+        assert_eq!(restored.outcome.cost, before.outcome.cost);
+        assert_eq!(svc.stats().epoch_bumps, 2);
+    }
+
+    #[test]
+    fn lru_evicts_under_capacity_pressure() {
+        let svc = Service::with_config(
+            chain_db(),
+            ServiceConfig {
+                cache_shards: 1,
+                cache_entries_per_shard: 2,
+                ..Default::default()
+            },
+        );
+        // Three distinct queries through a 2-entry cache.
+        for q in ["Q(A) :- R1(A)", "Q(A,B) :- R2(A,B)", "Q(B) :- R3(B)"] {
+            svc.solve(&SolveRequest::outputs(q, 1)).unwrap();
+        }
+        assert_eq!(svc.cached_plans(), 2);
+        assert_eq!(svc.stats().evicted, 1);
+        // The least-recently-used entry (the first query) was dropped.
+        let r = svc
+            .solve(&SolveRequest::outputs("Q(A) :- R1(A)", 1))
+            .unwrap();
+        assert!(!r.stats.cache_hit);
+    }
+
+    /// Snapshot coordinates shift after a bump; `to_base_tuples` is the
+    /// bridge back to the mutation API. Acting on a served deletion set
+    /// through it must kill exactly the tuples the answer meant.
+    #[test]
+    fn served_deletion_sets_map_back_to_base_coordinates() {
+        let svc = Service::new(chain_db());
+        // Bump first, so snapshot indices genuinely differ from base:
+        // deleting R2(0) shifts R2's survivors down by one.
+        svc.delete_tuples(&[("R2", 0)]).unwrap();
+        let (epoch, snap) = svc.snapshot();
+        let resp = svc.solve(&SolveRequest::outputs(Q, 2)).unwrap();
+        let served = resp.outcome.solution.clone().unwrap();
+        assert!(!served.is_empty());
+
+        // Stale-epoch mappings are refused outright.
+        assert!(matches!(
+            svc.to_base_tuples(Q, epoch + 1, &served),
+            Err(ServiceError::BadRequest(_))
+        ));
+
+        let base_refs = svc.to_base_tuples(Q, epoch, &served).unwrap();
+        // The mapped base tuples are the same *values* the snapshot
+        // coordinates named.
+        let q = parse_query(Q).unwrap();
+        let base = chain_db(); // the service's base database
+        for (t, (name, base_idx)) in served.iter().zip(&base_refs) {
+            let atom = q.atoms()[t.atom].name();
+            assert_eq!(atom, name);
+            assert_eq!(
+                snap.expect(atom).tuple(t.index),
+                base.expect(name).tuple(*base_idx),
+                "mapped base tuple must hold the same values"
+            );
+        }
+        // Applying the mapped batch removes at least the answered
+        // outputs: the served set claimed `achieved` removals, and the
+        // new snapshot must reflect exactly that count.
+        let before = resp.outcome.output_count;
+        svc.delete_tuples(
+            &base_refs
+                .iter()
+                .map(|(n, i)| (n.as_str(), *i))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let after = svc.solve(&SolveRequest::outputs(Q, 0)).unwrap();
+        assert_eq!(
+            after.outcome.output_count,
+            before - resp.outcome.achieved,
+            "acting on the mapped deletion set must remove what the answer promised"
+        );
+    }
+
+    #[test]
+    fn budget_expiry_returns_truncated_best_so_far() {
+        let svc = Service::new(chain_db());
+        let req = SolveRequest::outputs(Q, 3)
+            .with_opts(AdpOptions {
+                force_greedy: true,
+                ..Default::default()
+            })
+            .with_budget(std::time::Duration::ZERO);
+        let r = svc.solve(&req).unwrap();
+        assert!(r.outcome.truncated);
+        assert!(r.outcome.achieved >= 1, "first round always runs");
+        assert!(r.outcome.achieved < 3);
+        assert_eq!(r.stats.solver, "greedy");
+    }
+
+    #[test]
+    fn solve_batch_matches_individual_solves() {
+        let svc = Service::new(chain_db());
+        let reqs: Vec<SolveRequest> = (1..=3).map(|k| SolveRequest::outputs(Q, k)).collect();
+        let batch = svc.solve_batch(&reqs);
+        assert_eq!(batch.len(), 3);
+        for (req, out) in reqs.iter().zip(&batch) {
+            let individual = svc.solve(req).unwrap();
+            let out = out.as_ref().unwrap();
+            assert_eq!(out.outcome.cost, individual.outcome.cost);
+            assert_eq!(out.outcome.solution, individual.outcome.solution);
+        }
+        let s = svc.stats();
+        assert_eq!(s.cache_hits + s.cache_misses, s.requests);
+    }
+}

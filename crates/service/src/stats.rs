@@ -1,0 +1,67 @@
+//! Service-wide counters, updated with relaxed atomics on the request
+//! path and snapshotted into a plain struct for callers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Internal atomic counters. Relaxed ordering everywhere: the counters
+/// are monotone tallies, never used to synchronize data.
+#[derive(Default)]
+pub(crate) struct StatsInner {
+    pub requests: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub shed: AtomicU64,
+    pub epoch_bumps: AtomicU64,
+    pub invalidated: AtomicU64,
+    pub evicted: AtomicU64,
+}
+
+impl StatsInner {
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(counter: &AtomicU64, n: u64) {
+        if n > 0 {
+            counter.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            epoch_bumps: self.epoch_bumps.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service counters.
+///
+/// Accounting invariant (asserted by the stress suite): every admitted
+/// request performs exactly one plan-cache lookup, so
+/// `cache_hits + cache_misses == requests` whenever the service is
+/// quiescent. Shed requests (`shed`) never reach the cache and are not
+/// part of `requests`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests admitted past the bounded queue (== cache lookups).
+    pub requests: u64,
+    /// Plan-cache hits: the request reused a shared `PreparedQuery`.
+    pub cache_hits: u64,
+    /// Plan-cache misses: the request compiled (and cached) a plan.
+    pub cache_misses: u64,
+    /// Requests shed by admission control with
+    /// [`AdpError::Overloaded`](adp_engine::error::AdpError::Overloaded).
+    pub shed: u64,
+    /// Epoch bumps applied (delete/restore batches).
+    pub epoch_bumps: u64,
+    /// Cache entries dropped because their epoch became stale.
+    pub invalidated: u64,
+    /// Cache entries dropped by LRU capacity pressure.
+    pub evicted: u64,
+}

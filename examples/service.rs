@@ -1,0 +1,94 @@
+//! The serving layer end to end: one `Service` fronting a shared
+//! database for many concurrent clients, with plan caching, admission
+//! control, request budgets, and streaming epoch updates.
+//!
+//! Run with: `cargo run --example service`
+
+use adp::{attrs, Database, Service, ServiceConfig, SolveRequest, Target};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // A small supplier -> part -> order chain.
+    let mut db = Database::new();
+    db.add_relation("S", attrs(&["NK", "SK"]), &[&[1, 1], &[2, 2], &[3, 1]]);
+    db.add_relation(
+        "PS",
+        attrs(&["SK", "PK"]),
+        &[&[1, 1], &[1, 2], &[2, 1], &[2, 3]],
+    );
+    db.add_relation("L", attrs(&["OK", "PK"]), &[&[7, 1], &[8, 2], &[9, 3]]);
+
+    // One service instance owns the database; clients share it.
+    let svc = Arc::new(Service::with_config(
+        db,
+        ServiceConfig {
+            max_in_flight: 8, // bounded admission: overload sheds, never queues
+            ..Default::default()
+        },
+    ));
+    let q = "Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)";
+
+    // Four client threads issue k- and ρ-targeted requests. All of them
+    // share one cached plan (and one evaluation) after the first miss.
+    std::thread::scope(|scope| {
+        for c in 0..4usize {
+            let svc = Arc::clone(&svc);
+            scope.spawn(move || {
+                for i in 0..3usize {
+                    let req = if i % 2 == 0 {
+                        SolveRequest::outputs(q, 1 + (c + i) as u64 % 3)
+                    } else {
+                        SolveRequest::ratio(q, 0.25 * (1 + c % 3) as f64)
+                    };
+                    // A per-request wall-clock budget: if the greedy
+                    // rounds outlive it, we get best-so-far + truncated
+                    // instead of a stall.
+                    let req = req.with_budget(Duration::from_millis(50));
+                    let resp = svc.solve(&req).expect("within admission limits");
+                    let k = match req.target {
+                        Target::Outputs(k) => format!("k={k}"),
+                        Target::Ratio(r) => format!("rho={r}"),
+                    };
+                    println!(
+                        "client {c}: {k:<9} -> cost {} (removed {}, epoch {}, {} hit={} plan={}us solve={}us)",
+                        resp.outcome.cost,
+                        resp.outcome.achieved,
+                        resp.stats.epoch,
+                        resp.stats.solver,
+                        resp.stats.cache_hit,
+                        resp.stats.plan_micros,
+                        resp.stats.solve_micros,
+                    );
+                }
+            });
+        }
+    });
+
+    // A streaming update: supplier S(2,2) churns out of the catalog.
+    // The epoch bump invalidates cached plans; the next request
+    // recompiles against the new snapshot and reports the new epoch.
+    let epoch = svc.delete_tuples(&[("S", 1)]).unwrap();
+    println!("\napplied delete batch -> epoch {epoch}");
+    let resp = svc.solve(&SolveRequest::outputs(q, 2)).unwrap();
+    println!(
+        "post-update solve: cost {} at epoch {} (cache_hit={})",
+        resp.outcome.cost, resp.stats.epoch, resp.stats.cache_hit
+    );
+
+    // ... and churns back in: restore is the exact inverse.
+    let epoch = svc.restore_tuples(&[("S", 1)]).unwrap();
+    println!("restored batch -> epoch {epoch}");
+
+    let stats = svc.stats();
+    println!(
+        "\nservice stats: {} requests, {} hits / {} misses, {} shed, {} epoch bumps, {} invalidated",
+        stats.requests,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.shed,
+        stats.epoch_bumps,
+        stats.invalidated
+    );
+    assert_eq!(stats.cache_hits + stats.cache_misses, stats.requests);
+}

@@ -19,7 +19,11 @@
 //!   experiments;
 //! * [`runtime`] — std-only parallel execution runtime ([`ThreadPool`],
 //!   [`parallel_sweep`]); the solvers use its global pool automatically
-//!   and stay **byte-identical** to their sequential paths.
+//!   and stay **byte-identical** to their sequential paths;
+//! * [`service`] — the concurrent serving layer ([`Service`]): a
+//!   sharded plan cache keyed by `(normalized query, db epoch)`, a
+//!   bounded-admission request API, and epoch management for streaming
+//!   delete/restore batches.
 //!
 //! The most common entry points are re-exported at the top level:
 //!
@@ -44,11 +48,12 @@ pub use adp_datagen as datagen;
 pub use adp_engine as engine;
 pub use adp_flow as flow;
 pub use adp_runtime as runtime;
+pub use adp_service as service;
 
 pub use adp_core::analysis::{
     find_hard_structures, hardness_certificate, has_hard_structure, is_ptime, is_ptime_trace,
 };
-pub use adp_core::query::{parse_query, Query};
+pub use adp_core::query::{normalize_query_text, parse_query, Query};
 pub use adp_core::selection::{solve_selection, SelectionQuery};
 pub use adp_core::solver::brute::{brute_force, brute_force_prepared, BruteForceOptions};
 pub use adp_core::solver::{
@@ -64,3 +69,6 @@ pub use adp_engine::provenance::TupleRef;
 pub use adp_engine::schema::{attr, attrs, Attr, RelationSchema};
 pub use adp_engine::value::{Interner, Value};
 pub use adp_runtime::{parallel_sweep, ThreadPool};
+pub use adp_service::{
+    Service, ServiceConfig, ServiceError, ServiceStats, SolveRequest, SolveResponse, Target,
+};
