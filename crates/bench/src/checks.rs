@@ -10,7 +10,7 @@
 //! the end ([`finish`]), so CI catches divergence without losing the
 //! diagnostic output.
 //!
-//! Every figure binary ends its `main` with [`checks::finish`]; the
+//! Every figure binary ends its `main` with [`finish`]; the
 //! `figures` umbrella additionally catches per-figure panics so one
 //! broken figure cannot mask the others (the run still exits 1).
 

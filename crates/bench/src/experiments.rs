@@ -8,7 +8,7 @@ use crate::{
     SweepCell, RATIOS,
 };
 use adp_core::selection::{solve_selection, SelectionQuery};
-use adp_core::solver::brute::{brute_force_prepared, BruteForceOptions};
+use adp_core::solver::brute::BruteForceOptions;
 use adp_core::solver::{AdpOptions, DecomposeStrategy, Mode, UniverseStrategy};
 use adp_datagen::ego::{ego_database_for, ego_network, EgoConfig};
 use adp_datagen::queries;
@@ -156,8 +156,14 @@ pub fn fig12_13() {
             f12.push(label, n as f64, ms, u64::MAX);
             f13.push(label, n as f64, ms, out.cost);
         }
+        // Timed with the legacy entry point on purpose: the fluent
+        // brute path additionally verifies `achieved` via the cached
+        // provenance postings, which would skew this series against the
+        // paper baseline (same rationale as benches/micro.rs).
         let start = Instant::now();
-        match brute_force_prepared(&prep, k, &BruteForceOptions::default()) {
+        #[allow(deprecated)]
+        match adp_core::solver::brute::brute_force_prepared(&prep, k, &BruteForceOptions::default())
+        {
             Ok((cost, _)) => {
                 let ms = start.elapsed().as_secs_f64() * 1e3;
                 f12.push("BruteForce", n as f64, ms, u64::MAX);
@@ -505,21 +511,33 @@ pub fn fig_stream() {
 /// `fig_serve`: closed-loop load generation against the `adp-service`
 /// front door — the serving regime the plan cache is for. For each
 /// client count, `clients` OS threads hammer one shared [`Service`]
-/// with solve requests over a small hot query set ("Service (cached)":
-/// every request after the first per key reuses the shared plan /
-/// evaluation / delta template), and the same request stream is then
-/// replayed with a fresh `PreparedQuery` per request ("Cold
-/// plan-per-request": what every caller did before the service
-/// existed). Reported per series: throughput (solves/s), mean and
-/// p50/p95/p99 latency, and the cache hit rate. Every response is
-/// **checked for equality** against a direct sequential solve of the
-/// same `(Q, k)` (soft check; divergence fails the process at exit).
+/// three ways:
+///
+/// * **"Statement (prepared)"** — each client holds one prepared
+///   [`Statement`] and binds per-request targets: the v2 hot path,
+///   zero query-text work per call (the per-request parse /
+///   normalization / fingerprint savings are measured with the
+///   process-wide counters in `adp_core::query::metrics` and reported
+///   next to the series — the statement arm must measure **zero**,
+///   which is checked, not just printed);
+/// * **"Service (cached)"** — the text front door: every request
+///   re-parses and re-normalizes its query string, then shares the
+///   cached plan / evaluation / delta template;
+/// * **"Cold plan-per-request"** — a fresh `PreparedQuery` per request:
+///   what every caller did before the service existed.
+///
+/// Reported per series: throughput (solves/s), mean and p50/p95/p99
+/// latency, and the cache hit rate. Every response is **checked for
+/// equality** against a direct sequential solve of the same `(Q, k)`
+/// (soft check; divergence fails the process at exit).
 ///
 /// [`Service`]: adp_service::Service
+/// [`Statement`]: adp_service::Statement
 pub fn fig_serve() {
+    use adp_core::query::metrics;
     use adp_core::solver::PreparedQuery;
     use adp_engine::provenance::TupleRef;
-    use adp_service::{Service, ServiceConfig, SolveRequest};
+    use adp_service::{Service, ServiceConfig, SolveRequest, Target};
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{Arc, Barrier, Mutex};
 
@@ -581,7 +599,83 @@ pub fn fig_serve() {
     for &clients in client_counts {
         let requests = clients * per_client;
 
-        // --- Series 1: the service, shared plan cache. -------------
+        // --- Series 1: prepared statements (v2 hot path). ----------
+        // One Statement per client, prepared before the clock starts;
+        // the measured loop performs zero query-text work, which the
+        // metrics counters verify (not just report).
+        let svc = Arc::new(Service::with_config(
+            db.clone(),
+            ServiceConfig {
+                max_in_flight: 4 * clients.max(1),
+                ..Default::default()
+            },
+        ));
+        let statements: Vec<_> = (0..clients)
+            .map(|_| svc.prepare(&q_text).expect("hot query parses"))
+            .collect();
+        let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(requests));
+        let barrier = Barrier::new(clients);
+        let text_before = metrics::text_work();
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for (c, stmt) in statements.iter().enumerate() {
+                let (latencies, barrier, ks) = (&latencies, &barrier, &ks);
+                let check_response = &check_response;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let mut local = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let slot = (c + i) % ks.len();
+                        let t0 = Instant::now();
+                        let resp = stmt
+                            .solve(Target::Outputs(ks[slot]))
+                            .expect("admission limit sized for the client count");
+                        local.push(t0.elapsed().as_micros() as u64);
+                        check_response(
+                            slot,
+                            resp.outcome.cost,
+                            &resp.outcome.solution,
+                            "statement",
+                        );
+                    }
+                    latencies.lock().unwrap().extend(local);
+                });
+            }
+        });
+        let stmt_secs = started.elapsed().as_secs_f64();
+        let text_after = metrics::text_work();
+        let stmt_throughput = requests as f64 / stmt_secs;
+        let lat = latencies.into_inner().unwrap();
+        report_latencies(
+            &mut fig,
+            &format!("Statement (prepared), {clients} clients"),
+            clients,
+            stmt_throughput,
+            &lat,
+        );
+        let stmt_parses = text_after.parses - text_before.parses;
+        let stmt_norms = text_after.normalizations - text_before.normalizations;
+        let stmt_prints = text_after.fingerprints - text_before.fingerprints;
+        println!(
+            "      text work across {requests} statement solves: \
+             {stmt_parses} parses, {stmt_norms} normalizations, {stmt_prints} fingerprints"
+        );
+        // The v2 acceptance criterion, enforced in the figure run too:
+        // the statement hot path performs zero text work per call.
+        crate::checks::check(
+            stmt_parses == 0 && stmt_norms == 0 && stmt_prints == 0,
+            || {
+                format!(
+                    "fig_serve: statement arm did text work \
+                     ({stmt_parses} parses / {stmt_norms} normalizations / \
+                     {stmt_prints} fingerprints across {requests} solves)"
+                )
+            },
+        );
+        drop(statements);
+        drop(svc);
+
+        // --- Series 2: the service text path, shared plan cache. ----
         let svc = Arc::new(Service::with_config(
             db.clone(),
             ServiceConfig {
@@ -592,6 +686,7 @@ pub fn fig_serve() {
         let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(requests));
         let hits = AtomicU64::new(0);
         let barrier = Barrier::new(clients);
+        let text_before = metrics::text_work();
         let started = Instant::now();
         std::thread::scope(|scope| {
             for c in 0..clients {
@@ -633,8 +728,21 @@ pub fn fig_serve() {
             "      cache hit rate {hit_rate:.1}% ({} plans cached)",
             svc.cached_plans()
         );
+        // The per-request text-path cost the statement arm skips
+        // entirely: parses + normalizations + fingerprints per solve.
+        let text_after = metrics::text_work();
+        let per_request_text_ops = (text_after.parses - text_before.parses
+            + (text_after.normalizations - text_before.normalizations)
+            + (text_after.fingerprints - text_before.fingerprints))
+            as f64
+            / requests as f64;
+        println!(
+            "      text path pays {per_request_text_ops:.1} parse/normalize/hash ops per \
+             request; statements pay 0 (saved {:.0} ops at this client count)",
+            per_request_text_ops * requests as f64
+        );
 
-        // --- Series 2: cold plan-per-request (pre-service world). --
+        // --- Series 3: cold plan-per-request (pre-service world). --
         let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(requests));
         let barrier = Barrier::new(clients);
         let started = Instant::now();
@@ -673,6 +781,10 @@ pub fn fig_serve() {
 
         let speedup = cached_throughput / cold_throughput;
         println!("      cached/cold throughput ratio at {clients} clients: {speedup:.1}x");
+        println!(
+            "      statement/cached throughput ratio at {clients} clients: {:.2}x",
+            stmt_throughput / cached_throughput
+        );
         if clients == 4 {
             // Acceptance floor: the plan cache must buy ≥5× solve
             // throughput over plan-per-request at 4 clients (quick mode

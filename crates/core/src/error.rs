@@ -12,6 +12,18 @@ pub enum QueryError {
     SelfJoin(String),
     /// A head attribute does not occur in the body.
     HeadNotInBody(String),
+    /// An attribute repeats within one atom (e.g. `R(A,A)`); the
+    /// paper's queries never repeat an attribute inside an atom.
+    DuplicateAttr {
+        /// The atom with the repeated attribute.
+        relation: String,
+        /// The repeated attribute.
+        attr: String,
+    },
+    /// A query, relation, or attribute name is not an identifier
+    /// (alphanumerics and `_`), so its text form could not round-trip
+    /// through the parser.
+    BadIdentifier(String),
     /// Parse failure with a human-readable message.
     Parse(String),
 }
@@ -27,6 +39,13 @@ impl fmt::Display for QueryError {
             QueryError::HeadNotInBody(a) => {
                 write!(f, "head attribute {a} does not appear in the body")
             }
+            QueryError::DuplicateAttr { relation, attr } => {
+                write!(f, "attribute {attr} repeats within atom {relation}")
+            }
+            QueryError::BadIdentifier(name) => write!(
+                f,
+                "{name:?} is not an identifier (alphanumerics and '_' only)"
+            ),
             QueryError::Parse(msg) => write!(f, "parse error: {msg}"),
         }
     }

@@ -10,14 +10,16 @@
 //!
 //! The crate provides:
 //!
-//! * [`query`] — the CQ model and a datalog-style parser;
+//! * [`query`] — the CQ model, a datalog-style parser, and the typed
+//!   [`query::QueryBuilder`] (v2 programmatic construction);
 //! * [`analysis`] — both dichotomies: the procedural
 //!   [`analysis::is_ptime`] (Theorem 2) and the structural
 //!   [`analysis::has_hard_structure`] (Theorem 3), plus machine-checkable
 //!   [`analysis::hardness_certificate`]s (Lemma 6);
-//! * [`solver`] — the unified [`solver::compute_adp`] (Algorithm 2):
-//!   exact on poly-time queries, greedy heuristic on NP-hard ones, with
-//!   counting and reporting modes;
+//! * [`solver`] — the unified `ComputeADP` (Algorithm 2) behind the
+//!   fluent [`solver::Solve`] builder: exact on poly-time queries,
+//!   greedy heuristic on NP-hard ones, with counting and reporting
+//!   modes and an explain trace on every [`solver::Report`];
 //! * [`approx`] — the Partial-Set-Cover approximation algorithms for
 //!   full CQs (Theorem 5);
 //! * [`selection`] — CQs with selection predicates (§7.5, Lemma 12).
@@ -25,14 +27,21 @@
 //! ## Quick start
 //!
 //! ```
-//! use adp_core::query::parse_query;
 //! use adp_core::analysis::is_ptime;
-//! use adp_core::solver::{compute_adp, AdpOptions};
+//! use adp_core::query::Query;
+//! use adp_core::solver::Solve;
 //! use adp_engine::database::Database;
 //! use adp_engine::schema::attrs;
 //!
-//! // The paper's waitlist query (Example 1).
-//! let q = parse_query("QWL(S,C) :- Major(S,M), Req(M,C), NoSeat(C)").unwrap();
+//! // The paper's waitlist query (Example 1), built without a string
+//! // round-trip.
+//! let q = Query::builder("QWL")
+//!     .head(["S", "C"])
+//!     .atom("Major", ["S", "M"])
+//!     .atom("Req", ["M", "C"])
+//!     .atom("NoSeat", ["C"])
+//!     .build()
+//!     .unwrap();
 //! assert!(!is_ptime(&q)); // NP-hard in general
 //!
 //! let mut db = Database::new();
@@ -41,8 +50,9 @@
 //! db.add_relation("NoSeat", attrs(&["C"]), &[&[100], &[101]]);
 //!
 //! // Shrink the waitlist by 2 entries with minimum intervention.
-//! let out = compute_adp(&q, &db, 2, &AdpOptions::default()).unwrap();
-//! assert!(out.cost >= 1 && out.achieved >= 2);
+//! let report = Solve::new(&q, &db).k(2).run().unwrap();
+//! assert!(report.cost() >= 1 && report.outcome.achieved >= 2);
+//! assert_eq!(report.explain.solver, "greedy");
 //! ```
 
 pub mod analysis;
@@ -53,5 +63,7 @@ pub mod selection;
 pub mod solver;
 
 pub use error::{QueryError, SolveError};
-pub use query::{parse_query, Query};
-pub use solver::{compute_adp, compute_adp_arc, AdpOptions, AdpOutcome, Mode};
+pub use query::{parse_query, Query, QueryBuilder};
+#[allow(deprecated)]
+pub use solver::{compute_adp, compute_adp_arc};
+pub use solver::{AdpOptions, AdpOutcome, Branch, Explain, Mode, Report, Solve};

@@ -1,0 +1,227 @@
+//! A typed, validating builder for [`Query`] values.
+//!
+//! The v1 API forced programmatic callers through query *text*: build a
+//! string, [`parse_query`](super::parse_query) it, handle parse errors
+//! at runtime — a round-trip that re-tokenizes what the caller already
+//! had in structured form. [`QueryBuilder`] constructs the same
+//! [`Query`] directly, with every standing assumption checked at
+//! [`build`](QueryBuilder::build) time as a typed [`QueryError`]:
+//! identifier validity (so [`Query::to_text`] is guaranteed to
+//! round-trip through the parser), per-atom attribute uniqueness (a
+//! typed error instead of the old panic), self-join freedom, non-empty
+//! body, and head ⊆ body.
+//!
+//! ```
+//! use adp_core::query::{parse_query, Query};
+//!
+//! let q = Query::builder("Q3path")
+//!     .head(["A", "D"])
+//!     .atom("R1", ["A", "B"])
+//!     .atom("R2", ["B", "C"])
+//!     .atom("R3", ["C", "D"])
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(q, parse_query("Q3path(A,D) :- R1(A,B), R2(B,C), R3(C,D)").unwrap());
+//! assert_eq!(parse_query(&q.to_text()).unwrap(), q); // round-trips
+//! ```
+
+use super::Query;
+use crate::error::QueryError;
+use adp_engine::schema::{Attr, RelationSchema};
+
+/// True if `s` is a parser-accepted identifier (the grammar's `ident`):
+/// non-empty, alphanumerics and `_` only.
+pub(crate) fn is_ident(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Builds a [`RelationSchema`], rejecting repeated attributes with a
+/// typed [`QueryError::DuplicateAttr`] instead of the schema
+/// constructor's panic. Shared by the builder and the parser, so no
+/// front door can reach the panicking path.
+pub(crate) fn checked_schema(name: &str, attrs: Vec<Attr>) -> Result<RelationSchema, QueryError> {
+    for (i, a) in attrs.iter().enumerate() {
+        if attrs[..i].contains(a) {
+            return Err(QueryError::DuplicateAttr {
+                relation: name.to_owned(),
+                attr: a.to_string(),
+            });
+        }
+    }
+    Ok(RelationSchema::new(name, attrs))
+}
+
+/// A fluent, validating constructor for [`Query`] — the programmatic
+/// alternative to [`parse_query`](super::parse_query). See the module
+/// docs for what is validated and when.
+#[derive(Clone, Debug, Default)]
+pub struct QueryBuilder {
+    name: String,
+    head: Vec<Attr>,
+    atoms: Vec<(String, Vec<Attr>)>,
+}
+
+impl QueryBuilder {
+    /// Starts a query named `name`. The name is display-only (it never
+    /// affects solving or cache keys) but must be an identifier so the
+    /// built query's [`Query::to_text`] round-trips through the parser.
+    pub fn new(name: &str) -> Self {
+        QueryBuilder {
+            name: name.to_owned(),
+            head: Vec::new(),
+            atoms: Vec::new(),
+        }
+    }
+
+    /// Sets the output attributes (`head(Q)`), replacing any previous
+    /// head. An empty head (the default) is a boolean query.
+    pub fn head<I, A>(mut self, attrs: I) -> Self
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attr>,
+    {
+        self.head = attrs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends one body atom `name(attrs...)`. Atom order is preserved:
+    /// it carries the [`TupleRef.atom`] coordinates of every reported
+    /// deletion set.
+    ///
+    /// [`TupleRef.atom`]: adp_engine::provenance::TupleRef
+    pub fn atom<I, A>(mut self, name: &str, attrs: I) -> Self
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attr>,
+    {
+        self.atoms
+            .push((name.to_owned(), attrs.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// Validates and builds the [`Query`]. Every failure is a typed
+    /// [`QueryError`]; on success, `parse_query(&q.to_text())`
+    /// reproduces the query exactly.
+    pub fn build(self) -> Result<Query, QueryError> {
+        if !is_ident(&self.name) {
+            return Err(QueryError::BadIdentifier(self.name));
+        }
+        let mut atoms = Vec::with_capacity(self.atoms.len());
+        for (name, attrs) in self.atoms {
+            if !is_ident(&name) {
+                return Err(QueryError::BadIdentifier(name));
+            }
+            if let Some(a) = attrs.iter().find(|a| !is_ident(a.name())) {
+                return Err(QueryError::BadIdentifier(a.to_string()));
+            }
+            atoms.push(checked_schema(&name, attrs)?);
+        }
+        for h in &self.head {
+            if !is_ident(h.name()) {
+                return Err(QueryError::BadIdentifier(h.to_string()));
+            }
+        }
+        Query::new(&self.name, self.head, atoms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+    use adp_engine::schema::attrs;
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = Query::builder("QWL")
+            .head(["S", "C"])
+            .atom("Major", ["S", "M"])
+            .atom("Req", ["M", "C"])
+            .atom("NoSeat", ["C"])
+            .build()
+            .unwrap();
+        let parsed = parse_query("QWL(S,C) :- Major(S,M), Req(M,C), NoSeat(C)").unwrap();
+        assert_eq!(built, parsed);
+        assert_eq!(built.normalized_text(), parsed.normalized_text());
+    }
+
+    #[test]
+    fn accepts_attr_values_and_strs() {
+        // Both `&str` and pre-built `Attr` head/atom lists work.
+        let q = Query::builder("Q")
+            .head(attrs(&["A"]))
+            .atom("R", attrs(&["A", "B"]))
+            .build()
+            .unwrap();
+        assert_eq!(q, parse_query("Q(A) :- R(A,B)").unwrap());
+    }
+
+    #[test]
+    fn boolean_and_vacuum_forms() {
+        let q = Query::builder("Q")
+            .atom("R", ["A"])
+            .atom("V", Vec::<Attr>::new())
+            .build()
+            .unwrap();
+        assert!(q.is_boolean());
+        assert!(q.has_vacuum_atom());
+        assert_eq!(parse_query(&q.to_text()).unwrap(), q);
+    }
+
+    #[test]
+    fn validation_is_typed() {
+        assert_eq!(
+            Query::builder("Q").build().unwrap_err(),
+            QueryError::EmptyBody
+        );
+        assert!(matches!(
+            Query::builder("Q!").atom("R", ["A"]).build().unwrap_err(),
+            QueryError::BadIdentifier(_)
+        ));
+        assert!(matches!(
+            Query::builder("Q").atom("R(", ["A"]).build().unwrap_err(),
+            QueryError::BadIdentifier(_)
+        ));
+        assert!(matches!(
+            Query::builder("Q").atom("R", ["A,B"]).build().unwrap_err(),
+            QueryError::BadIdentifier(_)
+        ));
+        assert_eq!(
+            Query::builder("Q")
+                .atom("R", ["A", "A"])
+                .build()
+                .unwrap_err(),
+            QueryError::DuplicateAttr {
+                relation: "R".into(),
+                attr: "A".into(),
+            }
+        );
+        assert!(matches!(
+            Query::builder("Q")
+                .atom("R", ["A"])
+                .atom("R", ["B"])
+                .build()
+                .unwrap_err(),
+            QueryError::SelfJoin(_)
+        ));
+        assert!(matches!(
+            Query::builder("Q")
+                .head(["Z"])
+                .atom("R", ["A"])
+                .build()
+                .unwrap_err(),
+            QueryError::HeadNotInBody(_)
+        ));
+    }
+
+    #[test]
+    fn head_replaces_not_appends() {
+        let q = Query::builder("Q")
+            .head(["A", "B"])
+            .head(["A"])
+            .atom("R", ["A", "B"])
+            .build()
+            .unwrap();
+        assert_eq!(q.head(), &attrs(&["A"])[..]);
+    }
+}

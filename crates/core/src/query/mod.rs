@@ -5,7 +5,9 @@
 //! residual queries `Q^{-A}`, head joins, connected components — live
 //! here; complexity analyses live in [`crate::analysis`].
 
+pub mod builder;
 pub mod graph;
+pub mod metrics;
 pub mod parser;
 
 use crate::error::QueryError;
@@ -13,6 +15,7 @@ use adp_engine::schema::{Attr, RelationSchema};
 use std::collections::BTreeSet;
 use std::fmt;
 
+pub use builder::QueryBuilder;
 pub use parser::parse_query;
 
 /// A self-join-free conjunctive query `Q(head) :- R1(..), ..., Rp(..)`.
@@ -52,6 +55,13 @@ impl Query {
             head: head_set,
             atoms,
         })
+    }
+
+    /// Starts a typed [`QueryBuilder`] named `name` — the programmatic
+    /// alternative to [`parse_query`], validating at build time instead
+    /// of parse time.
+    pub fn builder(name: &str) -> QueryBuilder {
+        QueryBuilder::new(name)
     }
 
     /// The query's name (used for display only).
@@ -199,6 +209,7 @@ impl Query {
     /// [`TupleRef.atom`]: adp_engine::provenance::TupleRef
     pub fn normalized_text(&self) -> String {
         use std::fmt::Write;
+        metrics::bump(&metrics::NORMALIZATIONS);
         let mut out = String::new();
         out.push('(');
         for (i, h) in self.head.iter().enumerate() {
@@ -222,8 +233,29 @@ impl Query {
     /// values, which the std documentation reserves the right to
     /// change), so it can shard caches and key persisted artifacts.
     pub fn fingerprint(&self) -> u64 {
-        fnv1a(self.normalized_text().as_bytes())
+        fingerprint_of_normalized(&self.normalized_text())
     }
+
+    /// The query's canonical parser-compatible text:
+    /// `name(head) :- atoms`. For any query whose name and attributes
+    /// are identifiers (everything a [`QueryBuilder`] builds and
+    /// everything [`parse_query`] accepts),
+    /// `parse_query(&q.to_text()) == q` — the round-trip the
+    /// `api_v2_differential` proptest suite pins. Derived queries
+    /// (residuals, subqueries) carry decorated display names like
+    /// `Q^-`, which are not identifiers; their text is for humans only.
+    pub fn to_text(&self) -> String {
+        format!("{self}")
+    }
+}
+
+/// [`Query::fingerprint`] for an already-rendered
+/// [`normalized_text`](Query::normalized_text), so callers that need
+/// both the key text and its fingerprint (the serving layer's cache
+/// path) render the text exactly once.
+pub fn fingerprint_of_normalized(normalized: &str) -> u64 {
+    metrics::bump(&metrics::FINGERPRINTS);
+    fnv1a(normalized.as_bytes())
 }
 
 /// 64-bit FNV-1a over a byte string.

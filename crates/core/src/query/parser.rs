@@ -17,21 +17,23 @@
 //! assert_eq!(q.head().len(), 2);
 //! ```
 
+use super::builder::is_ident;
 use super::Query;
 use crate::error::QueryError;
-use adp_engine::schema::{Attr, RelationSchema};
+use adp_engine::schema::Attr;
 
 /// Parses a query from its datalog-ish text form.
 pub fn parse_query(text: &str) -> Result<Query, QueryError> {
+    super::metrics::bump(&super::metrics::PARSES);
     let (head_part, body_part) = split_rule(text)?;
     let (qname, head_attrs) = parse_atom_text(head_part)?;
     let mut atoms = Vec::new();
     for atom_text in split_atoms(body_part)? {
         let (rname, rattrs) = parse_atom_text(&atom_text)?;
-        atoms.push(RelationSchema::new(
+        atoms.push(super::builder::checked_schema(
             &rname,
             rattrs.into_iter().map(|a| Attr::new(&a)).collect(),
-        ));
+        )?);
     }
     Query::new(
         &qname,
@@ -124,10 +126,6 @@ fn parse_atom_text(text: &str) -> Result<(String, Vec<String>), QueryError> {
     Ok((name.to_owned(), attrs))
 }
 
-fn is_ident(s: &str) -> bool {
-    s.chars().all(|c| c.is_alphanumeric() || c == '_')
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +191,12 @@ mod tests {
         assert!(matches!(
             parse_query("Q(A) :- R(A"),
             Err(QueryError::Parse(_))
+        ));
+        // Regression: a repeated attribute within one atom used to panic
+        // inside `RelationSchema::new`; it is now a typed error.
+        assert!(matches!(
+            parse_query("Q(A) :- R(A,A)"),
+            Err(QueryError::DuplicateAttr { .. })
         ));
     }
 }

@@ -62,6 +62,11 @@ impl Default for BruteForceOptions {
 
 /// Finds a minimum deletion set removing at least `k` outputs by
 /// exhaustive search. Exact but exponential — use on small instances.
+#[deprecated(
+    since = "0.3.0",
+    note = "use the fluent v2 API: `Solve::new(query, db).k(k).brute_force().run()` \
+            (byte-identical deletion sets)"
+)]
 pub fn brute_force(
     query: &Query,
     db: &Database,
@@ -75,6 +80,11 @@ pub fn brute_force(
 /// [`brute_force`] against a [`PreparedQuery`]: the cached plan and
 /// evaluation are reused, so repeated baseline probes (one per `k` in a
 /// sweep) never re-join.
+#[deprecated(
+    since = "0.3.0",
+    note = "use the fluent v2 API: `Solve::prepared(&prep).k(k).brute_force().run()` \
+            (byte-identical deletion sets)"
+)]
 pub fn brute_force_prepared(
     prep: &PreparedQuery,
     k: u64,
@@ -84,7 +94,7 @@ pub fn brute_force_prepared(
     brute_force_with_eval(prep.query(), prep.database(), &eval, k, opts)
 }
 
-fn brute_force_with_eval(
+pub(crate) fn brute_force_with_eval(
     query: &Query,
     db: &Database,
     eval: &EvalResult,
@@ -245,6 +255,9 @@ fn binomial(n: u128, k: u128) -> u128 {
 }
 
 #[cfg(test)]
+// Pins the legacy v1 entry points; the fluent path is differentially
+// tested against them.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::query::parse_query;

@@ -1,0 +1,614 @@
+//! The fluent v2 solve API: one builder for every way to run ADP.
+//!
+//! The v1 surface grew one free function per scenario —
+//! `compute_adp`, `compute_adp_arc`, `compute_adp_with_policy`,
+//! `compute_resilience`, `brute_force`, `brute_force_prepared` — each
+//! with its own parameter order and its own slice of the option space.
+//! [`Solve`] replaces the zoo with one builder:
+//!
+//! ```
+//! use adp_core::query::parse_query;
+//! use adp_core::solver::Solve;
+//! use adp_engine::database::Database;
+//! use adp_engine::schema::attrs;
+//!
+//! let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+//! let mut db = Database::new();
+//! db.add_relation("R1", attrs(&["A"]), &[&[1], &[2]]);
+//! db.add_relation("R2", attrs(&["A", "B"]), &[&[1, 1], &[1, 2], &[2, 1]]);
+//! db.add_relation("R3", attrs(&["B"]), &[&[1], &[2]]);
+//!
+//! let report = Solve::new(&q, &db).k(2).run().unwrap();
+//! assert_eq!(report.cost(), 1);
+//! println!("{:?} via {}", report.explain.branch, report.explain.solver);
+//! ```
+//!
+//! Every configuration is **byte-identical** to the v1 function it
+//! replaces (the `api_v2_differential` proptest suite pins it); the
+//! additions are ergonomic only: a typed target, deadline/policy/brute
+//! switches on one object, and a [`Report`] that carries an explain
+//! trace ([`Explain`]) next to the outcome — which dichotomy branch the
+//! root dispatch took, which solver family answered, and where the
+//! microseconds went.
+
+use super::brute::{brute_force_with_eval, BruteForceOptions};
+use super::policy::{compute_with_policy_impl, DeletionPolicy};
+use super::prepared::PreparedQuery;
+use super::{AdpOptions, AdpOutcome, Mode};
+use crate::analysis::{is_ptime, roles::singleton_atom};
+use crate::error::SolveError;
+use crate::query::Query;
+use adp_engine::database::Database;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The root dispatch branch of `ComputeADP` (Algorithm 2) a solve went
+/// through — the paper's dichotomy cases, plus the non-recursive
+/// front doors (policy, brute force).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Branch {
+    /// Exhaustive subset search ([`Solve::brute_force`]).
+    BruteForce,
+    /// Policy-restricted solve (frozen relations, §9 extension).
+    Policy,
+    /// Boolean base case: resilience via linearization + min-cut (§7.1).
+    Boolean,
+    /// The benchmark hook jumped straight to the greedy leaf
+    /// ([`AdpOptions::force_greedy`]).
+    ForcedGreedy,
+    /// Singleton base case (§7.2, Algorithm 3).
+    Singleton,
+    /// Universal-attribute partition + DP (§7.3, Algorithm 4).
+    Universe,
+    /// Disconnected query: per-component solve + cross-product DP
+    /// (§7.3, Algorithm 5).
+    Decompose,
+    /// NP-hard leaf: greedy heuristics over the materialized join
+    /// (§7.4, Algorithms 6/7).
+    Greedy,
+}
+
+impl Branch {
+    /// The branch the root dispatch of [`super::solve`] takes for this
+    /// query under these options — derived from the same checks, in the
+    /// same order, as the dispatcher itself.
+    fn of(query: &Query, opts: &AdpOptions) -> Branch {
+        if query.is_boolean() {
+            Branch::Boolean
+        } else if opts.force_greedy {
+            Branch::ForcedGreedy
+        } else if !opts.skip_singleton && singleton_atom(query).is_some() {
+            Branch::Singleton
+        } else if !query.universal_attrs().is_empty() {
+            Branch::Universe
+        } else if query.connected_components().len() > 1 {
+            Branch::Decompose
+        } else {
+            Branch::Greedy
+        }
+    }
+}
+
+/// The explain trace carried by every [`Report`]: which path answered
+/// and where the time went. Assembled from stats the solver already
+/// tracks — requesting it costs nothing extra.
+#[derive(Clone, Copy, Debug)]
+pub struct Explain {
+    /// Root dispatch branch of the dichotomy (Algorithm 2).
+    pub branch: Branch,
+    /// Solver family that produced the answer: `"exact"` (poly-time
+    /// shape ran to optimality), `"greedy"`, `"drastic-greedy"`,
+    /// `"brute-force"`, or `"trivial"` (nothing to remove). The same
+    /// labels the serving layer reports in
+    /// [`RequestStats::solver`](https://docs.rs/adp-service).
+    pub solver: &'static str,
+    /// The structural dichotomy's verdict for the query (Theorem 2):
+    /// `true` means the exact polynomial algorithm applies.
+    pub ptime: bool,
+    /// Microseconds spent compiling the plan (zero when reusing a
+    /// [`PreparedQuery`] via [`Solve::prepared`]).
+    pub plan_micros: u64,
+    /// Microseconds spent solving, including the one-time root
+    /// evaluation on a fresh plan.
+    pub solve_micros: u64,
+}
+
+/// A solved ADP instance: the outcome plus its [`Explain`] trace.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// The solver outcome: cost, achieved removal, deletion set,
+    /// exactness and truncation flags — exactly what the v1 functions
+    /// returned.
+    pub outcome: AdpOutcome,
+    /// Which path answered and where the time went.
+    pub explain: Explain,
+}
+
+impl Report {
+    /// Minimum deletions found (heuristic upper bound on hard shapes).
+    pub fn cost(&self) -> u64 {
+        self.outcome.cost
+    }
+
+    /// The deletion set, if the solve ran in report mode.
+    pub fn deletion_set(&self) -> Option<&[adp_engine::provenance::TupleRef]> {
+        self.outcome.solution.as_deref()
+    }
+}
+
+/// How the builder reaches the database.
+enum Db<'a> {
+    Borrowed(&'a Database),
+    Shared(Arc<Database>),
+    Prepared(&'a PreparedQuery),
+}
+
+/// A fluent solve: query + database + target + switches, then
+/// [`run`](Solve::run). See the module docs for the v1 ↔ v2 mapping.
+pub struct Solve<'a> {
+    query: &'a Query,
+    db: Db<'a>,
+    k: Option<u64>,
+    resilience: bool,
+    policy: Option<DeletionPolicy>,
+    opts: AdpOptions,
+    brute: Option<BruteForceOptions>,
+}
+
+impl<'a> Solve<'a> {
+    /// A solve of `query` over `db`. The database is cloned into shared
+    /// ownership at [`run`](Solve::run) time (exactly what
+    /// `compute_adp` did); use [`shared`](Solve::shared) or
+    /// [`prepared`](Solve::prepared) to avoid the clone.
+    pub fn new(query: &'a Query, db: &'a Database) -> Self {
+        Self::with_db(query, Db::Borrowed(db))
+    }
+
+    /// A solve of `query` over a shared database (no clone) — the v2
+    /// form of `compute_adp_arc`.
+    pub fn shared(query: &'a Query, db: Arc<Database>) -> Self {
+        Self::with_db(query, Db::Shared(db))
+    }
+
+    /// A solve against an already-compiled [`PreparedQuery`]: the plan,
+    /// indexes, and root evaluation are reused, and the report's
+    /// `plan_micros` is zero.
+    pub fn prepared(prep: &'a PreparedQuery) -> Self {
+        Self::with_db(prep.query(), Db::Prepared(prep))
+    }
+
+    fn with_db(query: &'a Query, db: Db<'a>) -> Self {
+        Solve {
+            query,
+            db,
+            k: None,
+            resilience: false,
+            policy: None,
+            opts: AdpOptions::default(),
+            brute: None,
+        }
+    }
+
+    /// Target: remove at least `k` outputs (the paper's `ADP(Q, D, k)`).
+    /// Exactly one of [`k`](Solve::k) and [`resilience`](Solve::resilience)
+    /// must be set; like v1, `k = 0` (or no target at all) is rejected
+    /// with [`SolveError::KZero`] and `k > |Q(D)|` with
+    /// [`SolveError::KTooLarge`].
+    pub fn k(mut self, k: u64) -> Self {
+        self.k = Some(k);
+        self.resilience = false;
+        self
+    }
+
+    /// Target: empty the result entirely (`k = |Q(D)|`) — the v2 form of
+    /// `compute_resilience`. An already-empty result is answered with a
+    /// trivial zero-cost report instead of v1's `None`.
+    pub fn resilience(mut self) -> Self {
+        self.resilience = true;
+        self.k = None;
+        self
+    }
+
+    /// Restricts deletions to non-frozen relations — the v2 form of
+    /// `compute_adp_with_policy`. An unrestricted policy behaves exactly
+    /// like no policy. Ignored by [`brute_force`](Solve::brute_force).
+    pub fn policy(mut self, policy: DeletionPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Replaces the whole option block (mode, strategies, limits).
+    pub fn opts(mut self, opts: AdpOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Counting vs. reporting mode ([`AdpOptions::mode`]).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.opts.mode = mode;
+        self
+    }
+
+    /// Counting-only: skip materializing the deletion set.
+    pub fn counting(self) -> Self {
+        self.mode(Mode::Count)
+    }
+
+    /// Wall-clock deadline for the greedy rounds
+    /// ([`AdpOptions::deadline`]): past it, the best-so-far deletion set
+    /// is returned with [`AdpOutcome::truncated`] set.
+    pub fn deadline(mut self, deadline: Instant) -> Self {
+        self.opts.deadline = Some(deadline);
+        self
+    }
+
+    /// [`deadline`](Solve::deadline) as a budget from now.
+    pub fn budget(self, budget: Duration) -> Self {
+        self.deadline(Instant::now() + budget)
+    }
+
+    /// Exhaustive-search baseline instead of the dichotomy solver — the
+    /// v2 form of `brute_force`/`brute_force_prepared`. Exact but
+    /// exponential; the deletion policy is ignored (the baseline only
+    /// knows the endogenous-candidates restriction in
+    /// [`BruteForceOptions`]).
+    pub fn brute_force(self) -> Self {
+        self.brute_force_opts(BruteForceOptions::default())
+    }
+
+    /// [`brute_force`](Solve::brute_force) with explicit search options.
+    pub fn brute_force_opts(mut self, opts: BruteForceOptions) -> Self {
+        self.brute = Some(opts);
+        self
+    }
+
+    /// Runs the solve and assembles the [`Report`].
+    pub fn run(self) -> Result<Report, SolveError> {
+        let ptime = is_ptime(self.query);
+
+        // Policy front door: byte-identical to `compute_adp_with_policy`
+        // (which never used the planned root path), so it bypasses the
+        // prepared plumbing below. Brute force ignores the policy.
+        if self.brute.is_none() {
+            if let Some(policy) = self.policy.as_ref().filter(|p| !p.frozen().is_empty()) {
+                let db: &Database = match &self.db {
+                    Db::Borrowed(db) => db,
+                    Db::Shared(db) => db,
+                    Db::Prepared(prep) => prep.database(),
+                };
+                let k = match self.k {
+                    Some(k) => k,
+                    None if self.resilience => {
+                        // `|Q(D)|` for the resilience target: reuse the
+                        // handle's cached evaluation when there is one;
+                        // otherwise compile once (sharing the Arc, not
+                        // cloning the data, when the caller already
+                        // shares ownership).
+                        let total = match &self.db {
+                            Db::Prepared(prep) => prep.output_count(),
+                            Db::Shared(db) => {
+                                PreparedQuery::new(self.query.clone(), Arc::clone(db))
+                                    .output_count()
+                            }
+                            Db::Borrowed(db) => {
+                                PreparedQuery::new(self.query.clone(), Arc::new((*db).clone()))
+                                    .output_count()
+                            }
+                        };
+                        if total == 0 {
+                            return Ok(trivial_report(Branch::Policy, &self.opts, ptime));
+                        }
+                        total
+                    }
+                    None => 0,
+                };
+                let solve_start = Instant::now();
+                let outcome = compute_with_policy_impl(self.query, db, k, policy, &self.opts)?;
+                let solve_micros = solve_start.elapsed().as_micros() as u64;
+                // The policy path has no drastic variant: non-boolean
+                // queries always run the policy-aware greedy, boolean
+                // ones the exact min-cut.
+                let solver = if outcome.output_count == 0 {
+                    "trivial"
+                } else if outcome.exact {
+                    "exact"
+                } else {
+                    "greedy"
+                };
+                return Ok(Report {
+                    outcome,
+                    explain: Explain {
+                        branch: Branch::Policy,
+                        solver,
+                        ptime,
+                        plan_micros: 0,
+                        solve_micros,
+                    },
+                });
+            }
+        }
+
+        // Compile (or reuse) the plan.
+        let plan_start = Instant::now();
+        let owned;
+        let (prep, plan_micros): (&PreparedQuery, u64) = match &self.db {
+            Db::Prepared(prep) => (*prep, 0),
+            Db::Borrowed(db) => {
+                owned = PreparedQuery::new(self.query.clone(), Arc::new((*db).clone()));
+                (&owned, plan_start.elapsed().as_micros() as u64)
+            }
+            Db::Shared(db) => {
+                owned = PreparedQuery::new(self.query.clone(), Arc::clone(db));
+                (&owned, plan_start.elapsed().as_micros() as u64)
+            }
+        };
+
+        // Resolve the target. No target behaves like k = 0 (KZero), as
+        // the v1 functions rejected it.
+        let k = match self.k {
+            Some(k) => k,
+            None if self.resilience => {
+                let total = prep.output_count();
+                if total == 0 {
+                    return Ok(trivial_report(
+                        Branch::of(self.query, &self.opts),
+                        &self.opts,
+                        ptime,
+                    ));
+                }
+                total
+            }
+            None => 0,
+        };
+
+        let solve_start = Instant::now();
+        if let Some(bf_opts) = self.brute {
+            let eval = prep.eval();
+            let (cost, solution) =
+                brute_force_with_eval(self.query, prep.database(), &eval, k, &bf_opts)?;
+            let achieved = prep.removed_outputs(&solution);
+            let outcome = AdpOutcome {
+                cost,
+                achieved,
+                exact: true,
+                truncated: false,
+                output_count: eval.output_count(),
+                solution: (self.opts.mode == Mode::Report).then_some(solution),
+            };
+            let solve_micros = solve_start.elapsed().as_micros() as u64;
+            return Ok(Report {
+                outcome,
+                explain: Explain {
+                    branch: Branch::BruteForce,
+                    solver: "brute-force",
+                    ptime,
+                    plan_micros,
+                    solve_micros,
+                },
+            });
+        }
+
+        let outcome = prep.solve(k, &self.opts)?;
+        let solve_micros = solve_start.elapsed().as_micros() as u64;
+        let solver = solver_label(&outcome, &self.opts, self.query);
+        Ok(Report {
+            outcome,
+            explain: Explain {
+                branch: Branch::of(self.query, &self.opts),
+                solver,
+                ptime,
+                plan_micros,
+                solve_micros,
+            },
+        })
+    }
+}
+
+/// The solver-family label for a dichotomy-path outcome (same labels as
+/// the serving layer's per-request stats).
+fn solver_label(outcome: &AdpOutcome, opts: &AdpOptions, query: &Query) -> &'static str {
+    if outcome.output_count == 0 {
+        "trivial"
+    } else if outcome.exact {
+        "exact"
+    } else if opts.use_drastic && query.is_full() {
+        "drastic-greedy"
+    } else {
+        "greedy"
+    }
+}
+
+/// The zero-output resilience answer: nothing to remove, empty set at
+/// cost 0 (v1 returned `None` here). `branch` names the front door
+/// that was actually taken (the policy path passes [`Branch::Policy`]
+/// so the branch field never flips with the data).
+fn trivial_report(branch: Branch, opts: &AdpOptions, ptime: bool) -> Report {
+    Report {
+        outcome: AdpOutcome {
+            cost: 0,
+            achieved: 0,
+            exact: true,
+            truncated: false,
+            output_count: 0,
+            solution: (opts.mode == Mode::Report).then(Vec::new),
+        },
+        explain: Explain {
+            branch,
+            solver: "trivial",
+            ptime,
+            plan_micros: 0,
+            solve_micros: 0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::parse_query;
+    use adp_engine::schema::attrs;
+
+    fn chain_db() -> Database {
+        let mut db = Database::new();
+        db.add_relation("R1", attrs(&["A"]), &[&[1], &[2]]);
+        db.add_relation("R2", attrs(&["A", "B"]), &[&[1, 1], &[1, 2], &[2, 1]]);
+        db.add_relation("R3", attrs(&["B"]), &[&[1], &[2]]);
+        db
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn fluent_matches_legacy_compute_adp() {
+        let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+        let db = chain_db();
+        for k in 1..=3u64 {
+            let v2 = Solve::new(&q, &db).k(k).run().unwrap();
+            let v1 = super::super::compute_adp(&q, &db, k, &AdpOptions::default()).unwrap();
+            assert_eq!(v2.outcome.cost, v1.cost, "k={k}");
+            assert_eq!(v2.outcome.solution, v1.solution, "k={k}");
+            assert_eq!(v2.outcome.achieved, v1.achieved, "k={k}");
+            assert_eq!(v2.explain.branch, Branch::Greedy);
+            assert!(!v2.explain.ptime);
+        }
+    }
+
+    #[test]
+    fn missing_target_is_kzero_like_v1() {
+        let q = parse_query("Q(A) :- R1(A)").unwrap();
+        let db = chain_db();
+        assert!(matches!(Solve::new(&q, &db).run(), Err(SolveError::KZero)));
+        assert!(matches!(
+            Solve::new(&q, &db).k(0).run(),
+            Err(SolveError::KZero)
+        ));
+        assert!(matches!(
+            Solve::new(&q, &db).k(99).run(),
+            Err(SolveError::KTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn resilience_matches_legacy_and_handles_empty() {
+        let q = parse_query("Q() :- R1(A), R2(A,B), R3(B)").unwrap();
+        let db = chain_db();
+        let v2 = Solve::new(&q, &db).resilience().run().unwrap();
+        let v1 = super::super::compute_resilience(&q, &db, &AdpOptions::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(v2.outcome.cost, v1.cost);
+        assert_eq!(v2.outcome.solution, v1.solution);
+        assert_eq!(v2.explain.branch, Branch::Boolean);
+        assert_eq!(v2.explain.solver, "exact");
+
+        // Empty result: v1 returned None; v2 reports the trivial answer.
+        let q2 = parse_query("Q(A) :- R1(A), R9(A)").unwrap();
+        let mut db2 = Database::new();
+        db2.add_relation("R1", attrs(&["A"]), &[&[1]]);
+        db2.add_relation("R9", attrs(&["A"]), &[&[2]]);
+        let r = Solve::new(&q2, &db2).resilience().run().unwrap();
+        assert_eq!(r.outcome.cost, 0);
+        assert_eq!(r.outcome.output_count, 0);
+        assert_eq!(r.explain.solver, "trivial");
+        assert_eq!(r.deletion_set(), Some(&[][..]));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn policy_matches_legacy() {
+        let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+        let db = chain_db();
+        let policy = DeletionPolicy::unrestricted().freeze("R1");
+        for k in 1..=3u64 {
+            let v2 = Solve::new(&q, &db)
+                .k(k)
+                .policy(policy.clone())
+                .run()
+                .unwrap();
+            let v1 =
+                super::super::compute_adp_with_policy(&q, &db, k, &policy, &AdpOptions::default())
+                    .unwrap();
+            assert_eq!(v2.outcome.cost, v1.cost, "k={k}");
+            assert_eq!(v2.outcome.solution, v1.solution, "k={k}");
+            assert_eq!(v2.explain.branch, Branch::Policy);
+        }
+        // An unrestricted policy is a no-op, not the policy code path.
+        let r = Solve::new(&q, &db)
+            .k(1)
+            .policy(DeletionPolicy::unrestricted())
+            .run()
+            .unwrap();
+        assert_eq!(r.explain.branch, Branch::Greedy);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn brute_force_matches_legacy() {
+        let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+        let db = chain_db();
+        for k in 1..=3u64 {
+            let v2 = Solve::new(&q, &db).k(k).brute_force().run().unwrap();
+            let (cost, sol) =
+                super::super::brute::brute_force(&q, &db, k, &BruteForceOptions::default())
+                    .unwrap();
+            assert_eq!(v2.outcome.cost, cost, "k={k}");
+            assert_eq!(v2.outcome.solution.as_deref(), Some(&sol[..]), "k={k}");
+            assert!(v2.outcome.achieved >= k, "k={k}");
+            assert_eq!(v2.explain.branch, Branch::BruteForce);
+            assert_eq!(v2.explain.solver, "brute-force");
+        }
+    }
+
+    #[test]
+    fn prepared_reuse_reports_zero_plan_micros() {
+        let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+        let prep = PreparedQuery::new(q.clone(), Arc::new(chain_db()));
+        let a = Solve::prepared(&prep).k(1).run().unwrap();
+        let b = Solve::prepared(&prep).k(1).run().unwrap();
+        assert_eq!(a.explain.plan_micros, 0);
+        assert_eq!(a.outcome.solution, b.outcome.solution);
+    }
+
+    #[test]
+    fn branch_mirrors_the_dispatcher() {
+        let cases = [
+            ("Q() :- R(A)", Branch::Boolean),
+            ("Q(A,B) :- R(A), S(A,B)", Branch::Singleton),
+            ("Q(A,B) :- R(A,B), S(A,C)", Branch::Universe),
+            ("Q(A,B) :- R(A), S(B)", Branch::Decompose),
+            ("Q(A,B) :- R(A), S(A,B), T(B)", Branch::Greedy),
+        ];
+        for (text, branch) in cases {
+            let q = parse_query(text).unwrap();
+            assert_eq!(Branch::of(&q, &AdpOptions::default()), branch, "{text}");
+        }
+        let q = parse_query("Q(A,B) :- R(A), S(A,B)").unwrap();
+        let forced = AdpOptions {
+            force_greedy: true,
+            ..Default::default()
+        };
+        assert_eq!(Branch::of(&q, &forced), Branch::ForcedGreedy);
+        let skip = AdpOptions {
+            skip_singleton: true,
+            ..Default::default()
+        };
+        assert_eq!(Branch::of(&q, &skip), Branch::Universe);
+    }
+
+    #[test]
+    fn deadline_sugar_truncates() {
+        let q = parse_query("Q(A,B) :- R1(A), R2(A,B), R3(B)").unwrap();
+        let db = chain_db();
+        let r = Solve::new(&q, &db)
+            .k(3)
+            .opts(AdpOptions {
+                force_greedy: true,
+                ..Default::default()
+            })
+            .deadline(Instant::now())
+            .run()
+            .unwrap();
+        assert!(r.outcome.truncated);
+        assert!(r.outcome.achieved >= 1, "first round always runs");
+    }
+}

@@ -17,6 +17,7 @@
 pub mod boolean;
 pub mod brute;
 pub mod decompose;
+pub mod fluent;
 pub mod greedy;
 pub mod policy;
 pub mod prepared;
@@ -34,8 +35,12 @@ use adp_engine::database::Database;
 use adp_engine::provenance::TupleRef;
 use std::sync::Arc;
 
+#[allow(deprecated)]
 pub use self::compute_resilience as resilience;
-pub use policy::{compute_adp_with_policy, DeletionPolicy};
+pub use fluent::{Branch, Explain, Report, Solve};
+#[allow(deprecated)]
+pub use policy::compute_adp_with_policy;
+pub use policy::DeletionPolicy;
 pub use prepared::{PlannedEval, PreparedQuery};
 pub use profile::{CostProfile, ProfilePoint};
 pub use solved::Solved;
@@ -189,13 +194,18 @@ pub struct AdpOutcome {
 
 /// Solves `ADP(Q, D, k)`: remove at least `k` output tuples from `Q(D)`
 /// by deleting the fewest input tuples (Definition 1).
+#[deprecated(
+    since = "0.3.0",
+    note = "use the fluent v2 API: `Solve::new(query, db).k(k).run()` \
+            (byte-identical; the report adds an explain trace)"
+)]
 pub fn compute_adp(
     query: &Query,
     db: &Database,
     k: u64,
     opts: &AdpOptions,
 ) -> Result<AdpOutcome, SolveError> {
-    compute_adp_arc(query, Arc::new(db.clone()), k, opts)
+    PreparedQuery::new(query.clone(), Arc::new(db.clone())).solve(k, opts)
 }
 
 /// [`compute_adp`] without cloning the database (shared ownership; the
@@ -204,6 +214,11 @@ pub fn compute_adp(
 /// One-shot convenience over [`PreparedQuery`]: callers solving the same
 /// `(Q, D)` pair for several `k` values or option sets should hold a
 /// `PreparedQuery` so the plan, indexes, and root evaluation are reused.
+#[deprecated(
+    since = "0.3.0",
+    note = "use the fluent v2 API: `Solve::shared(query, db).k(k).run()` \
+            (byte-identical; the report adds an explain trace)"
+)]
 pub fn compute_adp_arc(
     query: &Query,
     db: Arc<Database>,
@@ -347,6 +362,12 @@ pub(crate) fn count_outputs(view: &View) -> u64 {
 /// minimum number of deletions making `Q(D)` empty. Exact for triad-free
 /// boolean shapes and all poly-time queries; a heuristic upper bound
 /// otherwise. Returns `None` when `Q(D)` is already empty.
+#[deprecated(
+    since = "0.3.0",
+    note = "use the fluent v2 API: `Solve::new(query, db).resilience().run()` \
+            (byte-identical on non-empty results; an empty result is a \
+            trivial zero-cost report instead of `None`)"
+)]
 pub fn compute_resilience(
     query: &Query,
     db: &Database,
@@ -413,6 +434,10 @@ pub(crate) fn solve(view: &View, cap: u64, opts: &AdpOptions) -> Result<Solved, 
 }
 
 #[cfg(test)]
+// The tests deliberately pin the legacy v1 entry points (the fluent v2
+// API is differentially tested against them in `fluent` and in
+// `tests/api_v2_differential.rs`).
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::analysis::is_ptime;

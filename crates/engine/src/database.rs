@@ -3,6 +3,7 @@
 //! plan-once/execute-many evaluation path ([`crate::plan`]).
 
 use crate::catalog::{AttrId, Catalog, RelId};
+use crate::error::AdpError;
 use crate::relation::RelationInstance;
 use crate::schema::{Attr, RelationSchema};
 use crate::value::Value;
@@ -26,18 +27,25 @@ impl Database {
     }
 
     /// Adds an empty relation with the given schema, returning its slot.
-    /// Panics if the name is already taken.
+    /// Panics if the name is already taken; use
+    /// [`try_add`](Self::try_add) for a typed error instead.
     pub fn create(&mut self, schema: RelationSchema) -> usize {
         self.add(RelationInstance::new(schema))
     }
 
-    /// Adds a pre-built relation instance.
+    /// Adds a pre-built relation instance. Panics if the name is already
+    /// taken; use [`try_add`](Self::try_add) for a typed error instead.
     pub fn add(&mut self, rel: RelationInstance) -> usize {
-        assert!(
-            !self.by_name.contains_key(rel.name()),
-            "relation {} already exists",
-            rel.name()
-        );
+        self.try_add(rel).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`add`](Self::add) with a typed error: rejects a second relation
+    /// under an existing name as [`AdpError::DuplicateRelation`] instead
+    /// of panicking. On error the database is unchanged.
+    pub fn try_add(&mut self, rel: RelationInstance) -> Result<usize, AdpError> {
+        if self.by_name.contains_key(rel.name()) {
+            return Err(AdpError::DuplicateRelation(rel.name().to_owned()));
+        }
         let slot = self.relations.len();
         self.by_name.insert(rel.name().to_owned(), slot);
         self.resolved.push(
@@ -48,7 +56,7 @@ impl Database {
                 .collect(),
         );
         self.relations.push(rel);
-        slot
+        Ok(slot)
     }
 
     /// The name/id catalog backing the planned evaluation path.
@@ -72,13 +80,45 @@ impl Database {
         &self.resolved[id.index()]
     }
 
-    /// Convenience: create a relation and fill it with tuples.
+    /// Convenience: create a relation and fill it with tuples. Panics on
+    /// a duplicate relation name or an arity-mismatched tuple; use
+    /// [`try_add_relation`](Self::try_add_relation) for typed errors.
     pub fn add_relation(&mut self, name: &str, attrs: Vec<Attr>, tuples: &[&[Value]]) -> usize {
-        let slot = self.create(RelationSchema::new(name, attrs));
-        for t in tuples {
-            self.relations[slot].insert(t);
+        self.try_add_relation(name, attrs, tuples)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`add_relation`](Self::add_relation) with typed errors: a taken
+    /// name is [`AdpError::DuplicateRelation`], a repeated schema
+    /// attribute is [`AdpError::DuplicateAttr`], a tuple whose length
+    /// disagrees with the schema is [`AdpError::ArityMismatch`]. The
+    /// whole batch is validated before anything is registered, so on
+    /// error the database is unchanged — no half-filled relation is left
+    /// behind.
+    pub fn try_add_relation(
+        &mut self,
+        name: &str,
+        attrs: Vec<Attr>,
+        tuples: &[&[Value]],
+    ) -> Result<usize, AdpError> {
+        if self.by_name.contains_key(name) {
+            return Err(AdpError::DuplicateRelation(name.to_owned()));
         }
-        slot
+        // Pre-check what `RelationSchema::new` would panic on, so the
+        // typed front door never crashes on untrusted schemas.
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(AdpError::DuplicateAttr {
+                    relation: name.to_owned(),
+                    attr: a.to_string(),
+                });
+            }
+        }
+        let mut rel = RelationInstance::new(RelationSchema::new(name, attrs));
+        for t in tuples {
+            rel.try_insert(t)?;
+        }
+        self.try_add(rel)
     }
 
     /// Looks a relation up by name.
@@ -142,6 +182,63 @@ mod tests {
         let mut db = Database::new();
         db.add_relation("R", attrs(&["A"]), &[]);
         db.add_relation("R", attrs(&["B"]), &[]);
+    }
+
+    /// Regression (typed construction): a duplicate relation name is a
+    /// typed `DuplicateRelation`, an arity-mismatched tuple a typed
+    /// `ArityMismatch` — and a failed batch leaves the database exactly
+    /// as it was (no half-registered relation, no shifted slots).
+    #[test]
+    fn try_add_relation_rejects_bad_batches_atomically() {
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A"]), &[&[1]]);
+        assert_eq!(
+            db.try_add_relation("R", attrs(&["B"]), &[]),
+            Err(AdpError::DuplicateRelation("R".into()))
+        );
+        assert_eq!(
+            db.try_add_relation("S", attrs(&["A", "B"]), &[&[1, 2], &[3]]),
+            Err(AdpError::ArityMismatch {
+                relation: "S".into(),
+                expected: 2,
+                got: 1,
+            })
+        );
+        // A repeated schema attribute is a typed error too, not the
+        // RelationSchema::new panic.
+        assert_eq!(
+            db.try_add_relation("S", attrs(&["A", "A"]), &[]),
+            Err(AdpError::DuplicateAttr {
+                relation: "S".into(),
+                attr: "A".into(),
+            })
+        );
+        // Atomicity: the failed "S" batch must not have registered the
+        // relation (a later, valid registration still works) or bumped
+        // any slot.
+        assert!(db.relation("S").is_none());
+        assert_eq!(db.relations().len(), 1);
+        let slot = db
+            .try_add_relation("S", attrs(&["A", "B"]), &[&[1, 2]])
+            .unwrap();
+        assert_eq!(slot, 1);
+        assert_eq!(db.expect("S").len(), 1);
+    }
+
+    #[test]
+    fn try_insert_is_the_typed_insert() {
+        let mut r = RelationInstance::new(RelationSchema::new("R", attrs(&["A", "B"])));
+        assert_eq!(r.try_insert(&[1, 2]), Ok(0));
+        assert_eq!(r.try_insert(&[1, 2]), Ok(0), "dedup keeps the index");
+        assert_eq!(
+            r.try_insert(&[1]),
+            Err(AdpError::ArityMismatch {
+                relation: "R".into(),
+                expected: 2,
+                got: 1,
+            })
+        );
+        assert_eq!(r.len(), 1, "rejected tuple must not be stored");
     }
 
     #[test]

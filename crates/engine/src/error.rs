@@ -11,6 +11,12 @@
 //! with it instead of blocking callers forever. It lives here — the
 //! lowest layer every crate already depends on — so any layer can
 //! type-match one overload error without new dependency edges.
+//!
+//! [`AdpError::ArityMismatch`] and [`AdpError::DuplicateRelation`] are
+//! the typed database-construction errors behind
+//! [`Database::try_add_relation`](crate::database::Database::try_add_relation):
+//! the panicking convenience constructors route through the same checks,
+//! so the lax paths can never silently accept malformed input.
 
 use std::fmt;
 
@@ -37,6 +43,29 @@ pub enum AdpError {
         /// The admission bound that was hit.
         limit: u64,
     },
+    /// A tuple's arity disagrees with its relation's schema. Storing it
+    /// would desynchronize every positional structure built on top
+    /// (projections, join slots, provenance coordinates).
+    ArityMismatch {
+        /// The relation the tuple was headed for.
+        relation: String,
+        /// The schema's arity.
+        expected: usize,
+        /// The offending tuple's length.
+        got: usize,
+    },
+    /// A relation with this name is already registered. Relation names
+    /// key the catalog's dense ids and the query atoms, so a second
+    /// registration would silently shadow (or corrupt) the first.
+    DuplicateRelation(String),
+    /// An attribute repeats within one relation schema (e.g. `R(A,A)`),
+    /// which natural-join semantics cannot represent.
+    DuplicateAttr {
+        /// The relation whose schema repeats the attribute.
+        relation: String,
+        /// The repeated attribute.
+        attr: String,
+    },
 }
 
 impl fmt::Display for AdpError {
@@ -52,6 +81,21 @@ impl fmt::Display for AdpError {
                 "overloaded: {in_flight} request(s) in flight at admission limit {limit}; \
                  the request was shed, not queued"
             ),
+            AdpError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "arity mismatch inserting into {relation}: schema has {expected} \
+                 attribute(s), tuple has {got}"
+            ),
+            AdpError::DuplicateRelation(name) => {
+                write!(f, "relation {name} already exists")
+            }
+            AdpError::DuplicateAttr { relation, attr } => {
+                write!(f, "duplicate attribute {attr} in relation {relation}")
+            }
         }
     }
 }

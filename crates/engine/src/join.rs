@@ -15,7 +15,7 @@
 //! attributes) and each non-leading atom gets a hash index on its bound
 //! attributes. [`evaluate`] is the one-shot convenience wrapper —
 //! callers that re-evaluate the same query should hold a
-//! [`QueryPlan`](crate::plan::QueryPlan) and its cached
+//! [`QueryPlan`] and its cached
 //! [`JoinIndexes`](crate::plan::JoinIndexes) instead.
 
 use crate::database::Database;

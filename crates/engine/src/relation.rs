@@ -1,5 +1,6 @@
 //! Relation instances: a schema plus a tuple store.
 
+use crate::error::AdpError;
 use crate::schema::{Attr, RelationSchema};
 use crate::value::Value;
 use std::collections::HashMap;
@@ -41,22 +42,31 @@ impl RelationInstance {
     }
 
     /// Inserts a tuple, returning its index. Duplicate inserts return the
-    /// existing index. Panics if the arity does not match the schema.
+    /// existing index. Panics if the arity does not match the schema; use
+    /// [`try_insert`](Self::try_insert) for a typed error instead.
     pub fn insert(&mut self, tuple: &[Value]) -> u32 {
-        assert_eq!(
-            tuple.len(),
-            self.schema.arity(),
-            "arity mismatch inserting into {}",
-            self.schema
-        );
+        self.try_insert(tuple).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`insert`](Self::insert) with a typed error: rejects tuples whose
+    /// length disagrees with the schema's arity as
+    /// [`AdpError::ArityMismatch`] instead of panicking.
+    pub fn try_insert(&mut self, tuple: &[Value]) -> Result<u32, AdpError> {
+        if tuple.len() != self.schema.arity() {
+            return Err(AdpError::ArityMismatch {
+                relation: self.schema.name().to_owned(),
+                expected: self.schema.arity(),
+                got: tuple.len(),
+            });
+        }
         if let Some(&idx) = self.dedup.get(tuple) {
-            return idx;
+            return Ok(idx);
         }
         let idx = self.tuples.len() as u32;
         let boxed: Tuple = tuple.into();
         self.tuples.push(boxed.clone());
         self.dedup.insert(boxed, idx);
-        idx
+        Ok(idx)
     }
 
     /// Bulk insert.

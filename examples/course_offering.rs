@@ -10,10 +10,15 @@
 
 use adp::core::analysis;
 use adp::engine::schema::{attr, attrs};
-use adp::{compute_adp, parse_query, solve_selection, AdpOptions, Database, SelectionQuery};
+use adp::{solve_selection, AdpOptions, Database, Query, SelectionQuery, Solve};
 
 fn main() {
-    let q = parse_query("QPossible(C) :- Teaches(P,C), NotOnLeave(P)").unwrap();
+    let q = Query::builder("QPossible")
+        .head(["C"])
+        .atom("Teaches", ["P", "C"])
+        .atom("NotOnLeave", ["P"])
+        .build()
+        .unwrap();
     println!("query: {q}");
     // This is Q_swing — the paper's canonical NP-hard (and even
     // inapproximable, Lemma 10) query.
@@ -47,14 +52,18 @@ fn main() {
         db.insert("NotOnLeave", &[p]);
     }
 
-    let probe = compute_adp(&q, &db, 1, &AdpOptions::default()).unwrap();
-    println!("courses offerable: {}", probe.output_count);
-    for k in 1..=probe.output_count {
-        let out = compute_adp(&q, &db, k, &AdpOptions::default()).unwrap();
+    let probe = Solve::new(&q, &db).k(1).run().unwrap();
+    println!("courses offerable: {}", probe.outcome.output_count);
+    for k in 1..=probe.outcome.output_count {
+        let report = Solve::new(&q, &db).k(k).run().unwrap();
         println!(
             "  cancelling ≥{k} course(s) takes {} change(s){}",
-            out.cost,
-            if out.exact { "" } else { " (heuristic)" }
+            report.cost(),
+            if report.outcome.exact {
+                ""
+            } else {
+                " (heuristic)"
+            }
         );
     }
 

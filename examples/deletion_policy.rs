@@ -9,9 +9,7 @@
 //! Run with `cargo run --example deletion_policy`.
 
 use adp::engine::schema::attrs;
-use adp::{
-    compute_adp, compute_adp_with_policy, parse_query, AdpOptions, Database, DeletionPolicy,
-};
+use adp::{parse_query, Branch, Database, DeletionPolicy, Solve};
 
 fn main() {
     let q = parse_query("QWL(S,C) :- Major(S,M), Req(M,C), NoSeat(C)").unwrap();
@@ -28,36 +26,42 @@ fn main() {
     );
     db.add_relation("NoSeat", attrs(&["C"]), &[&[10], &[11], &[12]]);
 
-    let probe = compute_adp(&q, &db, 1, &AdpOptions::default()).unwrap();
-    println!("waitlist entries: {}", probe.output_count);
-    let k = probe.output_count / 2;
+    let probe = Solve::new(&q, &db).k(1).run().unwrap();
+    println!("waitlist entries: {}", probe.outcome.output_count);
+    let k = probe.outcome.output_count / 2;
 
-    let unrestricted = compute_adp(&q, &db, k, &AdpOptions::default()).unwrap();
+    let unrestricted = Solve::new(&q, &db).k(k).run().unwrap();
     println!(
         "unrestricted: removing ≥{k} entries needs {} change(s)",
-        unrestricted.cost
+        unrestricted.cost()
     );
 
+    // The policy is one fluent switch away from the unrestricted solve.
     let policy = DeletionPolicy::unrestricted()
         .freeze("Req")
         .freeze("NoSeat");
-    let restricted = compute_adp_with_policy(&q, &db, k, &policy, &AdpOptions::default()).unwrap();
+    let restricted = Solve::new(&q, &db).k(k).policy(policy).run().unwrap();
+    assert_eq!(restricted.explain.branch, Branch::Policy);
     println!(
         "with Req+NoSeat frozen: {} change(s), all advising interventions:",
-        restricted.cost
+        restricted.cost()
     );
-    for t in restricted.solution.unwrap() {
+    for t in restricted.outcome.solution.unwrap() {
         assert_eq!(t.atom, 0, "policy respected");
         let tuple = db.expect("Major").tuple(t.index);
         println!("  steer student {} away from major {}", tuple[0], tuple[1]);
     }
-    assert!(restricted.cost >= unrestricted.cost);
+    assert!(restricted.outcome.cost >= unrestricted.outcome.cost);
 
     // Freezing everything is reported as infeasible, not as a panic.
     let all_frozen = DeletionPolicy::unrestricted()
         .freeze("Major")
         .freeze("Req")
         .freeze("NoSeat");
-    let err = compute_adp_with_policy(&q, &db, k, &all_frozen, &AdpOptions::default()).unwrap_err();
+    let err = Solve::new(&q, &db)
+        .k(k)
+        .policy(all_frozen)
+        .run()
+        .unwrap_err();
     println!("freezing everything: {err}");
 }

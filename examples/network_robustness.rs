@@ -9,7 +9,7 @@
 
 use adp::datagen::ego::{ego_database_for, ego_network, EgoConfig};
 use adp::engine::schema::{attrs, RelationSchema};
-use adp::{compute_adp, parse_query, removed_outputs, AdpOptions};
+use adp::{parse_query, removed_outputs, Solve};
 
 fn main() {
     let q = parse_query("Q3path(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)").unwrap();
@@ -36,17 +36,17 @@ fn main() {
     for (name, edges) in [("hub-and-spoke", &hub_edges), ("meshed", &mesh_edges)] {
         let db = ego_database_for(edges, &schemas);
         let total_links: usize = db.total_tuples();
-        let probe = compute_adp(&q, &db, 1, &AdpOptions::default()).unwrap();
-        let routes = probe.output_count;
+        let probe = Solve::new(&q, &db).k(1).run().unwrap();
+        let routes = probe.outcome.output_count;
         let target = (routes as f64 * 0.8).ceil() as u64;
-        let out = compute_adp(&q, &db, target, &AdpOptions::default()).unwrap();
-        let sol = out.solution.unwrap();
+        let report = Solve::new(&q, &db).k(target).run().unwrap();
+        let sol = report.outcome.solution.unwrap();
         let verified = removed_outputs(&q, &db, &sol);
         println!(
             "{name:>14}: {routes} routes over {total_links} directed links; \
              disrupting 80% needs {} link deletions ({:.1}% of links, verified {verified} routes lost)",
-            out.cost,
-            100.0 * out.cost as f64 / total_links as f64,
+            report.outcome.cost,
+            100.0 * report.outcome.cost as f64 / total_links as f64,
         );
     }
     println!(

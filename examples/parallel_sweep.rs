@@ -1,13 +1,14 @@
 //! Fan a ρ-sweep out across a worker pool: one `PreparedQuery` shared
-//! read-only by every worker (it is `Send + Sync`), one solve per
-//! (ρ, variant) cell, results in deterministic cell order —
-//! byte-identical to the sequential loop, which this example verifies.
+//! read-only by every worker (it is `Send + Sync`), one fluent
+//! `Solve::prepared` per (ρ, variant) cell, results in deterministic
+//! cell order — byte-identical to the sequential loop, which this
+//! example verifies.
 //!
 //! Run with `cargo run --release --example parallel_sweep`.
 
 use adp::core::solver::PreparedQuery;
 use adp::datagen::zipf::ZipfConfig;
-use adp::{parallel_sweep, AdpOptions, ThreadPool};
+use adp::{parallel_sweep, AdpOptions, Solve, ThreadPool};
 use std::sync::Arc;
 
 fn main() {
@@ -27,12 +28,16 @@ fn main() {
         .collect();
     let solve = |&(rho, drastic): &(f64, bool)| {
         let k = ((total as f64 * rho).ceil() as u64).clamp(1, total);
-        let opts = AdpOptions {
-            force_greedy: true,
-            use_drastic: drastic,
-            ..Default::default()
-        };
-        prep.solve(k, &opts).unwrap()
+        Solve::prepared(&prep)
+            .k(k)
+            .opts(AdpOptions {
+                force_greedy: true,
+                use_drastic: drastic,
+                ..Default::default()
+            })
+            .run()
+            .unwrap()
+            .outcome
     };
 
     // Sequential reference, then the same cells over a 4-worker pool.

@@ -1,11 +1,13 @@
 //! Plan-once/execute-many: solve the same (query, database) pair for a
 //! whole sweep of `k` values through one `PreparedQuery`, then verify
 //! every reported deletion set by masked re-execution — the plan, hash
-//! indexes, and root join are built exactly once.
+//! indexes, and root join are built exactly once. The fluent
+//! `Solve::prepared` entry point reuses the compiled plan (its reports
+//! show `plan_micros = 0`).
 //!
 //! Run with `cargo run --release --example plan_reuse`.
 
-use adp::{attrs, parse_query, AdpOptions, AliveMask, Database, PreparedQuery, QueryPlan};
+use adp::{attrs, parse_query, AliveMask, Database, PreparedQuery, QueryPlan, Solve};
 use std::sync::Arc;
 
 fn main() {
@@ -26,15 +28,17 @@ fn main() {
     let total = prep.output_count();
     println!("|Q1(D)| = {total}");
     for k in 1..=total {
-        let out = prep.solve(k, &AdpOptions::default()).unwrap();
-        let sol = out.solution.unwrap();
+        let report = Solve::prepared(&prep).k(k).run().unwrap();
+        assert_eq!(report.explain.plan_micros, 0, "plan compiled once, upfront");
+        let sol = report.outcome.solution.unwrap();
         // Verification is a masked re-execution of the same cached plan.
         let removed = prep.removed_outputs(&sol);
         println!(
-            "  k={k}: cost {} (verified: {} outputs removed, {} deletions)",
-            out.cost,
+            "  k={k}: cost {} (verified: {} outputs removed, {} deletions, {}us solve)",
+            report.outcome.cost,
             removed,
-            sol.len()
+            sol.len(),
+            report.explain.solve_micros,
         );
         assert!(removed >= k);
     }

@@ -1,11 +1,11 @@
 //! Quickstart: the full ADP workflow on the paper's running example
 //! (Figure 1) — build a database, analyze the query's complexity, solve
-//! ADP, and verify the solution.
+//! ADP through the fluent v2 API, and verify the solution.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use adp::core::analysis;
-use adp::{attrs, compute_adp, parse_query, removed_outputs, AdpOptions, Database};
+use adp::{attrs, parse_query, removed_outputs, Database, Solve};
 
 fn main() {
     // Figure 1 of the paper: three chained relations.
@@ -33,13 +33,20 @@ fn main() {
         }
     }
 
-    // ADP(Q1, D, 2): remove at least 2 of the 4 outputs.
-    let out = compute_adp(&q1, &db, 2, &AdpOptions::default()).unwrap();
+    // ADP(Q1, D, 2): remove at least 2 of the 4 outputs. The report
+    // carries an explain trace next to the outcome.
+    let report = Solve::new(&q1, &db).k(2).run().unwrap();
     println!(
-        "\nADP(Q1, D, 2): delete {} tuple(s) to remove ≥2 of {} outputs (exact: {})",
-        out.cost, out.output_count, out.exact
+        "\nADP(Q1, D, 2): delete {} tuple(s) to remove ≥2 of {} outputs \
+         (branch {:?}, solver {}, {}us plan + {}us solve)",
+        report.cost(),
+        report.outcome.output_count,
+        report.explain.branch,
+        report.explain.solver,
+        report.explain.plan_micros,
+        report.explain.solve_micros,
     );
-    let solution = out.solution.expect("report mode");
+    let solution = report.outcome.solution.expect("report mode");
     for t in &solution {
         let name = q1.atoms()[t.atom].name();
         println!("  delete {name}{:?}", db.expect(name).tuple(t.index));

@@ -1,6 +1,7 @@
 //! The serving layer end to end: one `Service` fronting a shared
-//! database for many concurrent clients, with plan caching, admission
-//! control, request budgets, and streaming epoch updates.
+//! database for many concurrent clients, with a prepared statement per
+//! client, plan caching, admission control, request budgets, and
+//! streaming epoch updates.
 //!
 //! Run with: `cargo run --example service`
 
@@ -29,29 +30,33 @@ fn main() {
     ));
     let q = "Q(NK,SK,PK,OK) :- S(NK,SK), PS(SK,PK), L(OK,PK)";
 
-    // Four client threads issue k- and ρ-targeted requests. All of them
-    // share one cached plan (and one evaluation) after the first miss.
+    // Four client threads issue k- and ρ-targeted requests through one
+    // prepared statement each: the text path (parse + normalize +
+    // fingerprint) runs once per client, at prepare time, and never on
+    // the solve path. All statements share one cached plan.
     std::thread::scope(|scope| {
         for c in 0..4usize {
             let svc = Arc::clone(&svc);
             scope.spawn(move || {
+                let stmt = svc.prepare(q).expect("valid query");
                 for i in 0..3usize {
-                    let req = if i % 2 == 0 {
-                        SolveRequest::outputs(q, 1 + (c + i) as u64 % 3)
+                    let target = if i % 2 == 0 {
+                        Target::Outputs(1 + (c + i) as u64 % 3)
                     } else {
-                        SolveRequest::ratio(q, 0.25 * (1 + c % 3) as f64)
+                        Target::Ratio(0.25 * (1 + c % 3) as f64)
                     };
                     // A per-request wall-clock budget: if the greedy
                     // rounds outlive it, we get best-so-far + truncated
                     // instead of a stall.
-                    let req = req.with_budget(Duration::from_millis(50));
-                    let resp = svc.solve(&req).expect("within admission limits");
-                    let k = match req.target {
+                    let resp = stmt
+                        .solve_with(target, None, Some(Duration::from_millis(50)))
+                        .expect("within admission limits");
+                    let t = match target {
                         Target::Outputs(k) => format!("k={k}"),
                         Target::Ratio(r) => format!("rho={r}"),
                     };
                     println!(
-                        "client {c}: {k:<9} -> cost {} (removed {}, epoch {}, {} hit={} plan={}us solve={}us)",
+                        "client {c}: {t:<9} -> cost {} (removed {}, epoch {}, {} hit={} plan={}us solve={}us)",
                         resp.outcome.cost,
                         resp.outcome.achieved,
                         resp.stats.epoch,
@@ -68,6 +73,8 @@ fn main() {
     // A streaming update: supplier S(2,2) churns out of the catalog.
     // The epoch bump invalidates cached plans; the next request
     // recompiles against the new snapshot and reports the new epoch.
+    // (Prepared statements re-bind automatically — see the
+    // `statement_reuse` example.)
     let epoch = svc.delete_tuples(&[("S", 1)]).unwrap();
     println!("\napplied delete batch -> epoch {epoch}");
     let resp = svc.solve(&SolveRequest::outputs(q, 2)).unwrap();

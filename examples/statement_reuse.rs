@@ -1,0 +1,91 @@
+//! Prepare once, bind many times: the v2 `Statement` handle against a
+//! live, mutating `Service`.
+//!
+//! The text front door (`Service::solve(&SolveRequest { query, .. })`)
+//! parses, normalizes, and fingerprints the query string on **every**
+//! call. A prepared [`Statement`](adp::Statement) pays that text path
+//! exactly once, then serves any number of targets — and survives
+//! streaming epoch bumps by transparently re-binding its plan through
+//! the shared cache. This example counts the text work on both paths
+//! with the process-wide counters in `adp::core::query::metrics` to
+//! show the hot path is genuinely zero-text-work.
+//!
+//! Run with: `cargo run --example statement_reuse`
+
+use adp::core::query::metrics;
+use adp::{attrs, Database, Query, Service, SolveRequest, Target};
+
+fn main() {
+    let mut db = Database::new();
+    db.add_relation("R1", attrs(&["A"]), &[&[1], &[2], &[3]]);
+    db.add_relation(
+        "R2",
+        attrs(&["A", "B"]),
+        &[&[1, 1], &[1, 2], &[2, 1], &[3, 3]],
+    );
+    db.add_relation("R3", attrs(&["B"]), &[&[1], &[2], &[3]]);
+    let svc = Service::new(db);
+
+    // The query never exists as text: built programmatically, prepared
+    // directly. (`Service::prepare("Q(A,B) :- ...")` is the text form.)
+    let q = Query::builder("Q")
+        .head(["A", "B"])
+        .atom("R1", ["A"])
+        .atom("R2", ["A", "B"])
+        .atom("R3", ["B"])
+        .build()
+        .unwrap();
+    let stmt = svc.prepare_query(q.clone());
+
+    // --- Bind many targets against one preparation. ----------------
+    let before = metrics::text_work();
+    for k in 0..=4u64 {
+        let resp = stmt.solve(Target::Outputs(k)).unwrap();
+        println!(
+            "k={k}: cost {} (removed {}, {} plan={}us solve={}us)",
+            resp.outcome.cost,
+            resp.outcome.achieved,
+            resp.stats.solver,
+            resp.stats.plan_micros,
+            resp.stats.solve_micros,
+        );
+    }
+    let resp = stmt.solve(Target::Ratio(0.5)).unwrap();
+    println!("rho=0.5: cost {}", resp.outcome.cost);
+    let after = metrics::text_work();
+    assert_eq!(before, after, "statement hot path does zero text work");
+    println!("\n6 solves, 0 parses / 0 normalizations / 0 fingerprints");
+
+    // --- The text path, for contrast. -------------------------------
+    let text = q.to_text(); // round-trips through the parser
+    let before = metrics::text_work();
+    svc.solve(&SolveRequest::outputs(text.clone(), 2)).unwrap();
+    let after = metrics::text_work();
+    println!(
+        "1 text-path solve: {} parse(s), {} normalization(s), {} fingerprint(s)",
+        after.parses - before.parses,
+        after.normalizations - before.normalizations,
+        after.fingerprints - before.fingerprints,
+    );
+
+    // --- Statements survive epoch bumps. ----------------------------
+    let epoch = svc.delete_tuples(&[("R2", 0)]).unwrap();
+    let before = metrics::text_work();
+    let resp = stmt.solve(Target::Outputs(1)).unwrap();
+    assert_eq!(resp.stats.epoch, epoch);
+    assert_eq!(
+        metrics::text_work(),
+        before,
+        "re-binding uses the stored normalized key — still no text work"
+    );
+    println!(
+        "\nafter epoch bump -> epoch {}: statement re-bound (cache_hit={}), cost {}",
+        resp.stats.epoch, resp.stats.cache_hit, resp.outcome.cost
+    );
+
+    let stats = svc.stats();
+    println!(
+        "service stats: {} requests, {} hits / {} misses",
+        stats.requests, stats.cache_hits, stats.cache_misses
+    );
+}

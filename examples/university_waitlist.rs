@@ -5,13 +5,23 @@
 //! `C` has no seats. Removing input tuples corresponds to steering
 //! students away from majors, relaxing requirements, or adding seats.
 //!
+//! v2 touches: the query is built with the typed [`QueryBuilder`] (no
+//! string round-trip) and solved through the fluent [`Solve`] API.
+//!
 //! Run with `cargo run --example university_waitlist`.
 
 use adp::engine::schema::attrs;
-use adp::{compute_adp, is_ptime, parse_query, AdpOptions, Database, Interner};
+use adp::{is_ptime, Database, Interner, Query, Solve};
 
 fn main() {
-    let q = parse_query("QWL(S,C) :- Major(S,M), Req(M,C), NoSeat(C)").unwrap();
+    // No query text anywhere: the builder validates at build time.
+    let q = Query::builder("QWL")
+        .head(["S", "C"])
+        .atom("Major", ["S", "M"])
+        .atom("Req", ["M", "C"])
+        .atom("NoSeat", ["C"])
+        .build()
+        .unwrap();
     println!("query: {q}");
     println!(
         "poly-time solvable? {} (NP-hard — heuristic used)\n",
@@ -58,17 +68,19 @@ fn main() {
 
     // How large is the waitlist, and what is the cheapest intervention
     // cutting it by half?
-    let probe = compute_adp(&q, &db, 1, &AdpOptions::default()).unwrap();
-    let waitlist = probe.output_count;
+    let probe = Solve::new(&q, &db).k(1).run().unwrap();
+    let waitlist = probe.outcome.output_count;
     println!("waitlist entries: {waitlist}");
 
     let target = waitlist / 2;
-    let out = compute_adp(&q, &db, target, &AdpOptions::default()).unwrap();
+    let report = Solve::new(&q, &db).k(target).run().unwrap();
     println!(
-        "to remove ≥{target} entries: {} intervention(s) (removes {}):",
-        out.cost, out.achieved
+        "to remove ≥{target} entries: {} intervention(s) (removes {}, solver {}):",
+        report.cost(),
+        report.outcome.achieved,
+        report.explain.solver,
     );
-    for t in out.solution.unwrap() {
+    for t in report.outcome.solution.unwrap() {
         let rel = q.atoms()[t.atom].name();
         let tuple = db.expect(rel).tuple(t.index);
         let pretty: Vec<&str> = tuple.iter().map(|&v| names.resolve(v).unwrap()).collect();

@@ -1,0 +1,147 @@
+//! The unified top-level error type.
+//!
+//! The workspace crates each own a focused error enum —
+//! [`QueryError`] (parsing/validation), [`SolveError`] (the solver),
+//! [`AdpError`] (engine index building, admission, database
+//! construction), [`ServiceError`] (the serving layer) — and before v2
+//! an application combining layers had to thread four incompatible
+//! `Result` types. [`Error`] folds them into one enum with `From`
+//! conversions in both directions of the stack, so `?` works across any
+//! mix of facade calls:
+//!
+//! ```
+//! use adp::{Database, Query, Solve};
+//!
+//! fn smallest_intervention(db: &Database) -> Result<u64, adp::Error> {
+//!     let q = Query::builder("Q").head(["A"]).atom("R", ["A"]).build()?; // QueryError
+//!     let report = Solve::new(&q, db).k(1).run()?; // SolveError
+//!     Ok(report.cost())
+//! }
+//!
+//! let mut db = Database::new();
+//! db.try_add_relation("R", adp::attrs(&["A"]), &[&[1], &[2]])?; // AdpError
+//! assert_eq!(smallest_intervention(&db)?, 1);
+//! # Ok::<(), adp::Error>(())
+//! ```
+
+use adp_core::error::{QueryError, SolveError};
+use adp_engine::error::AdpError;
+use adp_service::ServiceError;
+use std::fmt;
+
+/// Any error the `adp` stack can produce, by layer of origin. Convert
+/// from the layer enums with `?`/`From`; match on the variant to get
+/// the typed detail back.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Error {
+    /// Query construction or parsing failed ([`QueryError`]).
+    Query(QueryError),
+    /// The solver rejected or failed the instance ([`SolveError`]).
+    Solve(SolveError),
+    /// The engine refused an index build, a database mutation, or an
+    /// admission ([`AdpError`]).
+    Engine(AdpError),
+    /// The serving layer rejected the request ([`ServiceError`]).
+    Service(ServiceError),
+}
+
+impl From<QueryError> for Error {
+    fn from(e: QueryError) -> Self {
+        Error::Query(e)
+    }
+}
+
+impl From<SolveError> for Error {
+    fn from(e: SolveError) -> Self {
+        Error::Solve(e)
+    }
+}
+
+impl From<AdpError> for Error {
+    fn from(e: AdpError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+impl From<ServiceError> for Error {
+    fn from(e: ServiceError) -> Self {
+        Error::Service(e)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Query(e) => write!(f, "query: {e}"),
+            Error::Solve(e) => write!(f, "solve: {e}"),
+            Error::Engine(e) => write!(f, "engine: {e}"),
+            Error::Service(e) => write!(f, "service: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Query(e) => Some(e),
+            Error::Solve(e) => Some(e),
+            Error::Engine(e) => Some(e),
+            Error::Service(e) => Some(e),
+        }
+    }
+}
+
+impl Error {
+    /// True if this is the admission-control shed
+    /// ([`AdpError::Overloaded`], possibly wrapped by the service);
+    /// such requests are safe to retry.
+    pub fn is_overloaded(&self) -> bool {
+        match self {
+            Error::Engine(AdpError::Overloaded { .. }) => true,
+            Error::Service(e) => e.is_overloaded(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_each_layer() {
+        let q: Error = QueryError::EmptyBody.into();
+        assert!(matches!(q, Error::Query(_)));
+        let s: Error = SolveError::KZero.into();
+        assert!(matches!(s, Error::Solve(_)));
+        let e: Error = AdpError::DuplicateRelation("R".into()).into();
+        assert!(matches!(e, Error::Engine(_)));
+        let v: Error = ServiceError::BadRequest("nope".into()).into();
+        assert!(matches!(v, Error::Service(_)));
+    }
+
+    #[test]
+    fn overload_detection_crosses_layers() {
+        let raw: Error = AdpError::Overloaded {
+            in_flight: 1,
+            limit: 1,
+        }
+        .into();
+        assert!(raw.is_overloaded());
+        let wrapped: Error = ServiceError::Admission(AdpError::Overloaded {
+            in_flight: 1,
+            limit: 1,
+        })
+        .into();
+        assert!(wrapped.is_overloaded());
+        let other: Error = SolveError::KZero.into();
+        assert!(!other.is_overloaded());
+    }
+
+    #[test]
+    fn displays_with_layer_prefix() {
+        let e: Error = SolveError::KZero.into();
+        assert_eq!(format!("{e}"), "solve: k must be at least 1");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

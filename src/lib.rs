@@ -22,16 +22,43 @@
 //!   and stay **byte-identical** to their sequential paths;
 //! * [`service`] — the concurrent serving layer ([`Service`]): a
 //!   sharded plan cache keyed by `(normalized query, db epoch)`, a
-//!   bounded-admission request API, and epoch management for streaming
-//!   delete/restore batches.
+//!   bounded-admission request API, prepared [`Statement`] handles, and
+//!   epoch management for streaming delete/restore batches.
 //!
-//! The most common entry points are re-exported at the top level:
+//! ## The v2 API
+//!
+//! Three pieces cover the whole workflow, each validating at the
+//! earliest possible moment and none round-tripping through strings:
+//!
+//! 1. **[`QueryBuilder`]** (`Query::builder(..)`) constructs queries
+//!    programmatically with typed errors; [`Query::to_text`]
+//!    round-trips through [`parse_query`] when text is needed.
+//! 2. **[`Solve`]** is the one solver entry point — target, policy,
+//!    deadline, brute-force baseline as fluent switches — returning a
+//!    [`Report`] whose [`Explain`] trace says which dichotomy branch
+//!    ran, which solver family answered, and where the time went.
+//! 3. **[`Service::prepare`]** returns a [`Statement`]: the
+//!    plan-once/bind-many serving handle whose hot path does zero
+//!    query-text work per call.
+//!
+//! All three are byte-identical to the deprecated v1 entry points they
+//! replace (`compute_adp`, `compute_adp_arc`, `compute_adp_with_policy`,
+//! `compute_resilience`, `brute_force*`), enforced by the
+//! `api_v2_differential` proptest suite. Failures unify into one
+//! [`Error`] with `From` conversions from every layer enum.
 //!
 //! ```
-//! use adp::{parse_query, compute_adp, AdpOptions, is_ptime, Database, attrs};
+//! use adp::{attrs, Database, Query, Solve};
 //!
-//! let q = parse_query("Q3path(A,B,C,D) :- R1(A,B), R2(B,C), R3(C,D)").unwrap();
-//! assert!(!is_ptime(&q)); // network-robustness query is NP-hard
+//! // Network robustness (paper Example 3), no string round-trip.
+//! let q = Query::builder("Q3path")
+//!     .head(["A", "B", "C", "D"])
+//!     .atom("R1", ["A", "B"])
+//!     .atom("R2", ["B", "C"])
+//!     .atom("R3", ["C", "D"])
+//!     .build()
+//!     .unwrap();
+//! assert!(!adp::is_ptime(&q)); // NP-hard shape
 //!
 //! let mut db = Database::new();
 //! db.add_relation("R1", attrs(&["A", "B"]), &[&[0, 1], &[0, 2]]);
@@ -39,9 +66,16 @@
 //! db.add_relation("R3", attrs(&["C", "D"]), &[&[3, 4], &[3, 5]]);
 //!
 //! // How many links must fail to lose half of the 8 paths?
-//! let out = compute_adp(&q, &db, 4, &AdpOptions::default()).unwrap();
-//! assert!(out.cost <= 2);
+//! let report = adp::Solve::new(&q, &db).k(4).run().unwrap();
+//! assert!(report.cost() <= 2);
+//! println!("branch {:?}, solver {}", report.explain.branch, report.explain.solver);
 //! ```
+
+#![warn(missing_docs)]
+
+mod error;
+
+pub use error::Error;
 
 pub use adp_core as core;
 pub use adp_datagen as datagen;
@@ -53,14 +87,13 @@ pub use adp_service as service;
 pub use adp_core::analysis::{
     find_hard_structures, hardness_certificate, has_hard_structure, is_ptime, is_ptime_trace,
 };
-pub use adp_core::query::{normalize_query_text, parse_query, Query};
+pub use adp_core::query::{normalize_query_text, parse_query, Query, QueryBuilder};
 pub use adp_core::selection::{solve_selection, SelectionQuery};
-pub use adp_core::solver::brute::{brute_force, brute_force_prepared, BruteForceOptions};
+pub use adp_core::solver::brute::BruteForceOptions;
 pub use adp_core::solver::{
-    apply_deletions, compute_adp, compute_adp_arc, compute_adp_with_policy, compute_resilience,
-    removed_outputs, AdpOptions, AdpOutcome, DeletionPolicy, Mode, PreparedQuery,
+    apply_deletions, removed_outputs, AdpOptions, AdpOutcome, Branch, DeletionPolicy, Explain,
+    Mode, PreparedQuery, Report, Solve,
 };
-pub use adp_core::{QueryError, SolveError};
 pub use adp_engine::database::Database;
 pub use adp_engine::delta::DeltaProvenance;
 pub use adp_engine::error::AdpError;
@@ -70,5 +103,22 @@ pub use adp_engine::schema::{attr, attrs, Attr, RelationSchema};
 pub use adp_engine::value::{Interner, Value};
 pub use adp_runtime::{parallel_sweep, ThreadPool};
 pub use adp_service::{
-    Service, ServiceConfig, ServiceError, ServiceStats, SolveRequest, SolveResponse, Target,
+    Service, ServiceConfig, ServiceError, ServiceStats, SolveRequest, SolveResponse, Statement,
+    Target,
+};
+
+// Core error enums, re-exported so `adp::Error` variants can be matched
+// without reaching into the sub-crates.
+pub use adp_core::{QueryError, SolveError};
+
+// ---------------------------------------------------------------------
+// Deprecated v1 entry points, kept as thin wrappers so existing callers
+// (and the differential test suite pinning byte-identical behavior)
+// keep compiling. See each item's note for its v2 replacement.
+// ---------------------------------------------------------------------
+#[allow(deprecated)]
+pub use adp_core::solver::brute::{brute_force, brute_force_prepared};
+#[allow(deprecated)]
+pub use adp_core::solver::{
+    compute_adp, compute_adp_arc, compute_adp_with_policy, compute_resilience,
 };

@@ -1,6 +1,10 @@
 //! End-to-end integration tests spanning all crates: paper examples,
 //! every solver path, and cross-checks between the facade APIs.
 
+// This suite pins the legacy v1 entry points as the differential
+// oracle for the fluent v2 API (see tests/api_v2_differential.rs).
+#![allow(deprecated)]
+
 use adp::core::analysis;
 use adp::engine::schema::attr;
 use adp::{

@@ -8,6 +8,10 @@
 //! the parallel code paths run even on a single-core CI box) and
 //! compare against `sequential: true` runs of the same instances.
 
+// This suite pins the legacy v1 entry points as the differential
+// oracle for the fluent v2 API (see tests/api_v2_differential.rs).
+#![allow(deprecated)]
+
 use adp::core::solver::{AdpOptions, AdpOutcome, Mode, PreparedQuery};
 use adp::datagen::zipf::ZipfConfig;
 use adp::{

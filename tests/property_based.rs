@@ -1,6 +1,10 @@
 //! Property-based tests (proptest) over randomly generated queries and
 //! instances, checking the paper's theorems as executable invariants.
 
+// This suite pins the legacy v1 entry points as the differential
+// oracle for the fluent v2 API (see tests/api_v2_differential.rs).
+#![allow(deprecated)]
+
 use adp::core::analysis;
 use adp::core::solver::CostProfile;
 use adp::{

@@ -8,6 +8,10 @@
 //! same snapshot. The serving layer adds sharing and scheduling; it must
 //! never add (or lose) a single byte of answer.
 
+// This suite pins the legacy v1 entry points as the differential
+// oracle for the fluent v2 API (see tests/api_v2_differential.rs).
+#![allow(deprecated)]
+
 use adp::core::solver::{compute_adp_arc, AdpOptions, AdpOutcome, PreparedQuery};
 use adp::service::{Service, ServiceConfig, SolveRequest};
 use adp::{parse_query, Database, Query};

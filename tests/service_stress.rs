@@ -17,6 +17,10 @@
 //!   [`AdpError::Overloaded`](adp::engine::error::AdpError::Overloaded)
 //!   — the hammering threads all join without anyone parking forever.
 
+// This suite pins the legacy v1 entry points as the differential
+// oracle for the fluent v2 API (see tests/api_v2_differential.rs).
+#![allow(deprecated)]
+
 use adp::core::solver::{compute_adp_arc, AdpOptions, AdpOutcome};
 use adp::engine::error::AdpError;
 use adp::service::{Service, ServiceConfig, ServiceError, SolveRequest};

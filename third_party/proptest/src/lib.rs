@@ -3,8 +3,8 @@
 //! The build environment has no access to a crates registry, so this
 //! workspace vendors a minimal, dependency-free implementation of the
 //! subset of the [proptest](https://crates.io/crates/proptest) API that
-//! the test suite uses: the [`Strategy`] trait with `prop_map` /
-//! `prop_flat_map`, integer-range and tuple strategies, [`Just`],
+//! the test suite uses: the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map`, integer-range and tuple strategies, [`Just`](strategy::Just),
 //! [`collection::vec`] / [`collection::btree_set`], the [`proptest!`]
 //! macro with `#![proptest_config(..)]`, and the `prop_assert*` macros.
 //!
