@@ -1,0 +1,13 @@
+//! Paper-scale figure: columnar storage footprint and partition-parallel
+//! join scaling up to 3M input tuples (see adp-bench::experiments).
+//! Sweeps local worker pools independently of `--threads` (which caps
+//! the sweep), checks parallel results byte-for-byte against the
+//! single-worker baseline, and writes `BENCH_scale.json` alongside the
+//! CSV lines. Pass `--quick` for CI-sized inputs. Exits non-zero on any
+//! divergence.
+
+fn main() {
+    adp_bench::cli::init();
+    adp_bench::experiments::fig_scale();
+    adp_bench::checks::finish();
+}

@@ -840,3 +840,324 @@ fn report_latencies(fig: &mut Figure, series: &str, clients: usize, throughput: 
         pct(0.99)
     );
 }
+
+/// `fig_scale`: paper-scale storage and parallel-join scaling. For each
+/// input size (the full ladder tops out at 3M rows, 10× the largest
+/// size any other figure touches) the harness:
+///
+/// 1. streams a TPC-H chain instance straight into the columnar stores
+///    and reports [`Database::memory_report`] (tuples, interned
+///    symbols, resident bytes — the numbers behind the ~8 B/tuple
+///    claim);
+/// 2. sweeps worker counts with **local** pools, timing the partitioned
+///    index build ([`QueryPlan::build_indexes_on`]), the chunk-parallel
+///    probe ([`QueryPlan::execute_on`]), and one delta greedy scoring
+///    round (`score_range` fan-out) at each count;
+/// 3. checks — not just reports — that every parallel result is
+///    **byte-identical** to the single-worker run (eval results and
+///    profit maps alike), and that a memory-budgeted build degrades to
+///    fewer partitions with a recorded note while still answering
+///    identically;
+/// 4. writes the whole record as `BENCH_scale.json` next to the CSV
+///    lines.
+///
+/// On a single-core box the sweep still runs (pools oversubscribe);
+/// speedups are reported as measured, whatever they are.
+///
+/// [`Database::memory_report`]: adp_engine::database::Database::memory_report
+/// [`QueryPlan::build_indexes_on`]: adp_engine::plan::QueryPlan::build_indexes_on
+/// [`QueryPlan::execute_on`]: adp_engine::plan::QueryPlan::execute_on
+pub fn fig_scale() {
+    use adp_datagen::tpch::TpchConfig;
+    use adp_engine::delta::{DeltaProvenance, RangeScores};
+    use adp_engine::plan::{IndexBuildOptions, QueryPlan};
+    use adp_engine::provenance::ProvenanceIndex;
+    use adp_runtime::ThreadPool;
+
+    let sizes = size_ladder(&[300_000, 1_000_000, 3_000_000], &[30_000, 100_000]);
+    let threads_sweep: Vec<usize> = {
+        let cap = crate::cli::args()
+            .threads
+            .unwrap_or_else(adp_runtime::auto_threads)
+            .max(4);
+        let mut v = vec![1usize];
+        let mut t = 2;
+        while t <= cap {
+            v.push(t);
+            t *= 2;
+        }
+        v
+    };
+    let q = queries::q1();
+    let mut fig = Figure::new(
+        "fig-scale",
+        "Columnar storage + partition-parallel joins at paper scale",
+    );
+    println!("  worker sweep: {threads_sweep:?} (local pools; global pool untouched)");
+    let mut size_records = Vec::new();
+
+    for &n in &sizes {
+        let start = Instant::now();
+        // No hot part: the σPK=0 skew of the selection figures makes
+        // |witnesses| quadratic in n, which would measure output blowup
+        // rather than engine scaling. With it off the chain's fan-out is
+        // constant and |witnesses| ≈ 2.2 n across the whole ladder.
+        let cfg = TpchConfig {
+            hot_part_share: 0.0,
+            ..TpchConfig::scaled(n, workload_seed(0x5CA1))
+        };
+        let db = adp_datagen::tpch_chain(&cfg);
+        let gen_ms = start.elapsed().as_secs_f64() * 1e3;
+        let mem = db.memory_report();
+        println!(
+            "  n={n}: generated {} tuples in {gen_ms:.0} ms, {} symbols, \
+             {} bytes resident ({:.1} B/tuple)",
+            mem.total_tuples,
+            mem.total_symbols,
+            mem.total_bytes,
+            mem.bytes_per_tuple()
+        );
+        fig.push("datagen [ms]", n as f64, gen_ms, u64::MAX);
+        fig.push(
+            "storage [B/tuple]",
+            n as f64,
+            mem.bytes_per_tuple(),
+            u64::MAX,
+        );
+
+        let plan = QueryPlan::new(&db, q.atoms(), q.head());
+        // Baseline: one worker, one partition, one chunk.
+        let mut baseline: Option<(adp_engine::EvalResult, Vec<_>)> = None;
+        let mut thread_records = Vec::new();
+        let mut prov_ms = 0.0f64;
+        for &t in &threads_sweep {
+            let pool = ThreadPool::new(t);
+
+            let start = Instant::now();
+            let idx = plan.build_indexes_on(&db, &pool, IndexBuildOptions::default());
+            let build_ms = start.elapsed().as_secs_f64() * 1e3;
+
+            let start = Instant::now();
+            let eval = plan.execute_on(&db, &idx, None, &pool);
+            let exec_ms = start.elapsed().as_secs_f64() * 1e3;
+
+            // One greedy scoring round: the per-round cost the solvers
+            // pay, fanned out over this pool.
+            let start = Instant::now();
+            let mut delta = DeltaProvenance::new_unscored(&eval).expect("fits u32 ids");
+            let slots = delta.output_slots();
+            let chunk = slots.div_ceil(pool.threads() * 4).max(1);
+            let parts: Vec<RangeScores> = pool.par_indexed(slots.div_ceil(chunk), |i| {
+                delta.score_range(i * chunk, ((i + 1) * chunk).min(slots))
+            });
+            delta.install_scores(parts);
+            let score_ms = start.elapsed().as_secs_f64() * 1e3;
+
+            if t == 1 {
+                // Provenance incidence build, timed once per size on the
+                // sequential path for the JSON record.
+                let start = Instant::now();
+                let prov = ProvenanceIndex::try_new(&eval).expect("fits u32 ids");
+                prov_ms = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(prov.live_outputs(), eval.output_count());
+            }
+
+            match &baseline {
+                None => baseline = Some((eval, delta.profits().to_vec())),
+                Some((base_eval, base_profits)) => {
+                    crate::checks::check(*base_eval == eval, || {
+                        format!("fig_scale n={n} t={t}: parallel eval diverged from t=1")
+                    });
+                    crate::checks::check(base_profits.as_slice() == delta.profits(), || {
+                        format!("fig_scale n={n} t={t}: parallel profits diverged from t=1")
+                    });
+                }
+            }
+
+            fig.push(&format!("build t={t}"), n as f64, build_ms, u64::MAX);
+            fig.push(&format!("probe t={t}"), n as f64, exec_ms, u64::MAX);
+            fig.push(&format!("score t={t}"), n as f64, score_ms, u64::MAX);
+            thread_records.push((t, build_ms, exec_ms, score_ms, idx.partition_counts()));
+        }
+        let (base_eval, _) = baseline.as_ref().expect("sweep includes t=1");
+        let witnesses = base_eval.witness_count();
+        let outputs = base_eval.output_count();
+        println!("  n={n}: |witnesses|={witnesses}, |Q(D)|={outputs}, prov build {prov_ms:.0} ms");
+
+        // Memory-budgeted build: half the unconstrained estimate forces
+        // the degradation path; the result must be identical anyway.
+        let full_pool = ThreadPool::new(*threads_sweep.last().unwrap());
+        let unconstrained = plan.build_indexes_on(&db, &full_pool, IndexBuildOptions::default());
+        let budget = (mem.total_bytes / 2).max(1);
+        let start = Instant::now();
+        let budgeted = plan.build_indexes_on(
+            &db,
+            &full_pool,
+            IndexBuildOptions {
+                partitions: None,
+                memory_budget_bytes: Some(budget),
+            },
+        );
+        let budget_ms = start.elapsed().as_secs_f64() * 1e3;
+        crate::checks::check_eq(
+            &plan.execute_on(&db, &unconstrained, None, &full_pool),
+            &plan.execute_on(&db, &budgeted, None, &full_pool),
+            || format!("fig_scale n={n}: budgeted index changed the result"),
+        );
+        for note in budgeted.notes() {
+            println!("  n={n} budget note: {note}");
+        }
+
+        size_records.push(ScaleRecord {
+            n,
+            gen_ms,
+            mem,
+            witnesses,
+            outputs,
+            prov_ms,
+            threads: thread_records,
+            budget_bytes: budget,
+            budget_ms,
+            budget_partitions: budgeted.partition_counts(),
+            budget_notes: budgeted.notes().to_vec(),
+        });
+    }
+    fig.finish();
+
+    let json = scale_json(&sizes, &threads_sweep, &size_records);
+    let path = "BENCH_scale.json";
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path} ({} bytes)", json.len());
+}
+
+/// One input size's record for `BENCH_scale.json`.
+struct ScaleRecord {
+    n: usize,
+    gen_ms: f64,
+    mem: adp_engine::database::MemoryReport,
+    witnesses: u64,
+    outputs: u64,
+    prov_ms: f64,
+    /// `(threads, build_ms, exec_ms, score_ms, partition_counts)`.
+    threads: Vec<(usize, f64, f64, f64, Vec<usize>)>,
+    budget_bytes: usize,
+    budget_ms: f64,
+    budget_partitions: Vec<usize>,
+    budget_notes: Vec<String>,
+}
+
+/// Hand-rolled JSON (the workspace takes no serialization dependency).
+fn scale_json(sizes: &[usize], threads: &[usize], records: &[ScaleRecord]) -> String {
+    fn esc(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                '\n' => "\\n".chars().collect(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+    fn ms(v: f64) -> String {
+        format!("{:.3}", v)
+    }
+    let mut out = String::new();
+    out.push_str("{\n  \"figure\": \"fig-scale\",\n");
+    out.push_str(&format!("  \"quick\": {},\n", quick_mode()));
+    out.push_str(&format!(
+        "  \"sizes\": [{}],\n",
+        sizes
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"thread_sweep\": [{}],\n",
+        threads
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"n\": {},\n", r.n));
+        out.push_str(&format!("      \"gen_ms\": {},\n", ms(r.gen_ms)));
+        out.push_str(&format!("      \"witnesses\": {},\n", r.witnesses));
+        out.push_str(&format!("      \"outputs\": {},\n", r.outputs));
+        out.push_str(&format!("      \"prov_build_ms\": {},\n", ms(r.prov_ms)));
+        out.push_str("      \"memory\": {\n");
+        out.push_str(&format!(
+            "        \"total_tuples\": {}, \"total_symbols\": {}, \"total_bytes\": {}, \
+             \"bytes_per_tuple\": {:.2},\n",
+            r.mem.total_tuples,
+            r.mem.total_symbols,
+            r.mem.total_bytes,
+            r.mem.bytes_per_tuple()
+        ));
+        out.push_str("        \"relations\": [\n");
+        for (j, rel) in r.mem.relations.iter().enumerate() {
+            out.push_str(&format!(
+                "          {{\"name\": \"{}\", \"tuples\": {}, \"arity\": {}, \
+                 \"symbols\": {}, \"approx_bytes\": {}}}{}\n",
+                esc(&rel.name),
+                rel.tuples,
+                rel.arity,
+                rel.symbols,
+                rel.approx_bytes,
+                if j + 1 == r.mem.relations.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("        ]\n      },\n");
+        out.push_str("      \"threads\": [\n");
+        for (j, (t, build, exec, score, parts)) in r.threads.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"threads\": {t}, \"build_ms\": {}, \"exec_ms\": {}, \
+                 \"score_ms\": {}, \"partitions\": [{}]}}{}\n",
+                ms(*build),
+                ms(*exec),
+                ms(*score),
+                parts
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                if j + 1 == r.threads.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("      ],\n");
+        out.push_str("      \"budget\": {\n");
+        out.push_str(&format!(
+            "        \"budget_bytes\": {}, \"build_ms\": {}, \"partitions\": [{}],\n",
+            r.budget_bytes,
+            ms(r.budget_ms),
+            r.budget_partitions
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str("        \"notes\": [");
+        out.push_str(
+            &r.budget_notes
+                .iter()
+                .map(|n| format!("\"{}\"", esc(n)))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        out.push_str("]\n      }\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

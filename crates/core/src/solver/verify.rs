@@ -23,7 +23,7 @@ pub fn apply_deletions(query: &Query, db: &Database, deletions: &[TupleRef]) -> 
         let mut inst = RelationInstance::new(rel.schema().clone());
         for idx in 0..rel.len() as u32 {
             if !dead.contains(&idx) {
-                inst.insert(rel.tuple(idx));
+                inst.insert(&rel.tuple_vec(idx));
             }
         }
         out.add(inst);

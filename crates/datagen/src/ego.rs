@@ -150,7 +150,7 @@ mod tests {
         let (a, ea) = ego_network(&EgoConfig::default());
         let (b, eb) = ego_network(&EgoConfig::default());
         assert_eq!(ea, eb);
-        assert_eq!(a.expect("R1").tuples(), b.expect("R1").tuples());
+        assert_eq!(a.expect("R1").to_rows(), b.expect("R1").to_rows());
     }
 
     #[test]

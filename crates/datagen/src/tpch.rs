@@ -44,19 +44,41 @@ impl TpchConfig {
 }
 
 /// Generates the Supplier/PartSupp/LineItem chain database.
+///
+/// Rows stream straight into the columnar relation stores — no
+/// intermediate `Vec<Tuple>` is materialized, so a 10M-row instance
+/// costs the columns themselves plus one scratch row. Relations reserve
+/// their final capacity up front.
 pub fn tpch_chain(cfg: &TpchConfig) -> Database {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let n_each = (cfg.total_tuples / 3).max(1);
     let mut db = Database::new();
 
-    let mut supplier = Vec::with_capacity(n_each);
+    db.create(adp_engine::schema::RelationSchema::new(
+        "S",
+        attrs(&["NK", "SK"]),
+    ));
+    db.create(adp_engine::schema::RelationSchema::new(
+        "PS",
+        attrs(&["SK", "PK"]),
+    ));
+    db.create(adp_engine::schema::RelationSchema::new(
+        "L",
+        attrs(&["OK", "PK"]),
+    ));
+    for name in ["S", "PS", "L"] {
+        db.relation_mut(name).unwrap().reserve(n_each);
+    }
+
+    // RNG draw order matches the original batch generator (all S rows,
+    // then PS, then L), so seeds keep producing identical databases.
+    let s = db.relation_mut("S").unwrap();
     for sk in 0..n_each as u64 {
         let sk = sk % cfg.suppliers as u64;
         let nk = rng.gen_range(0..cfg.nations as u64);
-        supplier.push(vec![nk, sk]);
+        s.insert(&[nk, sk]);
     }
-
-    let mut partsupp = Vec::with_capacity(n_each);
+    let ps = db.relation_mut("PS").unwrap();
     for _ in 0..n_each {
         let sk = rng.gen_range(0..cfg.suppliers as u64);
         let pk = if rng.gen_bool(cfg.hot_part_share) {
@@ -64,35 +86,17 @@ pub fn tpch_chain(cfg: &TpchConfig) -> Database {
         } else {
             rng.gen_range(0..cfg.parts as u64)
         };
-        partsupp.push(vec![sk, pk]);
+        ps.insert(&[sk, pk]);
     }
-
-    let mut lineitem = Vec::with_capacity(n_each);
+    let l = db.relation_mut("L").unwrap();
     for ok in 0..n_each as u64 {
         let pk = if rng.gen_bool(cfg.hot_part_share) {
             0
         } else {
             rng.gen_range(0..cfg.parts as u64)
         };
-        lineitem.push(vec![ok, pk]);
+        l.insert(&[ok, pk]);
     }
-
-    let s = db.create(adp_engine::schema::RelationSchema::new(
-        "S",
-        attrs(&["NK", "SK"]),
-    ));
-    let ps = db.create(adp_engine::schema::RelationSchema::new(
-        "PS",
-        attrs(&["SK", "PK"]),
-    ));
-    let l = db.create(adp_engine::schema::RelationSchema::new(
-        "L",
-        attrs(&["OK", "PK"]),
-    ));
-    let _ = (s, ps, l);
-    db.relation_mut("S").unwrap().extend(supplier);
-    db.relation_mut("PS").unwrap().extend(partsupp);
-    db.relation_mut("L").unwrap().extend(lineitem);
     db
 }
 
@@ -138,8 +142,8 @@ mod tests {
     #[test]
     fn selected_is_all_hot() {
         let db = tpch_selected(300, 3);
-        assert!(db.expect("PS").tuples().iter().all(|t| t[1] == 0));
-        assert!(db.expect("L").tuples().iter().all(|t| t[1] == 0));
+        assert!(db.expect("PS").iter().all(|t| t[1] == 0));
+        assert!(db.expect("L").iter().all(|t| t[1] == 0));
         assert_eq!(db.expect("L").len(), 100);
     }
 
@@ -149,7 +153,7 @@ mod tests {
         let a = tpch_chain(&cfg);
         let b = tpch_chain(&cfg);
         for name in ["S", "PS", "L"] {
-            assert_eq!(a.expect(name).tuples(), b.expect(name).tuples());
+            assert_eq!(a.expect(name).to_rows(), b.expect(name).to_rows());
         }
     }
 
@@ -157,7 +161,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = tpch_chain(&TpchConfig::scaled(300, 1));
         let b = tpch_chain(&TpchConfig::scaled(300, 2));
-        assert_ne!(a.expect("PS").tuples(), b.expect("PS").tuples());
+        assert_ne!(a.expect("PS").to_rows(), b.expect("PS").to_rows());
     }
 
     #[test]
@@ -167,12 +171,7 @@ mod tests {
             ..TpchConfig::scaled(600, 3)
         };
         let db = tpch_chain(&cfg);
-        let hot = db
-            .expect("PS")
-            .tuples()
-            .iter()
-            .filter(|t| t[1] == 0)
-            .count();
+        let hot = db.expect("PS").iter().filter(|t| t[1] == 0).count();
         assert!(hot > 50, "hot part should dominate: {hot}");
     }
 

@@ -119,8 +119,8 @@ mod tests {
     fn values_in_range() {
         let schemas = vec![RelationSchema::new("R", attrs(&["A", "B"]))];
         let db = uniform_db(&schemas, &[200], 7, 5);
-        for t in db.expect("R").tuples() {
-            assert!(t.iter().all(|&v| (1..=7).contains(&v)));
+        for t in db.expect("R").iter() {
+            assert!(t.iter().all(|v| (1..=7).contains(&v)));
         }
     }
 

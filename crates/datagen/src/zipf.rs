@@ -107,7 +107,7 @@ mod tests {
         let r2 = db.expect("R2");
         let distinct = db.expect("R1").len() as u64;
         let mut degree = vec![0u64; distinct as usize];
-        for t in r2.tuples() {
+        for t in r2.iter() {
             degree[t[0] as usize] += 1;
         }
         let max = *degree.iter().max().unwrap();
@@ -119,7 +119,7 @@ mod tests {
     fn high_alpha_skews_hard() {
         let db = zipf_pair(&ZipfConfig::new(5000, 1.5, 1, false));
         let r2 = db.expect("R2");
-        let head = r2.tuples().iter().filter(|t| t[0] == 0).count();
+        let head = r2.iter().filter(|t| t[0] == 0).count();
         assert!(
             head > r2.len() / 5,
             "rank-0 should dominate under α=1.5: {head}/{}",
@@ -141,7 +141,7 @@ mod tests {
     fn deterministic() {
         let a = zipf_pair(&ZipfConfig::new(500, 1.0, 9, true));
         let b = zipf_pair(&ZipfConfig::new(500, 1.0, 9, true));
-        assert_eq!(a.expect("R2").tuples(), b.expect("R2").tuples());
+        assert_eq!(a.expect("R2").to_rows(), b.expect("R2").to_rows());
     }
 
     #[test]

@@ -160,6 +160,70 @@ impl Database {
             .unwrap_or_else(|| panic!("relation {name} not in database"))
             .insert(tuple)
     }
+
+    /// Storage accounting across all relations: per-relation tuple
+    /// count, interned-symbol count, and approximate resident bytes of
+    /// the columnar store. Surfaced by the scale harness so BENCH output
+    /// records how much memory a paper-size instance actually costs.
+    pub fn memory_report(&self) -> MemoryReport {
+        let relations: Vec<RelationMemory> = self
+            .relations
+            .iter()
+            .map(|r| RelationMemory {
+                name: r.name().to_owned(),
+                tuples: r.len(),
+                arity: r.schema().arity(),
+                symbols: r.symbol_count(),
+                approx_bytes: r.approx_bytes(),
+            })
+            .collect();
+        MemoryReport {
+            total_tuples: relations.iter().map(|r| r.tuples).sum(),
+            total_symbols: relations.iter().map(|r| r.symbols).sum(),
+            total_bytes: relations.iter().map(|r| r.approx_bytes).sum(),
+            relations,
+        }
+    }
+}
+
+/// One relation's storage footprint (see [`Database::memory_report`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationMemory {
+    /// Relation name.
+    pub name: String,
+    /// Stored (deduplicated) tuple count.
+    pub tuples: usize,
+    /// Schema arity.
+    pub arity: usize,
+    /// Distinct values interned by this relation.
+    pub symbols: usize,
+    /// Approximate resident bytes: symbol columns + interner + dedup
+    /// table ([`crate::relation::RelationInstance::approx_bytes`]).
+    pub approx_bytes: usize,
+}
+
+/// Database-wide storage accounting (see [`Database::memory_report`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Per-relation breakdown, in insertion order.
+    pub relations: Vec<RelationMemory>,
+    /// Sum of stored tuples.
+    pub total_tuples: usize,
+    /// Sum of interned symbols.
+    pub total_symbols: usize,
+    /// Sum of approximate resident bytes.
+    pub total_bytes: usize,
+}
+
+impl MemoryReport {
+    /// Average stored bytes per tuple, 0.0 for an empty database.
+    pub fn bytes_per_tuple(&self) -> f64 {
+        if self.total_tuples == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.total_tuples as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +321,30 @@ mod tests {
         db.add_relation("R", attrs(&["B"]), &[]);
         let names: Vec<_> = db.names().collect();
         assert_eq!(names, vec!["S", "R"]);
+    }
+
+    #[test]
+    fn memory_report_accounts_for_columnar_storage() {
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A", "B"]), &[&[1, 2], &[3, 2], &[1, 2]]);
+        db.add_relation("S", attrs(&["C"]), &[&[9]]);
+        let report = db.memory_report();
+        assert_eq!(report.relations.len(), 2);
+        let r = &report.relations[0];
+        assert_eq!((r.name.as_str(), r.tuples, r.arity), ("R", 2, 2));
+        assert_eq!(r.symbols, 3, "values 1, 2, 3 interned once each");
+        assert_eq!(report.total_tuples, 3);
+        assert_eq!(report.total_symbols, 4);
+        assert_eq!(
+            report.total_bytes,
+            report
+                .relations
+                .iter()
+                .map(|r| r.approx_bytes)
+                .sum::<usize>()
+        );
+        assert!(report.bytes_per_tuple() > 0.0);
+        assert_eq!(Database::new().memory_report().bytes_per_tuple(), 0.0);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub struct Witness {
 }
 
 /// Result of evaluating a conjunctive query body.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EvalResult {
     /// Relation name per atom, in query order.
     pub atom_names: Vec<String>,

@@ -14,11 +14,20 @@
 //!    scanned. After this point execution touches only dense `u32` ids.
 //! 2. [`QueryPlan::build_indexes`] — one hash index per non-leading
 //!    atom, built over the *full* relation so the same [`JoinIndexes`]
-//!    serves every subsequent execution.
+//!    serves every subsequent execution. Build sides at paper scale are
+//!    hash-partitioned and the per-partition tables are constructed
+//!    concurrently on the [`adp_runtime`] pool
+//!    ([`QueryPlan::build_indexes_on`]); an optional memory budget
+//!    degrades to fewer, larger partitions with a recorded note
+//!    ([`JoinIndexes::notes`]).
 //! 3. [`QueryPlan::execute`] / [`QueryPlan::execute_masked`] — the
 //!    backtracking join. The masked variant skips tuples an
 //!    [`AliveMask`] marks dead, giving `Q(D − S)` for any deletion set
-//!    `S` without touching the database or the indexes.
+//!    `S` without touching the database or the indexes. Large lead
+//!    ranges are probed in parallel chunks and merged deterministically,
+//!    so parallel results are **byte-identical** to the sequential path
+//!    (same output ids, same witness order — the internal merge step
+//!    re-deduplicates outputs in first-seen chunk order).
 //!
 //! Witness tuple indices always refer to the original relation
 //! instances, so masked results compose directly with
@@ -28,9 +37,27 @@ use crate::catalog::RelId;
 use crate::database::Database;
 use crate::join::{EvalResult, Witness};
 use crate::provenance::TupleRef;
+use crate::relation::RelationInstance;
 use crate::schema::{Attr, RelationSchema};
 use crate::value::Value;
+use adp_runtime::ThreadPool;
 use std::collections::HashMap;
+
+/// Build sides smaller than this stay single-partition: the table fits
+/// in cache and partitioning overhead outweighs the parallel build.
+const PAR_BUILD_MIN_ROWS: usize = 1 << 13;
+
+/// Lead ranges smaller than this are probed sequentially; the
+/// deterministic merge is pure overhead for small joins.
+const PAR_EXEC_MIN_CANDS: usize = 1 << 12;
+
+/// Rough per-entry cost of one index posting: hash-table slot + boxed
+/// key header + `Vec<u32>` posting overhead, amortized.
+const INDEX_ENTRY_BYTES: usize = 48;
+
+/// Fixed per-partition table slack (allocation rounding, growth
+/// headroom). This is the term a smaller partition count saves.
+const PARTITION_SLACK_BYTES: usize = 4096;
 
 /// One atom's role in the join order: which tuple positions are already
 /// bound (and to which binding slots) and which bind fresh slots.
@@ -67,8 +94,85 @@ pub struct QueryPlan {
     head: Vec<Attr>,
 }
 
-/// One atom's hash index: bound-attr key → tuple indices.
-type StepIndex = HashMap<Box<[Value]>, Vec<u32>>;
+/// One atom's hash index: bound-attr key → tuple indices, hash-split
+/// into a power-of-two number of partitions so construction can fan out
+/// across workers. A probe hashes the key once to pick its partition;
+/// with one partition this is exactly the old flat table.
+///
+/// Per-key posting lists are ascending tuple ids regardless of how many
+/// workers built the index: ids are scattered to partitions in id order
+/// ([`adp_runtime::partition_ids`]) and each partition table is filled
+/// by a single worker scanning its bucket in that order.
+#[derive(Clone, Debug)]
+pub struct StepIndex {
+    parts: Vec<HashMap<Box<[Value]>, Vec<u32>>>,
+}
+
+impl StepIndex {
+    #[inline]
+    fn part_of(&self, key: &[Value]) -> usize {
+        if self.parts.len() == 1 {
+            0
+        } else {
+            hash_values(key.iter().copied()) as usize & (self.parts.len() - 1)
+        }
+    }
+
+    /// Tuple ids whose bound attributes equal `key`, ascending.
+    #[inline]
+    pub fn get(&self, key: &[Value]) -> Option<&Vec<u32>> {
+        self.parts[self.part_of(key)].get(key)
+    }
+
+    /// Number of hash partitions (power of two).
+    pub fn partition_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of distinct keys across all partitions.
+    pub fn entry_count(&self) -> usize {
+        self.parts.iter().map(|m| m.len()).sum()
+    }
+}
+
+/// FNV-1a over the little-endian bytes of a value sequence. Used both to
+/// scatter build rows and to route probes, so the two always agree.
+#[inline]
+fn hash_values<I: IntoIterator<Item = Value>>(vals: I) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in vals {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Estimated resident bytes for one step index: postings dominate,
+/// partitions add fixed slack. Deliberately simple — the budget fallback
+/// only needs the right *shape* (monotone in both `rows` and `parts`).
+fn index_bytes_estimate(rows: usize, key_arity: usize, parts: usize) -> usize {
+    rows * (INDEX_ENTRY_BYTES + key_arity * std::mem::size_of::<Value>())
+        + parts * PARTITION_SLACK_BYTES
+}
+
+/// Knobs for [`QueryPlan::build_indexes_on`]. The default builds
+/// exactly like [`QueryPlan::build_indexes`]: partition count chosen
+/// from the pool size, no memory budget.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IndexBuildOptions {
+    /// Partition count per build side (rounded up to a power of two).
+    /// `None`: automatic — 1 for small build sides or single-worker
+    /// pools, otherwise ~2× the pool's workers.
+    pub partitions: Option<usize>,
+    /// Approximate byte budget across all build-side indexes. When the
+    /// estimate exceeds the per-step share, the builder halves that
+    /// step's partition count (fewer, larger partitions carry less
+    /// fixed table slack) and records what happened in
+    /// [`JoinIndexes::notes`].
+    pub memory_budget_bytes: Option<usize>,
+}
 
 /// Hash indexes for a plan's non-leading atoms, built once over the full
 /// relations by [`QueryPlan::build_indexes`] and reused across
@@ -78,6 +182,25 @@ pub struct JoinIndexes {
     /// Per join step: bound-attr key → tuple indices (leading step:
     /// `None`).
     per_step: Vec<Option<StepIndex>>,
+    /// Degradation notes recorded during the build (memory-budget
+    /// fallbacks). Empty when the build ran unconstrained.
+    notes: Vec<String>,
+}
+
+impl JoinIndexes {
+    /// Degradation notes recorded during the build — one entry per
+    /// budget-driven fallback, empty for unconstrained builds.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+
+    /// Partition count per join step (0 for the un-indexed lead step).
+    pub fn partition_counts(&self) -> Vec<usize> {
+        self.per_step
+            .iter()
+            .map(|s| s.as_ref().map_or(0, StepIndex::partition_count))
+            .collect()
+    }
 }
 
 /// Per-atom liveness of input tuples: the deletion state `S` in
@@ -237,7 +360,49 @@ impl QueryPlan {
     /// Builds the hash indexes the plan's non-leading atoms probe.
     /// Indexes cover the full relations; masked executions filter at
     /// probe time, so one build serves every deletion state.
+    ///
+    /// Paper-scale build sides fan out over the process-wide
+    /// [`adp_runtime::global`] pool with automatic partitioning; small
+    /// build sides stay sequential and never touch (or lazily
+    /// initialize) the global pool. See
+    /// [`QueryPlan::build_indexes_on`] for explicit control.
     pub fn build_indexes(&self, db: &Database) -> JoinIndexes {
+        let big = self
+            .steps
+            .iter()
+            .skip(1)
+            .any(|s| db.relation_by_id(self.rels[s.atom]).len() >= PAR_BUILD_MIN_ROWS);
+        let pool = if big {
+            Some(adp_runtime::global())
+        } else {
+            None
+        };
+        self.build_indexes_inner(db, pool, IndexBuildOptions::default())
+    }
+
+    /// Builds the join indexes on an explicit pool with explicit
+    /// options. Results are identical for every `(pool, partitions)`
+    /// combination — partitioning only changes *where* a key lives, and
+    /// per-key posting lists stay in ascending tuple-id order.
+    pub fn build_indexes_on(
+        &self,
+        db: &Database,
+        pool: &ThreadPool,
+        opts: IndexBuildOptions,
+    ) -> JoinIndexes {
+        self.build_indexes_inner(db, Some(pool), opts)
+    }
+
+    fn build_indexes_inner(
+        &self,
+        db: &Database,
+        pool: Option<&ThreadPool>,
+        opts: IndexBuildOptions,
+    ) -> JoinIndexes {
+        let threads = pool.map_or(1, ThreadPool::threads);
+        let mut notes = Vec::new();
+        let non_lead = self.steps.len().saturating_sub(1).max(1);
+        let budget_share = opts.memory_budget_bytes.map(|b| b / non_lead);
         let per_step = self
             .steps
             .iter()
@@ -247,21 +412,46 @@ impl QueryPlan {
                     return None;
                 }
                 let inst = db.relation_by_id(self.rels[step.atom]);
-                let mut map = StepIndex::new();
-                for idx in 0..inst.len() as u32 {
-                    let t = inst.tuple(idx);
-                    let key: Box<[Value]> = step.bound_pos.iter().map(|&p| t[p as usize]).collect();
-                    map.entry(key).or_default().push(idx);
+                let rows = inst.len();
+                let mut parts = match opts.partitions {
+                    Some(p) => p.next_power_of_two().max(1),
+                    None if threads <= 1 || rows < PAR_BUILD_MIN_ROWS => 1,
+                    None => (threads * 2).next_power_of_two().min(64),
+                };
+                if let Some(budget) = budget_share {
+                    let arity = step.bound_pos.len();
+                    let before = parts;
+                    while parts > 1 && index_bytes_estimate(rows, arity, parts) > budget {
+                        parts /= 2;
+                    }
+                    if parts < before {
+                        notes.push(format!(
+                            "step {depth} ({}): partitions reduced {before} -> {parts} to fit \
+                             ~{budget}B budget share (estimate was {}B)",
+                            self.atom_names[step.atom],
+                            index_bytes_estimate(rows, arity, before),
+                        ));
+                    }
+                    let est = index_bytes_estimate(rows, arity, parts);
+                    if est > budget {
+                        notes.push(format!(
+                            "step {depth} ({}): estimate {est}B exceeds ~{budget}B budget share \
+                             even single-partition; building anyway",
+                            self.atom_names[step.atom],
+                        ));
+                    }
                 }
-                Some(map)
+                Some(build_step_index(inst, &step.bound_pos, parts, pool))
             })
             .collect();
-        JoinIndexes { per_step }
+        JoinIndexes { per_step, notes }
     }
 
-    /// Evaluates over the full database (every tuple alive).
+    /// Evaluates over the full database (every tuple alive). Large lead
+    /// ranges fan out over the global pool; small ones run sequentially
+    /// without touching it.
     pub fn execute(&self, db: &Database, indexes: &JoinIndexes) -> EvalResult {
-        self.run(db, indexes, None)
+        self.run(db, indexes, None, None, 0)
     }
 
     /// Evaluates `Q(D − S)` where `S` is the set of dead tuples in
@@ -273,7 +463,35 @@ impl QueryPlan {
         indexes: &JoinIndexes,
         alive: &AliveMask,
     ) -> EvalResult {
-        self.run(db, indexes, Some(alive))
+        self.run(db, indexes, Some(alive), None, 0)
+    }
+
+    /// [`QueryPlan::execute`] / [`QueryPlan::execute_masked`] on an
+    /// explicit pool (auto-chunked). Needed by harnesses that sweep
+    /// worker counts with local pools — the global pool is fixed-size.
+    pub fn execute_on(
+        &self,
+        db: &Database,
+        indexes: &JoinIndexes,
+        alive: Option<&AliveMask>,
+        pool: &ThreadPool,
+    ) -> EvalResult {
+        self.run(db, indexes, alive, Some(pool), 0)
+    }
+
+    /// Evaluates with an explicit probe chunk count, bypassing the
+    /// size threshold. `chunks == 0` means automatic. Exposed so tests
+    /// can force the parallel merge path on small inputs and assert
+    /// byte-identity against the sequential result.
+    pub fn execute_chunked(
+        &self,
+        db: &Database,
+        indexes: &JoinIndexes,
+        alive: Option<&AliveMask>,
+        pool: &ThreadPool,
+        chunks: usize,
+    ) -> EvalResult {
+        self.run(db, indexes, alive, Some(pool), chunks)
     }
 
     /// Convenience for one-shot callers: build indexes and execute.
@@ -293,27 +511,77 @@ impl QueryPlan {
         }
     }
 
-    fn run(&self, db: &Database, indexes: &JoinIndexes, alive: Option<&AliveMask>) -> EvalResult {
-        let mut result = self.empty_result();
+    /// Backtracking join over the lead candidates, optionally fanned out
+    /// across `pool` in contiguous chunks. Chunk results are merged in
+    /// chunk order, re-deduplicating outputs in first-seen order, so the
+    /// merged [`EvalResult`] is byte-identical to the sequential scan:
+    /// same output ids, same witness ids, same posting order.
+    fn run(
+        &self,
+        db: &Database,
+        indexes: &JoinIndexes,
+        alive: Option<&AliveMask>,
+        pool: Option<&ThreadPool>,
+        chunks: usize,
+    ) -> EvalResult {
         let instances: Vec<_> = self.rels.iter().map(|&r| db.relation_by_id(r)).collect();
         if instances.iter().any(|r| r.is_empty()) {
-            return result;
+            return self.empty_result();
         }
+        let lead = self.steps[0].atom;
+        let cands: Vec<u32> = (0..instances[lead].len() as u32)
+            .filter(|&i| alive.is_none_or(|m| m.is_alive(lead, i)))
+            .collect();
+        // Consult the global pool only past the size threshold: small
+        // executions stay sequential and never lazily initialize it.
+        let pool = match pool {
+            Some(p) => Some(p),
+            None if cands.len() >= PAR_EXEC_MIN_CANDS => Some(adp_runtime::global()),
+            None => None,
+        };
+        let threads = pool.map_or(1, ThreadPool::threads);
+        let chunks = match chunks {
+            0 if threads > 1 && cands.len() >= PAR_EXEC_MIN_CANDS => threads * 4,
+            0 => 1,
+            n => n,
+        };
+        let (Some(pool), false) = (pool, chunks <= 1 || cands.len() <= 1) else {
+            let part = self.run_range(&instances, indexes, alive, &cands);
+            return self.merge(vec![part]);
+        };
+        let chunk_size = cands.len().div_ceil(chunks).max(1);
+        let n_chunks = cands.len().div_ceil(chunk_size);
+        let partials = pool.par_indexed(n_chunks, |c| {
+            let lo = c * chunk_size;
+            let hi = ((c + 1) * chunk_size).min(cands.len());
+            self.run_range(&instances, indexes, alive, &cands[lo..hi])
+        });
+        self.merge(partials)
+    }
+
+    /// The iterative backtracking loop over one contiguous slice of lead
+    /// candidates. Outputs are deduplicated locally (first-seen order
+    /// within the slice); [`QueryPlan::merge`] rebuilds global ids.
+    fn run_range(
+        &self,
+        instances: &[&RelationInstance],
+        indexes: &JoinIndexes,
+        alive: Option<&AliveMask>,
+        lead_cands: &[u32],
+    ) -> PartialEval {
+        let mut partial = PartialEval::default();
         let is_alive = |atom: usize, idx: u32| alive.is_none_or(|m| m.is_alive(atom, idx));
 
         let mut binding: Vec<Value> = vec![0; self.n_slots];
         let mut chosen: Vec<u32> = vec![0; self.rels.len()];
         let mut output_dedup: HashMap<Box<[Value]>, u32> = HashMap::new();
+        let mut key_buf: Vec<Value> = Vec::new();
 
-        // Iterative backtracking over the join order: candidate list +
-        // cursor per depth.
+        // Candidate list + cursor per depth.
         let mut cand: Vec<Vec<u32>> = vec![Vec::new(); self.steps.len()];
         let mut cursor: Vec<usize> = vec![0; self.steps.len()];
         let mut depth: usize = 0;
-        let lead = self.steps[0].atom;
-        cand[0] = (0..instances[lead].len() as u32)
-            .filter(|&i| is_alive(lead, i))
-            .collect();
+        cand[0] = lead_cands.to_vec();
         cursor[0] = 0;
 
         loop {
@@ -349,29 +617,24 @@ impl QueryPlan {
                 let next_id = output_dedup.len() as u32;
                 let out_id = *output_dedup.entry(out_key.clone()).or_insert(next_id);
                 if out_id == next_id {
-                    result.outputs.push(out_key);
-                    result.output_witnesses.push(Vec::new());
+                    partial.outputs.push(out_key);
                 }
-                let wid = result.witnesses.len() as u32;
-                result.witnesses.push(Witness {
+                partial.witnesses.push(Witness {
                     tuples: chosen.clone().into_boxed_slice(),
                 });
-                result.witness_output.push(out_id);
-                result.output_witnesses[out_id as usize].push(wid);
+                partial.witness_output.push(out_id);
                 continue;
             }
 
-            // Descend.
+            // Descend. The probe key buffer is reused across probes —
+            // no per-probe allocation.
             let next = &self.steps[depth + 1];
-            let key: Box<[Value]> = next
-                .bound_slot
-                .iter()
-                .map(|&s| binding[s as usize])
-                .collect();
+            key_buf.clear();
+            key_buf.extend(next.bound_slot.iter().map(|&s| binding[s as usize]));
             let matches = indexes.per_step[depth + 1]
                 .as_ref()
                 .expect("non-leading steps have indexes")
-                .get(&key);
+                .get(&key_buf);
             match matches {
                 Some(list) => {
                     depth += 1;
@@ -383,7 +646,104 @@ impl QueryPlan {
             }
         }
 
+        partial
+    }
+
+    /// Concatenates partial results in chunk order, remapping each
+    /// chunk's local output ids to global first-seen ids. Because chunks
+    /// cover the lead candidates in ascending contiguous slices, the
+    /// concatenation visits witnesses in exactly the sequential order —
+    /// making the merged result byte-identical to a one-chunk run.
+    fn merge(&self, partials: Vec<PartialEval>) -> EvalResult {
+        let mut result = self.empty_result();
+        let mut output_dedup: HashMap<Box<[Value]>, u32> = HashMap::new();
+        for partial in partials {
+            let mut local_to_global = Vec::with_capacity(partial.outputs.len());
+            for out_key in partial.outputs {
+                let next_id = output_dedup.len() as u32;
+                let out_id = *output_dedup.entry(out_key.clone()).or_insert(next_id);
+                if out_id == next_id {
+                    result.outputs.push(out_key);
+                    result.output_witnesses.push(Vec::new());
+                }
+                local_to_global.push(out_id);
+            }
+            for (w, local) in partial.witnesses.into_iter().zip(partial.witness_output) {
+                let wid = result.witnesses.len() as u32;
+                let out_id = local_to_global[local as usize];
+                result.witnesses.push(w);
+                result.witness_output.push(out_id);
+                result.output_witnesses[out_id as usize].push(wid);
+            }
+        }
         result
+    }
+}
+
+/// One chunk's worth of join results: outputs in local first-seen order,
+/// witnesses in lead-candidate order, witness → local output id.
+#[derive(Default)]
+struct PartialEval {
+    outputs: Vec<Box<[Value]>>,
+    witnesses: Vec<Witness>,
+    witness_output: Vec<u32>,
+}
+
+/// Builds one step's hash index with `parts` partitions (power of two).
+/// Single-partition builds scan sequentially; partitioned builds scatter
+/// ids with [`adp_runtime::partition_ids`] and fill each partition's
+/// table on the pool. Both paths yield identical content.
+fn build_step_index(
+    inst: &RelationInstance,
+    bound_pos: &[u32],
+    parts: usize,
+    pool: Option<&ThreadPool>,
+) -> StepIndex {
+    debug_assert!(parts.is_power_of_two());
+    let fill = |ids: &[u32]| {
+        let mut map: HashMap<Box<[Value]>, Vec<u32>> = HashMap::new();
+        let mut buf: Vec<Value> = Vec::with_capacity(bound_pos.len());
+        for &idx in ids {
+            let t = inst.tuple(idx);
+            buf.clear();
+            buf.extend(bound_pos.iter().map(|&p| t[p as usize]));
+            match map.get_mut(buf.as_slice()) {
+                Some(list) => list.push(idx),
+                None => {
+                    map.insert(buf.clone().into_boxed_slice(), vec![idx]);
+                }
+            }
+        }
+        map
+    };
+    if parts == 1 {
+        let ids: Vec<u32> = (0..inst.len() as u32).collect();
+        return StepIndex {
+            parts: vec![fill(&ids)],
+        };
+    }
+    let mask = parts - 1;
+    let part_of = |idx: u32| {
+        let t = inst.tuple(idx);
+        hash_values(bound_pos.iter().map(|&p| t[p as usize])) as usize & mask
+    };
+    match pool {
+        Some(pool) => {
+            let buckets = adp_runtime::partition_ids(pool, inst.len(), parts, part_of);
+            StepIndex {
+                parts: pool.par_indexed(parts, |p| fill(&buckets[p])),
+            }
+        }
+        None => {
+            // Sequential partitioned build — same scatter, same tables.
+            let mut buckets = vec![Vec::new(); parts];
+            for idx in 0..inst.len() as u32 {
+                buckets[part_of(idx)].push(idx);
+            }
+            StepIndex {
+                parts: buckets.iter().map(|b| fill(b)).collect(),
+            }
+        }
     }
 }
 
@@ -592,6 +952,172 @@ mod tests {
         ];
         let plan = QueryPlan::new(&db, &atoms, &attrs(&["A"]));
         assert_eq!(plan.execute_once(&db).output_count(), 2);
+    }
+
+    /// A bigger chain instance with shared join keys and duplicate
+    /// head projections, to exercise dedup across chunk boundaries.
+    fn chain_db(n: u64) -> Database {
+        let mut db = Database::new();
+        let r1: Vec<Vec<Value>> = (0..n).map(|i| vec![i, i % 17]).collect();
+        let r2: Vec<Vec<Value>> = (0..n).map(|i| vec![i % 17, i % 5]).collect();
+        let r3: Vec<Vec<Value>> = (0..n).map(|i| vec![i % 5, i % 3]).collect();
+        fn as_refs(rows: &[Vec<Value>]) -> Vec<&[Value]> {
+            rows.iter().map(|r| &r[..]).collect()
+        }
+        db.add_relation("R1", attrs(&["A", "B"]), &as_refs(&r1));
+        db.add_relation("R2", attrs(&["B", "C"]), &as_refs(&r2));
+        db.add_relation("R3", attrs(&["C", "E"]), &as_refs(&r3));
+        db
+    }
+
+    #[test]
+    fn partitioned_index_matches_flat_index() {
+        let db = chain_db(500);
+        let atoms = figure1_atoms();
+        let plan = QueryPlan::new(&db, &atoms, &attrs(&["A", "E"]));
+        let pool = ThreadPool::new(4);
+        let flat = plan.build_indexes_on(
+            &db,
+            &pool,
+            IndexBuildOptions {
+                partitions: Some(1),
+                ..Default::default()
+            },
+        );
+        for parts in [2usize, 8, 16] {
+            let split = plan.build_indexes_on(
+                &db,
+                &pool,
+                IndexBuildOptions {
+                    partitions: Some(parts),
+                    ..Default::default()
+                },
+            );
+            assert_eq!(split.partition_counts()[1], parts);
+            // Identical results through either index.
+            assert_eq!(plan.execute(&db, &flat), plan.execute(&db, &split));
+            for (f, s) in flat.per_step.iter().zip(&split.per_step) {
+                let (Some(f), Some(s)) = (f.as_ref(), s.as_ref()) else {
+                    continue;
+                };
+                assert_eq!(f.entry_count(), s.entry_count());
+                for (key, list) in f.parts[0].iter() {
+                    assert_eq!(s.get(key), Some(list), "key {key:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_build_is_pool_size_invariant() {
+        let db = chain_db(300);
+        let plan = QueryPlan::new(&db, &figure1_atoms(), &attrs(&["A", "E"]));
+        let opts = IndexBuildOptions {
+            partitions: Some(8),
+            ..Default::default()
+        };
+        let one = plan.build_indexes_on(&db, &ThreadPool::new(1), opts);
+        let four = plan.build_indexes_on(&db, &ThreadPool::new(4), opts);
+        for (a, b) in one.per_step.iter().zip(&four.per_step) {
+            match (a.as_ref(), b.as_ref()) {
+                (Some(a), Some(b)) => assert_eq!(a.parts, b.parts),
+                (None, None) => {}
+                _ => panic!("index presence differs"),
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_execution_is_byte_identical() {
+        let db = chain_db(400);
+        let atoms = figure1_atoms();
+        let pool = ThreadPool::new(4);
+        for head in [attrs(&["A", "E"]), attrs(&["B"]), vec![]] {
+            let plan = QueryPlan::new(&db, &atoms, &head);
+            let idx = plan.build_indexes_on(
+                &db,
+                &pool,
+                IndexBuildOptions {
+                    partitions: Some(4),
+                    ..Default::default()
+                },
+            );
+            let seq = plan.execute_chunked(&db, &idx, None, &pool, 1);
+            for chunks in [2usize, 3, 7, 64] {
+                let par = plan.execute_chunked(&db, &idx, None, &pool, chunks);
+                assert_eq!(seq, par, "chunks={chunks}");
+            }
+            // Masked path, killing a spread of tuples.
+            let mut mask = AliveMask::all_alive(&db, &atoms);
+            for i in (0..db.expect("R1").len() as u32).step_by(3) {
+                mask.kill(0, i);
+            }
+            for i in (0..db.expect("R2").len() as u32).step_by(5) {
+                mask.kill(1, i);
+            }
+            let seq = plan.execute_chunked(&db, &idx, Some(&mask), &pool, 1);
+            let par = plan.execute_chunked(&db, &idx, Some(&mask), &pool, 8);
+            assert_eq!(seq, par);
+            assert_eq!(seq, plan.execute_on(&db, &idx, Some(&mask), &pool));
+        }
+    }
+
+    #[test]
+    fn chunk_count_exceeding_candidates_is_fine() {
+        let db = figure1_db();
+        let plan = QueryPlan::new(&db, &figure1_atoms(), &attrs(&["A", "E"]));
+        let pool = ThreadPool::new(2);
+        let idx = plan.build_indexes_on(&db, &pool, IndexBuildOptions::default());
+        let seq = plan.execute(&db, &idx);
+        let par = plan.execute_chunked(&db, &idx, None, &pool, 1000);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn memory_budget_degrades_partitions_with_note() {
+        let db = chain_db(200);
+        let plan = QueryPlan::new(&db, &figure1_atoms(), &attrs(&["A", "E"]));
+        let pool = ThreadPool::new(2);
+        // Budget sized so 16 partitions overflow but 4 fit: rows cost is
+        // fixed, each partition adds PARTITION_SLACK_BYTES.
+        let rows = 200;
+        let budget_share = index_bytes_estimate(rows, 1, 4) + PARTITION_SLACK_BYTES;
+        let idx = plan.build_indexes_on(
+            &db,
+            &pool,
+            IndexBuildOptions {
+                partitions: Some(16),
+                memory_budget_bytes: Some(budget_share * 2),
+            },
+        );
+        assert!(idx.partition_counts().iter().all(|&p| p == 0 || p <= 4));
+        assert!(!idx.notes().is_empty());
+        assert!(idx.notes()[0].contains("partitions reduced 16 -> "));
+        // Degraded index still answers identically.
+        let flat = plan.build_indexes_on(&db, &pool, IndexBuildOptions::default());
+        assert_eq!(plan.execute(&db, &flat), plan.execute(&db, &idx));
+    }
+
+    #[test]
+    fn impossible_budget_records_note_but_still_builds() {
+        let db = chain_db(100);
+        let plan = QueryPlan::new(&db, &figure1_atoms(), &attrs(&["A"]));
+        let pool = ThreadPool::new(1);
+        let idx = plan.build_indexes_on(
+            &db,
+            &pool,
+            IndexBuildOptions {
+                partitions: None,
+                memory_budget_bytes: Some(16),
+            },
+        );
+        assert!(
+            idx.notes().iter().any(|n| n.contains("building anyway")),
+            "{:?}",
+            idx.notes()
+        );
+        let unconstrained = plan.build_indexes_on(&db, &pool, IndexBuildOptions::default());
+        assert_eq!(plan.execute(&db, &unconstrained), plan.execute(&db, &idx));
     }
 
     #[test]

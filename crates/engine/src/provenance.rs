@@ -17,6 +17,10 @@ use crate::error::AdpError;
 use crate::join::EvalResult;
 use std::collections::HashMap;
 
+/// Below this many witnesses the incidence maps are built sequentially;
+/// the parallel chunk merge only pays off at paper scale.
+const PAR_BUILD_MIN_WITNESSES: usize = 1 << 14;
+
 /// A reference to an input tuple: query atom position + tuple index within
 /// that atom's relation instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -78,12 +82,7 @@ impl ProvenanceIndex {
             return Err(AdpError::TooManyWitnesses { witnesses, cap });
         }
         let n_atoms = result.atom_names.len();
-        let mut tuple_witnesses: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); n_atoms];
-        for (wid, w) in result.witnesses.iter().enumerate() {
-            for (atom, &t) in w.tuples.iter().enumerate() {
-                tuple_witnesses[atom].entry(t).or_default().push(wid as u32);
-            }
-        }
+        let tuple_witnesses = build_tuple_witnesses(result, n_atoms);
         Ok(ProvenanceIndex {
             witness_tuples: result.witnesses.iter().map(|w| w.tuples.clone()).collect(),
             witness_output: result.witness_output.clone(),
@@ -278,6 +277,72 @@ impl ProvenanceIndex {
     }
 }
 
+/// Per atom: tuple index → witness ids using it, ascending.
+///
+/// At paper scale (millions of witnesses) the scan is fanned out over
+/// the global pool in contiguous witness chunks, then the per-chunk maps
+/// are appended **in chunk order** — every posting list comes out in the
+/// same ascending witness-id order the sequential loop produces, for any
+/// worker count.
+fn build_tuple_witnesses(result: &EvalResult, n_atoms: usize) -> Vec<HashMap<u32, Vec<u32>>> {
+    // Check the threshold before consulting the pool: small results
+    // stay sequential and never lazily initialize the global pool.
+    if result.witnesses.len() < PAR_BUILD_MIN_WITNESSES {
+        return scan_tuple_witnesses(result, n_atoms, 0, result.witnesses.len());
+    }
+    build_tuple_witnesses_on(
+        result,
+        n_atoms,
+        adp_runtime::global(),
+        PAR_BUILD_MIN_WITNESSES,
+    )
+}
+
+/// The sequential incidence scan over witnesses `lo..hi` (global ids).
+fn scan_tuple_witnesses(
+    result: &EvalResult,
+    n_atoms: usize,
+    lo: usize,
+    hi: usize,
+) -> Vec<HashMap<u32, Vec<u32>>> {
+    let mut maps: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); n_atoms];
+    for (wid, w) in result.witnesses[lo..hi].iter().enumerate() {
+        let wid = (wid + lo) as u32;
+        for (atom, &t) in w.tuples.iter().enumerate() {
+            maps[atom].entry(t).or_default().push(wid);
+        }
+    }
+    maps
+}
+
+fn build_tuple_witnesses_on(
+    result: &EvalResult,
+    n_atoms: usize,
+    pool: &adp_runtime::ThreadPool,
+    min_witnesses: usize,
+) -> Vec<HashMap<u32, Vec<u32>>> {
+    let n = result.witnesses.len();
+    let scan = |lo: usize, hi: usize| scan_tuple_witnesses(result, n_atoms, lo, hi);
+    if pool.threads() <= 1 || n < min_witnesses {
+        return scan(0, n);
+    }
+    let n_chunks = pool.threads() * 4;
+    let chunk_size = n.div_ceil(n_chunks).max(1);
+    let n_chunks = n.div_ceil(chunk_size);
+    let partials = pool.par_indexed(n_chunks, |c| {
+        scan(c * chunk_size, ((c + 1) * chunk_size).min(n))
+    });
+    let mut merged: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); n_atoms];
+    for partial in partials {
+        for (atom, map) in partial.into_iter().enumerate() {
+            for (t, wids) in map {
+                merged[atom].entry(t).or_default().extend_from_slice(&wids);
+            }
+        }
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +505,36 @@ mod tests {
         );
         assert!(ProvenanceIndex::try_new_with_cap(&r, 4).is_ok());
         assert!(ProvenanceIndex::try_new(&r).is_ok());
+    }
+
+    #[test]
+    fn parallel_incidence_build_matches_sequential() {
+        // Synthetic result with colliding tuples across many witnesses, so
+        // posting lists span chunk boundaries.
+        let n = 5000u32;
+        let mut r = EvalResult {
+            atom_names: vec!["R1".into(), "R2".into()],
+            ..Default::default()
+        };
+        for w in 0..n {
+            r.outputs.push(vec![w as u64 % 7].into_boxed_slice());
+            r.witnesses.push(crate::join::Witness {
+                tuples: vec![w % 13, w % 31].into_boxed_slice(),
+            });
+            r.witness_output.push(w % 7);
+        }
+        r.output_witnesses = vec![Vec::new(); n as usize];
+        let seq = build_tuple_witnesses_on(&r, 2, &adp_runtime::ThreadPool::new(1), usize::MAX);
+        for threads in [2usize, 4] {
+            let par = build_tuple_witnesses_on(&r, 2, &adp_runtime::ThreadPool::new(threads), 1);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+        // Ascending posting lists (ordering contract).
+        for map in &seq {
+            for list in map.values() {
+                assert!(list.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
     }
 
     #[test]

@@ -186,7 +186,7 @@ fn materialize(db: &Database, atoms: &[RelationSchema], keep: &[HashSet<u32>]) -
         sorted.sort_unstable();
         let mut inst = RelationInstance::new(rel.schema().clone());
         for &idx in &sorted {
-            inst.insert(rel.tuple(idx));
+            inst.insert(&rel.tuple_vec(idx));
         }
         out.add(inst);
         backmap.push(sorted);

@@ -48,6 +48,55 @@ where
     pool.par_indexed(cells.len(), |i| run(i, &cells[i]))
 }
 
+/// Hash-partitions the ids `0..n_items` into `n_parts` buckets using
+/// `part_of`, fanning the classification out across the pool.
+///
+/// Two-phase and deterministic: workers first classify contiguous id
+/// chunks independently, then each bucket is concatenated from the
+/// per-chunk pieces **in chunk order**. Every bucket therefore lists its
+/// ids in ascending order — exactly what a sequential
+/// `for id in 0..n { buckets[part_of(id)].push(id) }` scan produces —
+/// regardless of worker count or scheduling.
+pub fn partition_ids<F>(
+    pool: &ThreadPool,
+    n_items: usize,
+    n_parts: usize,
+    part_of: F,
+) -> Vec<Vec<u32>>
+where
+    F: Fn(u32) -> usize + Sync,
+{
+    assert!(n_parts > 0, "need at least one partition");
+    assert!(n_items <= u32::MAX as usize, "ids must fit in u32");
+    if n_items == 0 {
+        return vec![Vec::new(); n_parts];
+    }
+    // Phase 1: classify chunks in parallel. Oversplit relative to the
+    // worker count so dynamic claiming can balance skewed chunks.
+    let n_chunks = (pool.threads() * 4).clamp(1, n_items);
+    let chunk_size = n_items.div_ceil(n_chunks);
+    let n_chunks = n_items.div_ceil(chunk_size);
+    let per_chunk: Vec<Vec<Vec<u32>>> = pool.par_indexed(n_chunks, |c| {
+        let lo = c * chunk_size;
+        let hi = ((c + 1) * chunk_size).min(n_items);
+        let mut buckets = vec![Vec::new(); n_parts];
+        for id in lo..hi {
+            let id = id as u32;
+            buckets[part_of(id)].push(id);
+        }
+        buckets
+    });
+    // Phase 2: concatenate per partition, in chunk order.
+    pool.par_indexed(n_parts, |p| {
+        let total: usize = per_chunk.iter().map(|c| c[p].len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for c in &per_chunk {
+            out.extend_from_slice(&c[p]);
+        }
+        out
+    })
+}
+
 static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
 
 /// Strictly parses a worker-count string: a positive integer, nothing
@@ -170,6 +219,38 @@ mod tests {
         let seq: Vec<u64> = cells.iter().map(|&c| work(c)).collect();
         let par = parallel_sweep(&pool, &cells, |_, &c| work(c));
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn partition_ids_matches_sequential_scan() {
+        let n = 10_000usize;
+        let parts = 8;
+        let part_of = |id: u32| (id.wrapping_mul(2654435761) as usize >> 16) % parts;
+        let mut seq = vec![Vec::new(); parts];
+        for id in 0..n as u32 {
+            seq[part_of(id)].push(id);
+        }
+        for threads in [1, 2, 5] {
+            let pool = ThreadPool::new(threads);
+            let par = partition_ids(&pool, n, parts, part_of);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn partition_ids_handles_degenerate_shapes() {
+        let pool = ThreadPool::new(3);
+        assert_eq!(
+            partition_ids(&pool, 0, 4, |_| 0),
+            vec![Vec::<u32>::new(); 4]
+        );
+        // Fewer items than workers.
+        let out = partition_ids(&pool, 2, 1, |_| 0);
+        assert_eq!(out, vec![vec![0, 1]]);
+        // Heavily skewed: everything in one bucket, still ascending.
+        let out = partition_ids(&pool, 1000, 4, |_| 2);
+        assert!(out[2].windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(out[2].len(), 1000);
     }
 
     #[test]

@@ -83,7 +83,7 @@ fn main() {
     for t in report.outcome.solution.unwrap() {
         let rel = q.atoms()[t.atom].name();
         let tuple = db.expect(rel).tuple(t.index);
-        let pretty: Vec<&str> = tuple.iter().map(|&v| names.resolve(v).unwrap()).collect();
+        let pretty: Vec<&str> = tuple.iter().map(|v| names.resolve(v).unwrap()).collect();
         match rel {
             "Major" => println!("  steer {} away from the {} major", pretty[0], pretty[1]),
             "Req" => println!("  drop {} from the {} requirements", pretty[1], pretty[0]),

@@ -119,15 +119,15 @@ fn selection_vs_manual_filtering() {
     fdb.add_relation("S", attrs(&["NK", "SK"]), &[]);
     fdb.add_relation("PS", attrs(&["SK"]), &[]);
     fdb.add_relation("L", attrs(&["OK"]), &[]);
-    for t in db.expect("S").tuples() {
-        fdb.insert("S", t);
+    for t in db.expect("S").iter() {
+        fdb.insert("S", &t.to_vec());
     }
-    for t in db.expect("PS").tuples() {
+    for t in db.expect("PS").iter() {
         if t[1] == 0 {
             fdb.insert("PS", &[t[0]]);
         }
     }
-    for t in db.expect("L").tuples() {
+    for t in db.expect("L").iter() {
         if t[1] == 0 {
             fdb.insert("L", &[t[0]]);
         }
