@@ -1,0 +1,13 @@
+//! Subscription figure: push-based incremental view maintenance vs pull
+//! re-solving at fan-outs 1/8/64 (see adp-bench::experiments::
+//! fig_subscribe). Pass `--quick` for CI-sized inputs, `--threads N` to
+//! size the solver worker pool, and `--seed S` to re-roll the workload
+//! data. Every pushed diff is equality-checked against a fresh solve;
+//! exits non-zero on any divergence or a missed speedup floor. Writes
+//! `BENCH_subscribe.json`.
+
+fn main() {
+    adp_bench::cli::init();
+    adp_bench::experiments::fig_subscribe();
+    adp_bench::checks::finish();
+}

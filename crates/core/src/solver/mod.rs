@@ -19,6 +19,7 @@ pub mod brute;
 pub mod decompose;
 pub mod fluent;
 pub mod greedy;
+pub mod incremental;
 pub mod policy;
 pub mod prepared;
 pub mod profile;
@@ -38,6 +39,7 @@ use std::sync::Arc;
 #[allow(deprecated)]
 pub use self::compute_resilience as resilience;
 pub use fluent::{Branch, Explain, Report, Solve};
+pub use incremental::{IncrementalGreedy, IncrementalSolve};
 #[allow(deprecated)]
 pub use policy::compute_adp_with_policy;
 pub use policy::DeletionPolicy;

@@ -358,6 +358,23 @@ impl DeltaProvenance {
     /// Returns the number of outputs that died. Cost is proportional to
     /// the affected witnesses, not to `|Q(D)|`.
     pub fn delete_batch(&mut self, batch: &[TupleRef]) -> u64 {
+        self.delete_batch_sink(batch, None)
+    }
+
+    /// [`delete_batch`](Self::delete_batch), additionally reporting
+    /// *which* outputs died: the ids whose live-witness count crossed
+    /// 1→0 during this batch, sorted ascending. An output appears at
+    /// most once (liveness only decreases within a deletion batch).
+    /// This is the transition set an incremental-view subscriber needs:
+    /// outputs merely losing redundant witnesses are not reported.
+    pub fn delete_batch_transitions(&mut self, batch: &[TupleRef]) -> Vec<u32> {
+        let mut died = Vec::new();
+        self.delete_batch_sink(batch, Some(&mut died));
+        died.sort_unstable();
+        died
+    }
+
+    fn delete_batch_sink(&mut self, batch: &[TupleRef], mut sink: Option<&mut Vec<u32>>) -> u64 {
         assert!(self.scored, "scores not installed");
         let mut touched: Vec<u32> = Vec::new();
         let mut died = 0u64;
@@ -385,6 +402,9 @@ impl DeltaProvenance {
                 if *live == 0 {
                     self.live_outputs -= 1;
                     died += 1;
+                    if let Some(s) = sink.as_deref_mut() {
+                        s.push(out);
+                    }
                 }
                 touched.push(out);
             }
@@ -396,6 +416,21 @@ impl DeltaProvenance {
     /// Restores a batch of tuples (members not currently deleted are
     /// ignored). Returns the number of outputs revived.
     pub fn restore_batch(&mut self, batch: &[TupleRef]) -> u64 {
+        self.restore_batch_sink(batch, None)
+    }
+
+    /// [`restore_batch`](Self::restore_batch), additionally reporting
+    /// *which* outputs revived: the ids whose live-witness count crossed
+    /// 0→1 during this batch, sorted ascending — the mirror of
+    /// [`delete_batch_transitions`](Self::delete_batch_transitions).
+    pub fn restore_batch_transitions(&mut self, batch: &[TupleRef]) -> Vec<u32> {
+        let mut revived = Vec::new();
+        self.restore_batch_sink(batch, Some(&mut revived));
+        revived.sort_unstable();
+        revived
+    }
+
+    fn restore_batch_sink(&mut self, batch: &[TupleRef], mut sink: Option<&mut Vec<u32>>) -> u64 {
         assert!(self.scored, "scores not installed");
         let mut touched: Vec<u32> = Vec::new();
         let mut revived = 0u64;
@@ -423,6 +458,9 @@ impl DeltaProvenance {
                 if *live == 1 {
                     self.live_outputs += 1;
                     revived += 1;
+                    if let Some(s) = sink.as_deref_mut() {
+                        s.push(out);
+                    }
                 }
                 touched.push(out);
             }
@@ -662,6 +700,52 @@ mod tests {
         assert_eq!(d.live_outputs(), 2);
         assert_eq!(d.restore(a1b1), 1, "last deleted tuple revives it");
         assert_eq!(d.live_outputs(), 3);
+    }
+
+    /// The transition variants must report exactly the outputs whose
+    /// live-witness count crossed 1→0 (delete) / 0→1 (restore) — the SSP
+    /// weight rule — and leave the state identical to the count-only
+    /// batch operations.
+    #[test]
+    fn batch_transitions_name_the_outputs_that_crossed() {
+        let (_, eval) = q2_eval();
+        let mut by_count = DeltaProvenance::try_new(&eval).unwrap();
+        let mut by_trans = by_count.clone();
+        let batch = [
+            TupleRef::new(0, 0),
+            TupleRef::new(1, 1),
+            TupleRef::new(2, 2),
+        ];
+        let died = by_count.delete_batch(&batch);
+        let lost = by_trans.delete_batch_transitions(&batch);
+        assert_eq!(lost.len() as u64, died, "one id per 1→0 transition");
+        assert!(lost.windows(2).all(|w| w[0] < w[1]), "sorted, no dupes");
+        assert_eq!(by_trans.live_outputs(), by_count.live_outputs());
+        assert_eq!(by_trans.profits(), by_count.profits());
+        // Restoring reports the same outputs coming back.
+        let revived = by_count.restore_batch(&batch);
+        let gained = by_trans.restore_batch_transitions(&batch);
+        assert_eq!(gained.len() as u64, revived);
+        assert_eq!(gained, lost, "exactly the dead outputs revive");
+        assert_eq!(by_trans.removed_outputs(), 0);
+    }
+
+    /// An output losing a redundant witness (live count 2→1) must not
+    /// appear in the transition set — only true liveness flips count.
+    #[test]
+    fn redundant_witness_loss_is_not_a_transition() {
+        let (db, eval) = q2_eval();
+        let mut d = DeltaProvenance::try_new(&eval).unwrap();
+        // R2(2,2) sits on one of output (a2,e3)'s two witnesses: the
+        // output survives through R2(2,3).
+        let b2c2 = db.expect("R2").index_of(&[2, 2]).unwrap();
+        let lost = d.delete_batch_transitions(&[TupleRef::new(1, b2c2)]);
+        assert!(lost.is_empty(), "output still live via its other witness");
+        assert_eq!(d.live_outputs(), 3);
+        // Cutting the second path is the actual 1→0 transition.
+        let b2c3 = db.expect("R2").index_of(&[2, 3]).unwrap();
+        let lost = d.delete_batch_transitions(&[TupleRef::new(1, b2c3)]);
+        assert_eq!(lost.len(), 1);
     }
 
     #[test]

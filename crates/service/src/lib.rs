@@ -36,6 +36,16 @@
 //!   request that snapshotted epoch `e` can only hit plans compiled
 //!   against epoch `e` — **stale answers are impossible by
 //!   construction**, and post-bump invalidation merely reclaims memory.
+//!   Batches that change nothing (empty, or all no-ops) do **not** bump
+//!   the epoch, so they cannot invalidate plans or wake subscribers.
+//! * **Push subscriptions** — [`Service::subscribe`] registers a
+//!   statement for incremental-view-maintenance updates: each effective
+//!   batch advances one shared O(Δ) delta state per statement and fans
+//!   a minimal [`ViewUpdate`] (live-transition rows, cost drift,
+//!   deletion-set churn) out to every subscriber over bounded channels
+//!   that lag (typed [`Lagged`]) instead of ever blocking the mutation
+//!   path. Subscriptions on the same normalized statement share one
+//!   delta application per batch — the N-clients-for-one-O(Δ) unlock.
 //!
 //! Every answer is byte-identical to a direct
 //! [`compute_adp_arc`](adp_core::solver::compute_adp_arc) call on the
@@ -50,11 +60,15 @@ mod error;
 mod request;
 mod statement;
 mod stats;
+mod subscribe;
 
 pub use error::ServiceError;
 pub use request::{RequestStats, SolveRequest, SolveResponse, Target};
 pub use statement::Statement;
 pub use stats::ServiceStats;
+pub use subscribe::{
+    DeletionChurn, Lagged, OutputRow, SubscribeOptions, SubscriptionId, ViewUpdate,
+};
 
 use adp_core::query::parse_query;
 use adp_core::solver::{AdpOptions, AdpOutcome, Mode, PreparedQuery};
@@ -168,6 +182,7 @@ pub struct Service {
     cache: PlanCache,
     in_flight: AtomicUsize,
     stats: StatsInner,
+    subscriptions: subscribe::Registry,
 }
 
 impl Service {
@@ -193,6 +208,7 @@ impl Service {
             cache,
             in_flight: AtomicUsize::new(0),
             stats: StatsInner::default(),
+            subscriptions: subscribe::Registry::default(),
             config,
         }
     }
@@ -393,15 +409,19 @@ impl Service {
     /// index)`), installing a new snapshot and bumping the epoch.
     /// Validates the whole batch first: on any unknown relation or
     /// out-of-range index, nothing changes. Deleting an
-    /// already-deleted tuple is a no-op within the batch. Returns the
-    /// new epoch.
+    /// already-deleted tuple is a no-op within the batch, and a batch
+    /// whose every entry is a no-op (or an empty batch) leaves the
+    /// epoch untouched — no plan is invalidated and no subscriber is
+    /// woken for a snapshot that did not change. Returns the epoch the
+    /// batch's effect is visible at (the current epoch for no-ops).
     pub fn delete_tuples(&self, batch: &[(&str, u32)]) -> Result<u64, ServiceError> {
         self.apply_batch(batch, true)
     }
 
     /// Restores previously deleted base tuples (the inverse of
     /// [`delete_tuples`](Self::delete_tuples)); restoring a live tuple
-    /// is a no-op within the batch. Returns the new epoch.
+    /// is a no-op within the batch, and fully no-op batches do not bump
+    /// the epoch. Returns the epoch the batch's effect is visible at.
     pub fn restore_tuples(&self, batch: &[(&str, u32)]) -> Result<u64, ServiceError> {
         self.apply_batch(batch, false)
     }
@@ -432,12 +452,24 @@ impl Service {
             }
             resolved.push((rel_id.index(), index));
         }
+        // Keep only the entries that actually change the deletion set:
+        // deleting a dead tuple / restoring a live one is a no-op, and a
+        // batch of nothing but no-ops must not bump the epoch — a bump
+        // would invalidate every cached plan and wake every subscriber
+        // for a byte-identical snapshot.
+        let mut effective = Vec::with_capacity(resolved.len());
         for (slot, index) in resolved {
-            if delete {
-                deleted[slot].insert(index);
+            let changed = if delete {
+                deleted[slot].insert(index)
             } else {
-                deleted[slot].remove(&index);
+                deleted[slot].remove(&index)
+            };
+            if changed {
+                effective.push((slot, index));
             }
+        }
+        if effective.is_empty() {
+            return Ok(self.state.read().unwrap().epoch);
         }
         let (db, back_maps) = EpochState::materialize(&base, &deleted);
         let epoch = {
@@ -450,6 +482,10 @@ impl Service {
         };
         StatsInner::bump(&self.stats.epoch_bumps);
         StatsInner::add(&self.stats.invalidated, self.cache.invalidate_before(epoch));
+        // Fan the batch out to subscribers while still holding the
+        // mutation lock: every registered view advances through exactly
+        // this batch before the next one can install.
+        self.notify_subscribers(epoch, &effective, delete);
         Ok(epoch)
     }
 
@@ -698,6 +734,43 @@ mod tests {
         assert_eq!(restored.outcome.output_count, 3);
         assert_eq!(restored.outcome.cost, before.outcome.cost);
         assert_eq!(svc.stats().epoch_bumps, 2);
+    }
+
+    /// Regression (spurious epoch bumps): empty and fully no-op batches
+    /// used to install an identical snapshot under a fresh epoch,
+    /// invalidating every cached plan for nothing.
+    #[test]
+    fn noop_batches_do_not_bump_the_epoch() {
+        let svc = Service::new(chain_db());
+        svc.solve(&SolveRequest::outputs(Q, 1)).unwrap();
+        assert_eq!(svc.cached_plans(), 1);
+
+        // Empty batches.
+        assert_eq!(svc.delete_tuples(&[]).unwrap(), 0);
+        assert_eq!(svc.restore_tuples(&[]).unwrap(), 0);
+        // Restoring tuples that were never deleted.
+        assert_eq!(svc.restore_tuples(&[("R2", 0), ("R1", 1)]).unwrap(), 0);
+        assert_eq!(svc.epoch(), 0);
+        assert_eq!(svc.cached_plans(), 1, "no bump ⇒ no invalidation");
+        assert_eq!(svc.stats().epoch_bumps, 0);
+
+        // A genuine delete bumps; repeating it exactly is a no-op again.
+        assert_eq!(svc.delete_tuples(&[("R2", 0)]).unwrap(), 1);
+        assert_eq!(svc.delete_tuples(&[("R2", 0)]).unwrap(), 1);
+        assert_eq!(svc.epoch(), 1);
+        // Mixed batches apply their effective part and bump once.
+        assert_eq!(svc.delete_tuples(&[("R2", 0), ("R2", 1)]).unwrap(), 2);
+        assert_eq!(svc.stats().epoch_bumps, 2);
+        // The answer reflects exactly the two effective deletions.
+        let r = svc.solve(&SolveRequest::outputs(Q, 0)).unwrap();
+        assert_eq!(r.outcome.output_count, 1);
+
+        // Validation still precedes the no-op check: bad batches are
+        // typed errors even when they would have been no-ops.
+        assert!(matches!(
+            svc.restore_tuples(&[("NoSuchRel", 0)]),
+            Err(ServiceError::BadRequest(_))
+        ));
     }
 
     #[test]

@@ -94,6 +94,18 @@ impl Statement<'_> {
         &self.query
     }
 
+    /// The owning service (subscription registration checks that a
+    /// statement is used against the service that prepared it).
+    pub(crate) fn service(&self) -> &Service {
+        self.svc
+    }
+
+    /// The parsed query, shareably (subscription groups hold it so they
+    /// can recompile the base plan after an LRU eviction).
+    pub(crate) fn query_arc(&self) -> &Arc<Query> {
+        &self.query
+    }
+
     /// The canonical cache-key text (see
     /// [`Query::normalized_text`](adp_core::query::Query::normalized_text)),
     /// computed once at prepare time.

@@ -14,6 +14,10 @@ pub(crate) struct StatsInner {
     pub epoch_bumps: AtomicU64,
     pub invalidated: AtomicU64,
     pub evicted: AtomicU64,
+    pub updates_pushed: AtomicU64,
+    pub lagged_drops: AtomicU64,
+    pub shared_delta_applications: AtomicU64,
+    pub subscriptions_live: AtomicU64,
 }
 
 impl StatsInner {
@@ -27,6 +31,14 @@ impl StatsInner {
         }
     }
 
+    /// For the gauge-style counters (currently only
+    /// `subscriptions_live`), which go down as well as up.
+    pub fn sub(counter: &AtomicU64, n: u64) {
+        if n > 0 {
+            counter.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+
     pub fn snapshot(&self) -> ServiceStats {
         ServiceStats {
             requests: self.requests.load(Ordering::Relaxed),
@@ -36,6 +48,10 @@ impl StatsInner {
             epoch_bumps: self.epoch_bumps.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
             evicted: self.evicted.load(Ordering::Relaxed),
+            updates_pushed: self.updates_pushed.load(Ordering::Relaxed),
+            lagged_drops: self.lagged_drops.load(Ordering::Relaxed),
+            shared_delta_applications: self.shared_delta_applications.load(Ordering::Relaxed),
+            subscriptions_live: self.subscriptions_live.load(Ordering::Relaxed),
         }
     }
 }
@@ -64,4 +80,21 @@ pub struct ServiceStats {
     pub invalidated: u64,
     /// Cache entries dropped by LRU capacity pressure.
     pub evicted: u64,
+    /// [`ViewUpdate`](crate::ViewUpdate)s successfully delivered to
+    /// subscriber channels.
+    pub updates_pushed: u64,
+    /// Updates dropped because a subscriber's bounded buffer was full
+    /// (the subscriber learns their `seq`s from the next delivered
+    /// update's [`Lagged`](crate::Lagged) marker).
+    pub lagged_drops: u64,
+    /// Delta-state batch applications across all subscription groups.
+    /// The sharing invariant (asserted in tests): N subscribers on one
+    /// normalized statement advance **one** shared delta state, so this
+    /// grows by the number of *groups*, not subscribers, per effective
+    /// batch.
+    pub shared_delta_applications: u64,
+    /// Currently registered subscriptions — a gauge, not a tally: it
+    /// falls on [`unsubscribe`](crate::Service::unsubscribe) and when a
+    /// dropped receiver is reaped.
+    pub subscriptions_live: u64,
 }

@@ -92,7 +92,7 @@ pub use adp_core::selection::{solve_selection, SelectionQuery};
 pub use adp_core::solver::brute::BruteForceOptions;
 pub use adp_core::solver::{
     apply_deletions, removed_outputs, AdpOptions, AdpOutcome, Branch, DeletionPolicy, Explain,
-    Mode, PreparedQuery, Report, Solve,
+    IncrementalGreedy, IncrementalSolve, Mode, PreparedQuery, Report, Solve,
 };
 pub use adp_engine::database::Database;
 pub use adp_engine::delta::DeltaProvenance;
@@ -103,8 +103,8 @@ pub use adp_engine::schema::{attr, attrs, Attr, RelationSchema};
 pub use adp_engine::value::{Interner, Value};
 pub use adp_runtime::{parallel_sweep, ThreadPool};
 pub use adp_service::{
-    Service, ServiceConfig, ServiceError, ServiceStats, SolveRequest, SolveResponse, Statement,
-    Target,
+    DeletionChurn, Lagged, OutputRow, Service, ServiceConfig, ServiceError, ServiceStats,
+    SolveRequest, SolveResponse, Statement, SubscribeOptions, SubscriptionId, Target, ViewUpdate,
 };
 
 // Core error enums, re-exported so `adp::Error` variants can be matched

@@ -170,11 +170,17 @@ fn mixed_traffic_never_serves_stale_epochs() {
     assert_eq!(stats.cache_hits + stats.cache_misses, stats.requests);
     assert_eq!(stats.shed, 0);
     assert_eq!(stats.epoch_bumps, 4);
-    // One query shape over 5 epochs: at most one cold miss per epoch
-    // (more than 5 misses would mean the cache failed to share plans).
+    // One query shape over 5 epochs: one cold miss per epoch, plus a
+    // bounded allowance for the invalidation race — a solver that
+    // snapshotted epoch e right before the bump to e+1 finds (Q, e)
+    // already evicted and legitimately re-compiles it, at most once per
+    // in-flight solver per bump. Anything beyond that bound would mean
+    // the cache failed to share plans (the no-sharing failure mode is
+    // ~one miss per request, 40x this bound).
+    let race_allowance = stats.epoch_bumps * SOLVERS as u64;
     assert!(
-        stats.cache_misses <= 5,
-        "at most one plan compile per epoch, got {} misses",
+        stats.cache_misses <= 5 + race_allowance,
+        "at most one plan compile per epoch (+{race_allowance} racing re-compiles), got {} misses",
         stats.cache_misses
     );
 }
