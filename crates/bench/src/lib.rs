@@ -10,6 +10,8 @@
 //! laptop sizes); the *shape* — who wins, by what factor, where methods
 //! stop scaling — is the reproduction target. See `EXPERIMENTS.md`.
 
+#![forbid(unsafe_code)]
+
 pub mod checks;
 pub mod cli;
 pub mod experiments;

@@ -57,6 +57,8 @@ fn violates(atoms: &[RelationSchema], order: &[usize], next: usize) -> bool {
         if !seen {
             return false;
         }
+        // adp-lint: allow(panic-path) -- `seen` scanned `order`, so a
+        // hit implies the order is non-empty.
         let last = *order.last().expect("seen implies non-empty");
         !atoms[last].contains(a) // appeared before, absent from the last atom: closed
     })

@@ -190,6 +190,9 @@ pub fn hardness_certificate(q: &Query) -> Option<HardnessCertificate> {
         if query.is_boolean() {
             // Hard boolean query: certify with its triad (Theorem 4).
             let triad = crate::analysis::triad::find_triad(&query)
+                // adp-lint: allow(panic-path) -- Theorem 4 (paper):
+                // every non-PTIME boolean query contains a triad; a miss
+                // falsifies the hardness analysis itself.
                 .expect("hard boolean query contains a triad");
             return Some(HardnessCertificate {
                 simplification: steps,
@@ -203,6 +206,9 @@ pub fn hardness_certificate(q: &Query) -> Option<HardnessCertificate> {
             let hard = components
                 .iter()
                 .find(|c| !is_ptime(&query.subquery(c)))
+                // adp-lint: allow(panic-path) -- IsPtime on a
+                // disconnected query is the conjunction over components,
+                // so a false overall implies a hard component.
                 .expect("a hard component exists when IsPtime is false");
             steps.push(format!(
                 "select hard connected component over atoms {hard:?}"

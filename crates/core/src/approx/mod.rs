@@ -53,12 +53,16 @@ pub fn psc_instance_from_eval(query: &Query, eval: &EvalResult) -> (PscInstance,
                 refs.push(t);
                 sets.len() - 1
             });
+            // adp-lint: allow(truncating-cast) -- wid enumerates
+            // eval.witnesses, cap-checked by ProvenanceIndex::try_new.
             sets[s].push(wid as u32);
         }
     }
     (
         PscInstance {
             sets,
+            // adp-lint: allow(truncating-cast) -- same cap-checked
+            // witness count as above.
             n_elements: eval.witnesses.len() as u32,
         },
         refs,

@@ -55,6 +55,8 @@
 //! assert_eq!(report.explain.solver, "greedy");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod approx;
 pub mod error;

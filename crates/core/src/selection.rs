@@ -71,6 +71,9 @@ pub fn solve_selection(
     let mut new_db = Database::new();
     let mut maps: Vec<Option<Vec<u32>>> = Vec::new();
     for (ai, atom) in sq.query.atoms().iter().enumerate() {
+        // adp-lint: allow(panic-path) -- documented panicking lookup;
+        // the selection rewrite runs on a query already validated
+        // against the database.
         let rel = db.expect(atom.name());
         let local_preds: Vec<(usize, Value)> = sq
             .predicates
@@ -85,7 +88,7 @@ pub fn solve_selection(
             .collect();
         let mut inst = RelationInstance::new(residual.atoms()[ai].clone());
         let mut back = Vec::new();
-        for idx in 0..rel.len() as u32 {
+        for idx in rel.indices() {
             let t = rel.tuple(idx);
             if local_preds.iter().all(|&(p, v)| t[p] == v) {
                 let projected = rel.project(idx, &kept_attrs);

@@ -190,9 +190,11 @@ fn min_cut_resilience(sub: &View, order: &[usize], deletable: &[bool]) -> (u64, 
     let mut edge_tuples: Vec<TupleRef> = Vec::new();
 
     for (pos, &ai) in order.iter().enumerate() {
+        // adp-lint: allow(panic-path) -- documented panicking lookup;
+        // the flow network is built over validated subquery atoms.
         let rel = sub.db.expect(atoms[ai].name());
         let cap = if endo[ai] { 1 } else { INF };
-        for idx in 0..rel.len() as u32 {
+        for idx in rel.indices() {
             let u = if pos == 0 {
                 0
             } else {
@@ -213,7 +215,7 @@ fn min_cut_resilience(sub: &View, order: &[usize], deletable: &[bool]) -> (u64, 
                     id
                 })
             };
-            let id = edge_tuples.len() as u32;
+            let id = adp_engine::ids::dense_id(edge_tuples.len(), "flow edge ids");
             edge_tuples.push(sub.to_original(ai, idx));
             edges.push((u, v, cap, id));
         }

@@ -90,6 +90,8 @@ fn lazy_pairs(children: Vec<Solved>) -> Solved {
     let exact = children.iter().all(|c| c.exact);
     let truncated = children.iter().any(|c| c.truncated);
     let mut iter = children.into_iter();
+    // adp-lint: allow(panic-path) -- callers split a decomposable query
+    // into ≥ 2 components before folding.
     let mut acc = iter.next().expect("at least two children");
     for right in iter {
         let total =
@@ -265,6 +267,8 @@ fn naive_full(children: Vec<Solved>, cap: u64, total: u64) -> Result<Solved, Sol
             break;
         }
     }
+    // adp-lint: allow(panic-path) -- the enumeration includes taking
+    // every component's full budget, which meets any cap ≤ total.
     let (cost, ks) = best.expect("cap ≤ total is always feasible");
     let mut tuples = Vec::new();
     for (i, &k) in ks.iter().enumerate() {

@@ -244,6 +244,8 @@ impl<'a> Solve<'a> {
 
     /// [`deadline`](Solve::deadline) as a budget from now.
     pub fn budget(self, budget: Duration) -> Self {
+        // adp-lint: allow(wall-clock) -- deadline plumbing: converts a
+        // budget to an absolute deadline; never read during solving.
         self.deadline(Instant::now() + budget)
     }
 
@@ -302,6 +304,8 @@ impl<'a> Solve<'a> {
                     }
                     None => 0,
                 };
+                // adp-lint: allow(wall-clock) -- explain-trace timing
+                // only; the measured duration never feeds a decision.
                 let solve_start = Instant::now();
                 let outcome = compute_with_policy_impl(self.query, db, k, policy, &self.opts)?;
                 let solve_micros = solve_start.elapsed().as_micros() as u64;
@@ -329,6 +333,8 @@ impl<'a> Solve<'a> {
         }
 
         // Compile (or reuse) the plan.
+        // adp-lint: allow(wall-clock) -- explain-trace timing only; the
+        // measured duration never feeds a decision.
         let plan_start = Instant::now();
         let owned;
         let (prep, plan_micros): (&PreparedQuery, u64) = match &self.db {
@@ -361,6 +367,8 @@ impl<'a> Solve<'a> {
             None => 0,
         };
 
+        // adp-lint: allow(wall-clock) -- explain-trace timing only; the
+        // measured duration never feeds a decision.
         let solve_start = Instant::now();
         if let Some(bf_opts) = self.brute {
             let eval = prep.eval();

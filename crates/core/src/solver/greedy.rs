@@ -44,6 +44,8 @@ pub const PAR_SCORING_MIN_WITNESSES: u64 = 1024;
 fn merge_score_maps(n_atoms: usize, parts: Vec<Vec<HashMap<u32, u64>>>) -> Vec<HashMap<u32, u64>> {
     let mut acc: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n_atoms];
     for part in parts {
+        // adp-lint: allow(unordered-iter) -- merging disjoint partial
+        // sums by `+=`; addition commutes, so order cannot show.
         for (atom, map) in part.into_iter().enumerate() {
             for (t, c) in map {
                 *acc[atom].entry(t).or_insert(0) += c;
@@ -150,6 +152,8 @@ pub(crate) fn solve_greedy_filtered(
 /// of progress, so a truncated response is never an empty shrug when
 /// something removable exists.
 fn deadline_expired(deadline: Option<std::time::Instant>, rounds_done: usize) -> bool {
+    // adp-lint: allow(wall-clock) -- this IS the deadline plumbing: the
+    // one sanctioned read, feeding only the documented truncation path.
     rounds_done > 0 && deadline.is_some_and(|d| std::time::Instant::now() >= d)
 }
 

@@ -40,13 +40,17 @@ pub(crate) fn solve_universe(
     let atoms = q.atoms();
     let mut partitions: Vec<HashMap<Vec<Value>, Vec<u32>>> = Vec::with_capacity(atoms.len());
     for atom in atoms {
+        // adp-lint: allow(panic-path) -- documented panicking lookup;
+        // the view's atoms were validated at construction.
         let rel = view.db.expect(atom.name());
         let mut map: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
-        for idx in 0..rel.len() as u32 {
+        for idx in rel.indices() {
             map.entry(rel.project(idx, &used)).or_default().push(idx);
         }
         partitions.push(map);
     }
+    // adp-lint: allow(unordered-iter) -- keys are collected, filtered
+    // and sorted just below; hash order never escapes.
     let mut keys: Vec<Vec<Value>> = partitions[0]
         .keys()
         .filter(|k| partitions.iter().all(|p| p.contains_key(*k)))
@@ -60,6 +64,8 @@ pub(crate) fn solve_universe(
         let mut db = Database::new();
         let mut maps: Vec<Option<Vec<u32>>> = Vec::with_capacity(atoms.len());
         for (ai, atom) in atoms.iter().enumerate() {
+            // adp-lint: allow(panic-path) -- same validated-atoms
+            // contract as above.
             let rel = view.db.expect(atom.name());
             let kept_attrs: Vec<Attr> = atom
                 .attrs()

@@ -14,6 +14,8 @@ use adp_engine::relation::RelationInstance;
 pub fn apply_deletions(query: &Query, db: &Database, deletions: &[TupleRef]) -> Database {
     let mut out = Database::new();
     for (atom, schema) in query.atoms().iter().enumerate() {
+        // adp-lint: allow(panic-path) -- documented panicking lookup;
+        // verification replays a query already validated against db.
         let rel = db.expect(schema.name());
         let dead: std::collections::HashSet<u32> = deletions
             .iter()
@@ -21,7 +23,7 @@ pub fn apply_deletions(query: &Query, db: &Database, deletions: &[TupleRef]) -> 
             .map(|t| t.index)
             .collect();
         let mut inst = RelationInstance::new(rel.schema().clone());
-        for idx in 0..rel.len() as u32 {
+        for idx in rel.indices() {
             if !dead.contains(&idx) {
                 inst.insert(&rel.tuple_vec(idx));
             }

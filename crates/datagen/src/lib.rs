@@ -17,6 +17,8 @@
 //! Every generator takes an explicit seed; identical seeds give identical
 //! databases on every platform.
 
+#![forbid(unsafe_code)]
+
 pub mod ego;
 pub mod queries;
 pub mod tpch;

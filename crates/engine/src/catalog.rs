@@ -53,7 +53,7 @@ impl Catalog {
         if let Some(&id) = self.ids.get(attr) {
             return id;
         }
-        let id = AttrId(self.attrs.len() as u32);
+        let id = AttrId(crate::ids::dense_id(self.attrs.len(), "attribute ids"));
         self.attrs.push(attr.clone());
         self.ids.insert(attr.clone(), id);
         id

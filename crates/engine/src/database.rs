@@ -36,6 +36,8 @@ impl Database {
     /// Adds a pre-built relation instance. Panics if the name is already
     /// taken; use [`try_add`](Self::try_add) for a typed error instead.
     pub fn add(&mut self, rel: RelationInstance) -> usize {
+        // adp-lint: allow(panic-path) -- documented panicking convenience
+        // wrapper; try_add is the checked API.
         self.try_add(rel).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -66,7 +68,9 @@ impl Database {
 
     /// Dense id of a relation, if registered.
     pub fn rel_id(&self, name: &str) -> Option<RelId> {
-        self.by_name.get(name).map(|&i| RelId(i as u32))
+        self.by_name
+            .get(name)
+            .map(|&i| RelId(crate::ids::dense_id(i, "relation ids")))
     }
 
     /// The relation behind a dense id.
@@ -85,6 +89,8 @@ impl Database {
     /// [`try_add_relation`](Self::try_add_relation) for typed errors.
     pub fn add_relation(&mut self, name: &str, attrs: Vec<Attr>, tuples: &[&[Value]]) -> usize {
         self.try_add_relation(name, attrs, tuples)
+            // adp-lint: allow(panic-path) -- documented panicking
+            // convenience wrapper; try_add_relation is the checked API.
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -135,6 +141,8 @@ impl Database {
     /// Looks a relation up by name, panicking with a clear message if absent.
     pub fn expect(&self, name: &str) -> &RelationInstance {
         self.relation(name)
+            // adp-lint: allow(panic-path) -- documented panicking lookup;
+            // `relation` is the Option-returning API.
             .unwrap_or_else(|| panic!("relation {name} not in database"))
     }
 
@@ -157,6 +165,8 @@ impl Database {
     /// relation must exist. Returns the tuple index.
     pub fn insert(&mut self, name: &str, tuple: &[Value]) -> u32 {
         self.relation_mut(name)
+            // adp-lint: allow(panic-path) -- documented panicking insert;
+            // relation_mut is the Option-returning API.
             .unwrap_or_else(|| panic!("relation {name} not in database"))
             .insert(tuple)
     }

@@ -141,6 +141,8 @@ impl DeltaProvenance {
         let mut tuple_witnesses: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); n_atoms];
         for (wid, w) in result.witnesses.iter().enumerate() {
             for (atom, &t) in w.tuples.iter().enumerate() {
+                // adp-lint: allow(truncating-cast) -- wid enumerates
+                // result.witnesses, cap-checked by try_new_with_cap above.
                 tuple_witnesses[atom].entry(t).or_default().push(wid as u32);
             }
         }
@@ -151,6 +153,8 @@ impl DeltaProvenance {
             output_live: result
                 .output_witnesses
                 .iter()
+                // adp-lint: allow(truncating-cast) -- per-output witness
+                // lists are subsets of the cap-checked witness set.
                 .map(|ws| ws.len() as u32)
                 .collect(),
             output_witnesses: result.output_witnesses.clone(),
@@ -252,6 +256,9 @@ impl DeltaProvenance {
                         *scores.profits[atom].entry(*t).or_insert(0) += 1;
                     }
                 }
+                // adp-lint: allow(truncating-cast) -- out indexes
+                // result.outputs; outputs never outnumber the cap-checked
+                // witnesses (every output has at least one witness).
                 scores.agreed.push((out as u32, a));
             }
         }
@@ -266,11 +273,15 @@ impl DeltaProvenance {
         assert!(self.selector.is_none());
         for part in parts {
             for (atom, map) in part.profits.into_iter().enumerate() {
+                // adp-lint: allow(unordered-iter) -- merging partial sums
+                // by `+=`; addition commutes, so order cannot show.
                 for (t, c) in map {
                     *self.profits[atom].entry(t).or_insert(0) += c;
                 }
             }
             for (atom, map) in part.counts.into_iter().enumerate() {
+                // adp-lint: allow(unordered-iter) -- merging partial sums
+                // by `+=`; addition commutes, so order cannot show.
                 for (t, c) in map {
                     *self.counts[atom].entry(t).or_insert(0) += c;
                 }
@@ -312,12 +323,16 @@ impl DeltaProvenance {
         for (atom, map) in self.profits.iter().enumerate() {
             if sel.selectable[atom] {
                 sel.by_profit
+                    // adp-lint: allow(unordered-iter) -- feeds a BTreeSet;
+                    // the selector's order is the set's total order.
                     .extend(map.iter().map(|(&i, &p)| (p, Reverse((atom, i)))));
             }
         }
         for (atom, map) in self.counts.iter().enumerate() {
             if sel.selectable[atom] {
                 sel.by_count
+                    // adp-lint: allow(unordered-iter) -- feeds a BTreeSet;
+                    // the selector's order is the set's total order.
                     .extend(map.iter().map(|(&i, &c)| (c, Reverse((atom, i)))));
             }
         }
@@ -327,6 +342,8 @@ impl DeltaProvenance {
     /// The selectable tuple with the highest profit, ties broken toward
     /// the smallest `(atom, idx)` — exactly the full-scan greedy pick.
     pub fn best_profit_candidate(&self) -> Option<(u64, usize, u32)> {
+        // adp-lint: allow(panic-path) -- documented precondition: callers
+        // enable selection first; misuse is a programming error.
         let sel = self.selector.as_ref().expect("selection not enabled");
         sel.by_profit
             .iter()
@@ -337,6 +354,8 @@ impl DeltaProvenance {
     /// The selectable tuple on the most live witnesses (the greedy
     /// tie-breaker round), same total order.
     pub fn best_count_candidate(&self) -> Option<(u64, usize, u32)> {
+        // adp-lint: allow(panic-path) -- documented precondition: callers
+        // enable selection first; misuse is a programming error.
         let sel = self.selector.as_ref().expect("selection not enabled");
         sel.by_count
             .iter()
@@ -541,6 +560,9 @@ impl DeltaProvenance {
     fn profit_sub(&mut self, atom: usize, idx: u32) {
         let e = self.profits[atom]
             .get_mut(&idx)
+            // adp-lint: allow(panic-path) -- incidence-structure
+            // invariant: a profit is only subtracted where it was added;
+            // a miss means the index is corrupt and must not limp on.
             .expect("profit underflow: contribution was never added");
         let old = *e;
         *e -= 1;
@@ -566,6 +588,9 @@ impl DeltaProvenance {
     fn count_sub(&mut self, atom: usize, idx: u32) {
         let e = self.counts[atom]
             .get_mut(&idx)
+            // adp-lint: allow(panic-path) -- incidence-structure
+            // invariant: a count is only subtracted where it was added;
+            // a miss means the index is corrupt and must not limp on.
             .expect("count underflow: witness was never counted");
         let old = *e;
         *e -= 1;

@@ -66,6 +66,16 @@ pub enum AdpError {
         /// The repeated attribute.
         attr: String,
     },
+    /// A relation's dense `u32` id space is exhausted: the store cannot
+    /// accept another tuple (or intern another distinct value) without
+    /// aliasing ids. `u32::MAX` itself is reserved as the dedup-table
+    /// sentinel, so the usable space is `0..u32::MAX`.
+    RelationFull {
+        /// The relation whose store is full.
+        relation: String,
+        /// Which id space overflowed (`"tuple ids"` or `"symbols"`).
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for AdpError {
@@ -96,6 +106,11 @@ impl fmt::Display for AdpError {
             AdpError::DuplicateAttr { relation, attr } => {
                 write!(f, "duplicate attribute {attr} in relation {relation}")
             }
+            AdpError::RelationFull { relation, what } => write!(
+                f,
+                "relation {relation} exhausted its dense u32 {what} space; \
+                 refusing to alias ids"
+            ),
         }
     }
 }

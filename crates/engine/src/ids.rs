@@ -1,0 +1,52 @@
+//! Checked allocation of dense `u32` ids.
+//!
+//! The engine addresses everything — tuples, witnesses, join outputs —
+//! with dense `u32` ids. Tuple ids are capacity-checked at the storage
+//! layer ([`crate::error::AdpError::RelationFull`]); witness and output
+//! ids are minted while a join materializes, where there is no `Result`
+//! channel back to the caller (results are cached behind `OnceLock`s and
+//! shared by reference). [`dense_id`] is the single checked gate those
+//! paths allocate through: on the day a join legitimately produces
+//! 2^32 rows it aborts loudly with the overflow diagnosed, instead of
+//! the historical failure mode of a `len() as u32` silently wrapping
+//! and aliasing distinct witnesses onto one id.
+
+/// The next dense id for a collection currently holding `len` items.
+///
+/// Effectively `len as u32`, but checked: overflow diverges through a
+/// cold panic naming `what`, so it can never corrupt an incidence
+/// structure. Use this for every "my index in this growing vector is my
+/// id" allocation outside the (typed-error) relation store.
+#[inline]
+pub fn dense_id(len: usize, what: &'static str) -> u32 {
+    match u32::try_from(len) {
+        Ok(id) => id,
+        Err(_) => id_space_exhausted(what),
+    }
+}
+
+/// Out-of-line divergence so the check inlines to a compare-and-branch.
+#[cold]
+#[inline(never)]
+fn id_space_exhausted(what: &'static str) -> ! {
+    // adp-lint: allow(panic-path) -- the one documented abort for dense
+    // id exhaustion on cached, no-Result-channel join paths.
+    panic!("dense u32 id space exhausted allocating {what} (2^32 ids in use)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_id_is_identity_in_range() {
+        assert_eq!(dense_id(0, "witness ids"), 0);
+        assert_eq!(dense_id(u32::MAX as usize, "witness ids"), u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense u32 id space exhausted allocating witness ids")]
+    fn dense_id_panics_past_u32() {
+        dense_id(u32::MAX as usize + 1, "witness ids");
+    }
+}

@@ -27,10 +27,13 @@
 //! per-tuple "profit" computation, dangling tuple removal) has a
 //! first-class, tested counterpart here.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod database;
 pub mod delta;
 pub mod error;
+pub mod ids;
 pub mod join;
 pub mod naive;
 pub mod plan;

@@ -217,6 +217,9 @@ impl AliveMask {
         AliveMask {
             alive: atoms
                 .iter()
+                // adp-lint: allow(panic-path) -- documented panicking
+                // lookup; masks are built for atoms already validated
+                // against the database.
                 .map(|a| vec![true; db.expect(a.name()).len()])
                 .collect(),
         }
@@ -268,6 +271,9 @@ impl QueryPlan {
             .map(|a| {
                 let id = db
                     .rel_id(a.name())
+                    // adp-lint: allow(panic-path) -- compile's documented
+                    // contract: atoms must name registered relations;
+                    // Query::validate is the typed front door.
                     .unwrap_or_else(|| panic!("relation {} not in database", a.name()));
                 let mut want: Vec<_> = a
                     .attrs()
@@ -306,11 +312,15 @@ impl QueryPlan {
                 for (pos, &aid) in db.resolved_attrs(rels[ai]).iter().enumerate() {
                     match slot_of[aid.index()] {
                         Some(s) => {
+                            // adp-lint: allow(truncating-cast) -- pos
+                            // indexes a schema's attributes (arity-bounded).
                             bound_pos.push(pos as u32);
                             bound_slot.push(s);
                         }
                         None => {
                             slot_of[aid.index()] = Some(n_slots);
+                            // adp-lint: allow(truncating-cast) -- pos
+                            // indexes a schema's attributes (arity-bounded).
                             free_pos.push(pos as u32);
                             free_slot.push(n_slots);
                             n_slots += 1;
@@ -333,6 +343,9 @@ impl QueryPlan {
                 catalog
                     .attr_id(a)
                     .and_then(|id| slot_of[id.index()])
+                    // adp-lint: allow(panic-path) -- compile's documented
+                    // contract: head attributes must occur in the body;
+                    // Query::validate is the typed front door.
                     .unwrap_or_else(|| panic!("head attribute {a} not in query body"))
             })
             .collect();
@@ -529,7 +542,8 @@ impl QueryPlan {
             return self.empty_result();
         }
         let lead = self.steps[0].atom;
-        let cands: Vec<u32> = (0..instances[lead].len() as u32)
+        let cands: Vec<u32> = instances[lead]
+            .indices()
             .filter(|&i| alive.is_none_or(|m| m.is_alive(lead, i)))
             .collect();
         // Consult the global pool only past the size threshold: small
@@ -614,7 +628,7 @@ impl QueryPlan {
                     .iter()
                     .map(|&s| binding[s as usize])
                     .collect();
-                let next_id = output_dedup.len() as u32;
+                let next_id = crate::ids::dense_id(output_dedup.len(), "output ids");
                 let out_id = *output_dedup.entry(out_key.clone()).or_insert(next_id);
                 if out_id == next_id {
                     partial.outputs.push(out_key);
@@ -633,6 +647,9 @@ impl QueryPlan {
             key_buf.extend(next.bound_slot.iter().map(|&s| binding[s as usize]));
             let matches = indexes.per_step[depth + 1]
                 .as_ref()
+                // adp-lint: allow(panic-path) -- JoinIndexes::build
+                // populates every non-leading step; a miss is plan/index
+                // mismatch (internal invariant).
                 .expect("non-leading steps have indexes")
                 .get(&key_buf);
             match matches {
@@ -660,7 +677,7 @@ impl QueryPlan {
         for partial in partials {
             let mut local_to_global = Vec::with_capacity(partial.outputs.len());
             for out_key in partial.outputs {
-                let next_id = output_dedup.len() as u32;
+                let next_id = crate::ids::dense_id(output_dedup.len(), "output ids");
                 let out_id = *output_dedup.entry(out_key.clone()).or_insert(next_id);
                 if out_id == next_id {
                     result.outputs.push(out_key);
@@ -669,7 +686,7 @@ impl QueryPlan {
                 local_to_global.push(out_id);
             }
             for (w, local) in partial.witnesses.into_iter().zip(partial.witness_output) {
-                let wid = result.witnesses.len() as u32;
+                let wid = crate::ids::dense_id(result.witnesses.len(), "witness ids");
                 let out_id = local_to_global[local as usize];
                 result.witnesses.push(w);
                 result.witness_output.push(out_id);
@@ -717,7 +734,7 @@ fn build_step_index(
         map
     };
     if parts == 1 {
-        let ids: Vec<u32> = (0..inst.len() as u32).collect();
+        let ids: Vec<u32> = inst.indices().collect();
         return StepIndex {
             parts: vec![fill(&ids)],
         };
@@ -737,7 +754,7 @@ fn build_step_index(
         None => {
             // Sequential partitioned build — same scatter, same tables.
             let mut buckets = vec![Vec::new(); parts];
-            for idx in 0..inst.len() as u32 {
+            for idx in inst.indices() {
                 buckets[part_of(idx)].push(idx);
             }
             StepIndex {
@@ -760,6 +777,8 @@ fn join_order(db: &Database, rels: &[RelId], sizes: &[usize]) -> Vec<usize> {
     let first = *remaining
         .iter()
         .min_by_key(|&&i| (sizes[i], i))
+        // adp-lint: allow(panic-path) -- compile rejects empty queries
+        // before ordering; remaining starts with one entry per atom.
         .expect("non-empty");
     remaining.retain(|&i| i != first);
     for &aid in db.resolved_attrs(rels[first]) {
@@ -778,6 +797,9 @@ fn join_order(db: &Database, rels: &[RelId], sizes: &[usize]) -> Vec<usize> {
         } else {
             &connected
         };
+        // adp-lint: allow(panic-path) -- pool is non-empty by
+        // construction: it falls back to `remaining`, and the loop runs
+        // only while `remaining` is non-empty.
         let next = *pool.iter().min_by_key(|&&i| (sizes[i], i)).unwrap();
         remaining.retain(|&i| i != next);
         for &aid in db.resolved_attrs(rels[next]) {

@@ -15,7 +15,7 @@
 
 use crate::error::AdpError;
 use crate::join::EvalResult;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Below this many witnesses the incidence maps are built sequentially;
 /// the parallel chunk merge only pays off at paper scale.
@@ -64,6 +64,8 @@ impl ProvenanceIndex {
     /// [`try_new`](Self::try_new), which surfaces
     /// [`AdpError::TooManyWitnesses`] instead.
     pub fn new(result: &EvalResult) -> Self {
+        // adp-lint: allow(panic-path) -- documented panicking convenience
+        // wrapper; try_new is the checked API.
         Self::try_new(result).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -90,6 +92,8 @@ impl ProvenanceIndex {
             output_live: result
                 .output_witnesses
                 .iter()
+                // adp-lint: allow(truncating-cast) -- per-output witness
+                // lists are subsets of the cap-checked witness set.
                 .map(|ws| ws.len() as u32)
                 .collect(),
             output_witnesses: result.output_witnesses.clone(),
@@ -254,7 +258,9 @@ impl ProvenanceIndex {
     /// How many outputs would die if the whole `set` were removed at once,
     /// without mutating the index. Used by the brute-force baseline.
     pub fn killed_by_set(&self, set: &[TupleRef]) -> u64 {
-        let mut dead_live: HashMap<u32, u32> = HashMap::new(); // output -> newly dead witnesses
+        // BTreeMap, not HashMap: the final filter iterates this map, and
+        // counting must not depend on hash order (adp-lint unordered-iter).
+        let mut dead_live: BTreeMap<u32, u32> = BTreeMap::new(); // output -> newly dead witnesses
         let mut seen: Vec<bool> = vec![false; self.witness_tuples.len()];
         for t in set {
             if let Some(ws) = self.tuple_witnesses[t.atom].get(&t.index) {
@@ -307,6 +313,8 @@ fn scan_tuple_witnesses(
 ) -> Vec<HashMap<u32, Vec<u32>>> {
     let mut maps: Vec<HashMap<u32, Vec<u32>>> = vec![HashMap::new(); n_atoms];
     for (wid, w) in result.witnesses[lo..hi].iter().enumerate() {
+        // adp-lint: allow(truncating-cast) -- wid + lo indexes
+        // result.witnesses, cap-checked by the caller's try_new.
         let wid = (wid + lo) as u32;
         for (atom, &t) in w.tuples.iter().enumerate() {
             maps[atom].entry(t).or_default().push(wid);

@@ -25,6 +25,21 @@ const EMPTY: u32 = u32::MAX;
 const LOAD_NUM: usize = 7;
 const LOAD_DEN: usize = 8;
 
+/// The next dense id for a store of `len` entries, or
+/// [`AdpError::RelationFull`] once the `u32` space (minus the reserved
+/// [`EMPTY`] sentinel) is exhausted. Both id spaces of the store — tuple
+/// indices and interned symbols — allocate through this one checked
+/// gate, so no `as u32` truncation exists on the insert path.
+fn checked_next_id(len: usize, relation: &str, what: &'static str) -> Result<u32, AdpError> {
+    match u32::try_from(len) {
+        Ok(id) if id != EMPTY => Ok(id),
+        _ => Err(AdpError::RelationFull {
+            relation: relation.to_owned(),
+            what,
+        }),
+    }
+}
+
 /// FNV-1a over a symbol row; the dedup table's hash function. Symbols
 /// are injective in values, so hashing symbols is hashing the tuple.
 #[inline]
@@ -104,15 +119,20 @@ impl RelationInstance {
     }
 
     /// Inserts a tuple, returning its index. Duplicate inserts return the
-    /// existing index. Panics if the arity does not match the schema; use
-    /// [`try_insert`](Self::try_insert) for a typed error instead.
+    /// existing index. Panics if the arity does not match the schema or
+    /// the id space is exhausted; use [`try_insert`](Self::try_insert)
+    /// for a typed error instead.
     pub fn insert(&mut self, tuple: &[Value]) -> u32 {
+        // adp-lint: allow(panic-path) -- documented panicking convenience
+        // wrapper; try_insert is the checked API.
         self.try_insert(tuple).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// [`insert`](Self::insert) with a typed error: rejects tuples whose
     /// length disagrees with the schema's arity as
-    /// [`AdpError::ArityMismatch`] instead of panicking.
+    /// [`AdpError::ArityMismatch`], and a store whose dense `u32` id
+    /// space is exhausted as [`AdpError::RelationFull`], instead of
+    /// panicking.
     pub fn try_insert(&mut self, tuple: &[Value]) -> Result<u32, AdpError> {
         if tuple.len() != self.schema.arity() {
             return Err(AdpError::ArityMismatch {
@@ -143,17 +163,23 @@ impl RelationInstance {
             }
             let idx = self.append_syms(&scratch, h);
             self.scratch = scratch;
-            return Ok(idx);
+            return idx;
         }
         // Fresh tuple: intern the remaining values, then append.
         scratch.clear();
         for &v in tuple {
-            scratch.push(self.intern_value(v));
+            match self.intern_value(v) {
+                Ok(s) => scratch.push(s),
+                Err(e) => {
+                    self.scratch = scratch;
+                    return Err(e);
+                }
+            }
         }
         let h = hash_syms(&scratch);
         let idx = self.append_syms(&scratch, h);
         self.scratch = scratch;
-        Ok(idx)
+        idx
     }
 
     /// Bulk insert.
@@ -171,6 +197,14 @@ impl RelationInstance {
     /// True if the instance holds no tuples.
     pub fn is_empty(&self) -> bool {
         self.rows == 0
+    }
+
+    /// Every tuple index, `0..len()`, as the dense `u32` ids the engine
+    /// uses everywhere. Iterating this instead of `0..len() as u32`
+    /// keeps callers free of truncating casts — the store itself
+    /// guarantees indices fit (see [`AdpError::RelationFull`]).
+    pub fn indices(&self) -> std::ops::Range<u32> {
+        0..self.rows
     }
 
     /// Number of distinct interned values in this relation.
@@ -252,6 +286,9 @@ impl RelationInstance {
                 let p = self
                     .schema
                     .position(a)
+                    // adp-lint: allow(panic-path) -- documented contract:
+                    // `on` must name schema attributes; projections are
+                    // built from validated plans.
                     .unwrap_or_else(|| panic!("attribute {a} not in {}", self.schema));
                 self.value_at(idx, p)
             })
@@ -320,10 +357,11 @@ impl RelationInstance {
     }
 
     /// Appends a (known-fresh) symbol row and registers it in the dedup
-    /// table. `h` is `hash_syms(syms)`.
-    fn append_syms(&mut self, syms: &[u32], h: u64) -> u32 {
-        let idx = self.rows;
-        assert!(idx != u32::MAX, "relation overflows the u32 tuple id space");
+    /// table. `h` is `hash_syms(syms)`. Fails with
+    /// [`AdpError::RelationFull`] when the tuple id space is exhausted
+    /// (interned symbols stay consistent: the tuple is simply absent).
+    fn append_syms(&mut self, syms: &[u32], h: u64) -> Result<u32, AdpError> {
+        let idx = checked_next_id(self.rows as usize, self.schema.name(), "tuple ids")?;
         for (c, &s) in self.columns.iter_mut().zip(syms) {
             c.push(s);
         }
@@ -334,7 +372,7 @@ impl RelationInstance {
         } else {
             Self::place(&mut self.dedup, h, idx);
         }
-        idx
+        Ok(idx)
     }
 
     /// Rebuilds the dedup table at `capacity` (a power of two) from the
@@ -361,20 +399,16 @@ impl RelationInstance {
         slots[i] = row;
     }
 
-    /// Interns `v`, returning its relation-local symbol.
-    fn intern_value(&mut self, v: Value) -> u32 {
+    /// Interns `v`, returning its relation-local symbol, or
+    /// [`AdpError::RelationFull`] once the symbol space is exhausted.
+    fn intern_value(&mut self, v: Value) -> Result<u32, AdpError> {
         if let Some(&s) = self.sym_of.get(&v) {
-            return s;
+            return Ok(s);
         }
-        let s = self.sym_values.len() as u32;
-        assert!(
-            s != u32::MAX,
-            "relation overflows the u32 symbol space ({} distinct values)",
-            self.sym_values.len()
-        );
+        let s = checked_next_id(self.sym_values.len(), self.schema.name(), "symbols")?;
         self.sym_values.push(v);
         self.sym_of.insert(v, s);
-        s
+        Ok(s)
     }
 }
 
@@ -496,6 +530,43 @@ mod tests {
         let idx = r.insert(&[1, 10]);
         assert_eq!(idx, 0);
         assert_eq!(r.len(), before);
+    }
+
+    // A 4-billion-row instance is not constructible in a test, so the
+    // overflow guard is exercised at the allocation gate both id spaces
+    // share: the regression here is the PR-3 class of bug where a
+    // `len() as u32` silently wrapped instead of failing typed.
+    #[test]
+    fn checked_next_id_guards_the_dense_space() {
+        assert_eq!(checked_next_id(0, "R", "tuple ids"), Ok(0));
+        assert_eq!(
+            checked_next_id(u32::MAX as usize - 1, "R", "tuple ids"),
+            Ok(u32::MAX - 1)
+        );
+        // u32::MAX is the dedup sentinel: allocating it would corrupt
+        // the probe table, so the last usable id is u32::MAX - 1.
+        for len in [u32::MAX as usize, u32::MAX as usize + 1, usize::MAX] {
+            assert_eq!(
+                checked_next_id(len, "R", "tuple ids"),
+                Err(AdpError::RelationFull {
+                    relation: "R".to_owned(),
+                    what: "tuple ids",
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn indices_matches_len() {
+        let r = rel();
+        let ids: Vec<u32> = r.indices().collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(
+            RelationInstance::new(rel().schema().clone())
+                .indices()
+                .count(),
+            0
+        );
     }
 
     #[test]

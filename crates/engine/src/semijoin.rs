@@ -75,6 +75,8 @@ pub fn gyo_join_tree(atoms: &[RelationSchema]) -> Option<JoinTree> {
             None => return None, // cyclic
         }
     }
+    // adp-lint: allow(panic-path) -- GYO removes exactly n-1 ears from
+    // n atoms, so one alive atom always remains.
     let root = (0..n).find(|&i| alive[i]).expect("one atom remains");
     order.push(root);
     Some(JoinTree { parent, order })
@@ -111,10 +113,13 @@ pub fn full_reduce(db: &Database, atoms: &[RelationSchema], tree: &JoinTree) -> 
     let n = atoms.len();
     // keep[a] = set of surviving ORIGINAL tuple indices for atom a.
     let mut keep: Vec<HashSet<u32>> = (0..n)
-        .map(|a| (0..db.expect(atoms[a].name()).len() as u32).collect())
+        // adp-lint: allow(panic-path) -- documented panicking lookup; the
+        // reducer runs on atoms already validated against the database.
+        .map(|a| db.expect(atoms[a].name()).indices().collect())
         .collect();
 
     // If any relation is empty, everything dangles.
+    // adp-lint: allow(panic-path) -- same validated-atoms contract.
     if atoms.iter().any(|a| db.expect(a.name()).is_empty()) {
         for k in keep.iter_mut() {
             k.clear();
@@ -158,11 +163,15 @@ fn semijoin(
         .filter(|a| atoms[source].contains(a))
         .cloned()
         .collect();
+    // adp-lint: allow(panic-path) -- same validated-atoms contract.
     let src_rel = db.expect(atoms[source].name());
     let mut src_keys: HashSet<Vec<Value>> = HashSet::new();
+    // adp-lint: allow(unordered-iter) -- builds a set; membership is
+    // visit-order-independent.
     for &idx in keep[source].iter() {
         src_keys.insert(src_rel.project(idx, &shared));
     }
+    // adp-lint: allow(panic-path) -- same validated-atoms contract.
     let tgt_rel = db.expect(atoms[target].name());
     keep[target].retain(|&idx| src_keys.contains(&tgt_rel.project(idx, &shared)));
 }
@@ -181,7 +190,10 @@ fn materialize(db: &Database, atoms: &[RelationSchema], keep: &[HashSet<u32>]) -
     let mut out = Database::new();
     let mut backmap = Vec::with_capacity(atoms.len());
     for (a, schema) in atoms.iter().enumerate() {
+        // adp-lint: allow(panic-path) -- same validated-atoms contract.
         let rel = db.expect(schema.name());
+        // adp-lint: allow(unordered-iter) -- collected then immediately
+        // sorted; hash order never escapes.
         let mut sorted: Vec<u32> = keep[a].iter().copied().collect();
         sorted.sort_unstable();
         let mut inst = RelationInstance::new(rel.schema().clone());
@@ -203,6 +215,7 @@ pub fn is_fully_reduced(db: &Database, atoms: &[RelationSchema]) -> bool {
     atoms
         .iter()
         .enumerate()
+        // adp-lint: allow(panic-path) -- same validated-atoms contract.
         .all(|(a, s)| parts[a].len() == db.expect(s.name()).len())
 }
 

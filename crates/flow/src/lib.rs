@@ -14,6 +14,8 @@
 //!
 //! Capacities are `u64`; [`INF`] marks undeletable (exogenous) tuples.
 
+#![forbid(unsafe_code)]
+
 use std::collections::VecDeque;
 
 /// Effectively-infinite capacity for edges that must never be cut.
@@ -60,6 +62,9 @@ impl FlowNetwork {
     /// Adds a directed edge `from → to` with capacity `cap` and a caller
     /// id used to report min-cut membership.
     pub fn add_edge(&mut self, from: u32, to: u32, cap: u64, id: u32) {
+        // adp-lint: allow(truncating-cast) -- edge ids mirror the
+        // caller's u32 id space (builders mint ids via dense_id); a
+        // graph cannot hold 2^32 edges of 2^32-addressable nodes.
         let e = self.edges.len() as u32;
         self.graph[from as usize].push(e);
         self.edges.push(Edge {
@@ -166,12 +171,16 @@ impl FlowNetwork {
             let mut bottleneck = u64::MAX;
             let mut v = t;
             while v != s {
+                // adp-lint: allow(panic-path) -- pred is set for every
+                // vertex on the BFS-found augmenting path being walked.
                 let ei = pred[v as usize].unwrap() as usize;
                 bottleneck = bottleneck.min(self.edges[ei].cap);
                 v = self.edges[self.edges[ei].rev as usize].to;
             }
             let mut v = t;
             while v != s {
+                // adp-lint: allow(panic-path) -- same augmenting-path
+                // invariant as the bottleneck walk above.
                 let ei = pred[v as usize].unwrap() as usize;
                 self.edges[ei].cap -= bottleneck;
                 let rev = self.edges[ei].rev as usize;

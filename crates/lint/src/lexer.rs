@@ -1,0 +1,564 @@
+//! A minimal, line-aware Rust lexer.
+//!
+//! Just enough lexing to make the rules in [`crate::rules`] sound
+//! against the things a plain `grep` gets wrong: `unwrap()` inside a
+//! string literal, `HashMap` in a doc comment, `as u32` in a `//`
+//! comment, `unsafe` spelled inside a raw string. The lexer classifies
+//! every byte of the file as code, comment, or literal; rules only ever
+//! see the code tokens, while comments are kept (per line) so the
+//! annotation and `SAFETY:` checks can read them.
+//!
+//! This is intentionally not a full Rust grammar. It understands:
+//!
+//! - line (`//`) and nested block (`/* */`) comments,
+//! - string literals with escapes, raw strings `r#".."#` with any
+//!   number of hashes, byte/raw-byte strings,
+//! - char literals vs. lifetimes (`'a'` vs. `'a`),
+//! - numeric literals (so `0..n` doesn't produce spurious idents),
+//! - `#[cfg(test)]` / `#[test]` item masking: tokens belonging to
+//!   test-only items are dropped before rules run, because every rule
+//!   in this tool is scoped to non-test code.
+
+use std::collections::BTreeMap;
+
+/// One lexed token kind. Punctuation is kept one character at a time
+/// (`::` arrives as two `Punct(':')` tokens); rules match on short
+/// token sequences, so this keeps the lexer trivial.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unwrap`, `for`, `HashMap`, ...).
+    Ident(String),
+    /// A single punctuation / operator character.
+    Punct(char),
+    /// Any literal (string, char, number). The content is irrelevant
+    /// to every rule; only the fact that it is not code matters.
+    Lit,
+}
+
+/// A token with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// What was lexed.
+    pub kind: TokKind,
+}
+
+/// A comment with the span of lines it covers. Line comments cover one
+/// line; block comments may cover many.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based first line.
+    pub first_line: u32,
+    /// 1-based last line (inclusive).
+    pub last_line: u32,
+    /// Comment text without the `//` / `/* */` delimiters.
+    pub text: String,
+}
+
+/// The fully lexed file: code tokens plus side tables for comments and
+/// test-masked regions.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens outside test-only items, in source order.
+    pub toks: Vec<Tok>,
+    /// All comments, in source order (including those in test items —
+    /// the annotation checker needs them to avoid false
+    /// `unused-allow` reports).
+    pub comments: Vec<Comment>,
+    /// Line ranges `(first, last)` of items masked out as test-only.
+    pub test_ranges: Vec<(u32, u32)>,
+}
+
+impl Lexed {
+    /// Concatenated comment text touching `line`, if any.
+    pub fn comment_on(&self, line: u32) -> Option<String> {
+        let mut out = String::new();
+        for c in &self.comments {
+            if c.first_line <= line && line <= c.last_line {
+                out.push_str(&c.text);
+                out.push('\n');
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(out)
+        }
+    }
+
+    /// True if `line` is covered by at least one comment.
+    pub fn is_comment_line(&self, line: u32) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.first_line <= line && line <= c.last_line)
+    }
+
+    /// True if `line` falls inside a masked test-only item.
+    pub fn in_test_range(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Walks contiguous comment lines upward from `line - 1` (and the
+    /// trailing comment on `line` itself) looking for `needle`.
+    /// This is the "immediately preceding comment block" search used
+    /// by the `SAFETY:` rule.
+    pub fn adjacent_comment_contains(&self, line: u32, needle: &str) -> bool {
+        if let Some(t) = self.comment_on(line) {
+            if t.contains(needle) {
+                return true;
+            }
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 && self.is_comment_line(l) {
+            if let Some(t) = self.comment_on(l) {
+                if t.contains(needle) {
+                    return true;
+                }
+            }
+            if l == 1 {
+                break;
+            }
+            l -= 1;
+        }
+        false
+    }
+}
+
+/// Lexes `src`, then masks test-only items.
+pub fn lex(src: &str) -> Lexed {
+    let raw = lex_raw(src);
+    mask_test_items(raw)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn lex_raw(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+    // Index + doc-ness of the previous `//` comment, for merging a run
+    // of line comments into one multi-line [`Comment`]. Doc comments
+    // (`///`, `//!`) never merge with plain comments: annotation parsing
+    // treats doc blocks as documentation, and a merge across kinds would
+    // hide (or invent) annotations.
+    let mut prev_lc: Option<(usize, bool)> = None;
+
+    macro_rules! bump {
+        () => {{
+            if b[i] == '\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment. Consecutive comment-only lines of the same kind
+        // (doc vs plain) merge into one multi-line block, so an
+        // annotation's reason may wrap onto following comment lines and
+        // the block still sits adjacent to the code below it.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = line;
+            let mut text = String::new();
+            i += 2;
+            while i < n && b[i] != '\n' {
+                text.push(b[i]);
+                i += 1;
+            }
+            let is_doc = matches!(text.chars().next(), Some('/' | '!'));
+            match prev_lc {
+                Some((idx, prev_doc))
+                    if prev_doc == is_doc && out.comments[idx].last_line + 1 == start =>
+                {
+                    let prev = &mut out.comments[idx];
+                    prev.text.push('\n');
+                    prev.text.push_str(&text);
+                    prev.last_line = start;
+                }
+                _ => {
+                    out.comments.push(Comment {
+                        first_line: start,
+                        last_line: start,
+                        text,
+                    });
+                    prev_lc = Some((out.comments.len() - 1, is_doc));
+                }
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = line;
+            let mut depth = 1usize;
+            let mut text = String::new();
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    bump!();
+                    bump!();
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    bump!();
+                    bump!();
+                } else {
+                    text.push(b[i]);
+                    bump!();
+                }
+            }
+            out.comments.push(Comment {
+                first_line: start,
+                last_line: line,
+                text,
+            });
+            continue;
+        }
+        // Identifier, keyword, or (raw/byte) string prefix.
+        if is_ident_start(c) {
+            let tok_line = line;
+            let mut id = String::new();
+            while i < n && is_ident_continue(b[i]) {
+                id.push(b[i]);
+                i += 1;
+            }
+            // r"..", r#".."#, b"..", br#".."#, b'x'
+            let is_str_prefix = matches!(id.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr");
+            if is_str_prefix && i < n && (b[i] == '"' || b[i] == '#' || b[i] == '\'') {
+                if b[i] == '\'' {
+                    // byte char b'x'
+                    i += 1;
+                    consume_char_literal(&b, &mut i, &mut line);
+                    out.toks.push(Tok {
+                        line: tok_line,
+                        kind: TokKind::Lit,
+                    });
+                    continue;
+                }
+                let raw = id.contains('r');
+                if raw {
+                    let mut hashes = 0usize;
+                    while i < n && b[i] == '#' {
+                        hashes += 1;
+                        i += 1;
+                    }
+                    if i < n && b[i] == '"' {
+                        i += 1;
+                        consume_raw_string(&b, &mut i, &mut line, hashes);
+                        out.toks.push(Tok {
+                            line: tok_line,
+                            kind: TokKind::Lit,
+                        });
+                        continue;
+                    }
+                    // `r#ident` raw identifier: fall through, emit ident.
+                    let mut rid = String::new();
+                    while i < n && is_ident_continue(b[i]) {
+                        rid.push(b[i]);
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        line: tok_line,
+                        kind: TokKind::Ident(rid),
+                    });
+                    continue;
+                } else if b[i] == '"' {
+                    i += 1;
+                    consume_string(&b, &mut i, &mut line);
+                    out.toks.push(Tok {
+                        line: tok_line,
+                        kind: TokKind::Lit,
+                    });
+                    continue;
+                }
+            }
+            out.toks.push(Tok {
+                line: tok_line,
+                kind: TokKind::Ident(id),
+            });
+            continue;
+        }
+        // Number literal.
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            while i < n
+                && (is_ident_continue(b[i])
+                    || (b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit()))
+            {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                line: tok_line,
+                kind: TokKind::Lit,
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let tok_line = line;
+            i += 1;
+            consume_string(&b, &mut i, &mut line);
+            out.toks.push(Tok {
+                line: tok_line,
+                kind: TokKind::Lit,
+            });
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            let tok_line = line;
+            i += 1;
+            // Lifetime: 'ident not closed by a quote.
+            if i < n && is_ident_start(b[i]) {
+                let mut j = i;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' && j == i + 1 {
+                    // 'a' — single-char literal
+                    i = j + 1;
+                    out.toks.push(Tok {
+                        line: tok_line,
+                        kind: TokKind::Lit,
+                    });
+                } else {
+                    // lifetime — skip the identifier, emit nothing
+                    i = j;
+                }
+                continue;
+            }
+            consume_char_literal(&b, &mut i, &mut line);
+            out.toks.push(Tok {
+                line: tok_line,
+                kind: TokKind::Lit,
+            });
+            continue;
+        }
+        out.toks.push(Tok {
+            line,
+            kind: TokKind::Punct(c),
+        });
+        i += 1;
+    }
+    out
+}
+
+fn consume_string(b: &[char], i: &mut usize, line: &mut u32) {
+    let n = b.len();
+    while *i < n {
+        match b[*i] {
+            '\\' => {
+                *i += 1;
+                if *i < n {
+                    if b[*i] == '\n' {
+                        *line += 1;
+                    }
+                    *i += 1;
+                }
+            }
+            '"' => {
+                *i += 1;
+                return;
+            }
+            '\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+fn consume_raw_string(b: &[char], i: &mut usize, line: &mut u32, hashes: usize) {
+    let n = b.len();
+    while *i < n {
+        if b[*i] == '\n' {
+            *line += 1;
+            *i += 1;
+            continue;
+        }
+        if b[*i] == '"' {
+            let mut j = *i + 1;
+            let mut seen = 0usize;
+            while j < n && b[j] == '#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                *i = j;
+                return;
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn consume_char_literal(b: &[char], i: &mut usize, line: &mut u32) {
+    let n = b.len();
+    while *i < n {
+        match b[*i] {
+            '\\' => {
+                *i += 1;
+                if *i < n {
+                    *i += 1;
+                }
+            }
+            '\'' => {
+                *i += 1;
+                return;
+            }
+            '\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+/// Returns `true` if the attribute token span `[start, end)` (the
+/// tokens between `#[` and the matching `]`) marks a test-only item:
+/// `#[test]`, `#[cfg(test)]`, or any `cfg(..)` whose argument list
+/// mentions `test` (e.g. `cfg(any(test, fuzzing))`).
+///
+/// `#[cfg_attr(..)]` is explicitly NOT test-only: it conditionally
+/// attaches an attribute, the item itself still compiles normally.
+fn attr_is_test(toks: &[Tok]) -> bool {
+    let idents: Vec<&str> = toks
+        .iter()
+        .filter_map(|t| match &t.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    match idents.first() {
+        Some(&"test") => true,
+        Some(&"cfg") => idents.contains(&"test"),
+        _ => false,
+    }
+}
+
+/// Drops tokens belonging to `#[cfg(test)]` / `#[test]` items and
+/// records the masked line ranges.
+fn mask_test_items(lexed: Lexed) -> Lexed {
+    let toks = lexed.toks;
+    let mut kept: Vec<Tok> = Vec::with_capacity(toks.len());
+    let mut test_ranges: Vec<(u32, u32)> = Vec::new();
+    let mut i = 0usize;
+    let n = toks.len();
+
+    // Finds the end of the attribute starting at `i` (which points at
+    // `#`). Returns the index one past the closing `]`, or None.
+    let attr_end = |i: usize| -> Option<usize> {
+        if toks.get(i).map(|t| &t.kind) != Some(&TokKind::Punct('#')) {
+            return None;
+        }
+        let mut j = i + 1;
+        if toks.get(j).map(|t| &t.kind) == Some(&TokKind::Punct('!')) {
+            j += 1; // inner attribute #![..]
+        }
+        if toks.get(j).map(|t| &t.kind) != Some(&TokKind::Punct('[')) {
+            return None;
+        }
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < n {
+            match toks[k].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k + 1);
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        None
+    };
+
+    while i < n {
+        if let Some(end) = attr_end(i) {
+            let body_start = if toks[i + 1].kind == TokKind::Punct('!') {
+                i + 3
+            } else {
+                i + 2
+            };
+            if attr_is_test(&toks[body_start..end - 1]) {
+                // Skip any further attributes, then the item itself.
+                let first_line = toks[i].line;
+                let mut j = end;
+                while let Some(e) = attr_end(j) {
+                    j = e;
+                }
+                // The item runs to the first `;` at brace depth 0, or
+                // to the matching `}` of its first `{`.
+                let mut depth = 0i32;
+                let mut last_line = toks.get(j).map_or(first_line, |t| t.line);
+                while j < n {
+                    last_line = toks[j].line;
+                    match toks[j].kind {
+                        TokKind::Punct('{') => depth += 1,
+                        TokKind::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        TokKind::Punct(';') if depth == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                test_ranges.push((first_line, last_line));
+                i = j;
+                continue;
+            }
+        }
+        kept.push(toks[i].clone());
+        i += 1;
+    }
+
+    // Merge adjacent/overlapping ranges for cleaner reporting.
+    let mut merged: BTreeMap<u32, u32> = BTreeMap::new();
+    for (a, b) in test_ranges {
+        let e = merged.entry(a).or_insert(b);
+        if *e < b {
+            *e = b;
+        }
+    }
+    Lexed {
+        toks: kept,
+        comments: lexed.comments,
+        test_ranges: merged.into_iter().collect(),
+    }
+}

@@ -1,0 +1,378 @@
+//! `adp-lint`: a std-only static analysis pass for this workspace.
+//!
+//! The workspace's headline guarantees — parallel execution
+//! byte-identical to sequential, a serving layer that sheds load with
+//! typed errors instead of crashing — rest on coding conventions that
+//! rustc cannot check: no hash-order iteration in solver paths, no
+//! silently truncating casts, no panicking calls in library crates, a
+//! written safety argument on every `unsafe`, no wall-clock reads
+//! inside solver decisions. `adp-lint` machine-checks those
+//! conventions so merges gate on them instead of review vigilance.
+//!
+//! The analyzer is deliberately lexical (a hand-rolled string-, char-
+//! and comment-aware lexer, see [`lexer`]); where lexical precision
+//! runs out, the escape hatch is an explicit, reasoned annotation:
+//!
+//! ```text
+//! // adp-lint: allow(<rule>) -- <reason>
+//! ```
+//!
+//! on the offending line or the line directly above. An annotation
+//! without a reason, with an unknown rule slug, or that suppresses
+//! nothing is itself a failure — the annotation inventory stays
+//! honest.
+//!
+//! Pre-existing accepted sites can also live in a baseline file
+//! (`lint-baseline.txt` at the workspace root, one
+//! `file:line: rule -- reason` per line). Baselined sites are counted
+//! and reported; new violations fail even when the baseline is
+//! non-empty.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use rules::{RuleId, Violation, ALL_RULES};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Linting configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Rules to run (defaults to all five).
+    pub rules: Vec<RuleId>,
+    /// Ignore per-rule path scopes and apply every enabled rule to
+    /// every walked file. Used by the fixture tests.
+    pub all_scopes: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            rules: ALL_RULES.to_vec(),
+            all_scopes: false,
+        }
+    }
+}
+
+/// One baseline entry: an accepted pre-existing violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Workspace-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule slug.
+    pub rule: String,
+    /// The written justification (required).
+    pub reason: String,
+}
+
+/// Parsed baseline file plus any malformed lines.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Well-formed entries.
+    pub entries: Vec<BaselineEntry>,
+    /// `(line number, problem)` for malformed lines — these fail the
+    /// run, so the baseline cannot silently rot.
+    pub errors: Vec<(usize, String)>,
+}
+
+/// Parses a baseline file. Format, one entry per line:
+///
+/// ```text
+/// crates/engine/src/plan.rs:617: truncating-cast -- dedup ids are dense u32 by construction
+/// ```
+///
+/// Blank lines and lines starting with `#` are ignored. Every entry
+/// must carry a `-- <reason>`.
+pub fn parse_baseline(text: &str) -> Baseline {
+    let mut out = Baseline::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let (head, reason) = match line.split_once("--") {
+            Some((h, r)) => (h.trim(), r.trim()),
+            None => {
+                out.errors.push((
+                    lineno,
+                    "baseline entry missing `-- <reason>` justification".to_string(),
+                ));
+                continue;
+            }
+        };
+        if reason.is_empty() {
+            out.errors
+                .push((lineno, "baseline entry has an empty reason".to_string()));
+            continue;
+        }
+        // head: file:line: rule
+        let parts: Vec<&str> = head.splitn(3, ':').map(str::trim).collect();
+        if parts.len() != 3 {
+            out.errors.push((
+                lineno,
+                format!("malformed baseline entry (want `file:line: rule -- reason`): {line}"),
+            ));
+            continue;
+        }
+        let Ok(srcline) = parts[1].parse::<u32>() else {
+            out.errors
+                .push((lineno, format!("bad line number in baseline entry: {line}")));
+            continue;
+        };
+        if RuleId::from_slug(parts[2]).is_none() {
+            out.errors
+                .push((lineno, format!("unknown rule `{}` in baseline", parts[2])));
+            continue;
+        }
+        out.entries.push(BaselineEntry {
+            file: parts[0].to_string(),
+            line: srcline,
+            rule: parts[2].to_string(),
+            reason: reason.to_string(),
+        });
+    }
+    out
+}
+
+/// The result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Rule violations that fail the run (not allowed, not baselined).
+    pub failing_violations: Vec<Violation>,
+    /// Meta-diagnostics that also fail the run: malformed baseline
+    /// lines, annotations without reasons or with unknown slugs,
+    /// annotations that suppress nothing. Pre-rendered
+    /// `file:line: rule: message` strings.
+    pub meta: Vec<String>,
+    /// Violations suppressed by a site annotation.
+    pub allowed: Vec<Violation>,
+    /// Violations accepted by the baseline file.
+    pub baselined: Vec<Violation>,
+    /// Baseline entries that matched nothing (stale) — reported as
+    /// warnings, not failures, so line drift elsewhere in a file does
+    /// not break unrelated work; prune them with `--write-baseline`.
+    pub stale_baseline: Vec<BaselineEntry>,
+    /// Files actually checked.
+    pub files_checked: usize,
+}
+
+impl Report {
+    /// True when nothing fails.
+    pub fn is_clean(&self) -> bool {
+        self.failing_violations.is_empty() && self.meta.is_empty()
+    }
+
+    /// Every failing diagnostic as `file:line: rule: message` lines,
+    /// violations first, meta-diagnostics after, each group sorted.
+    pub fn failing_lines(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .failing_violations
+            .iter()
+            .map(Violation::render)
+            .collect();
+        out.extend(self.meta.iter().cloned());
+        out
+    }
+}
+
+/// Walks `root` collecting workspace `.rs` files, excluding
+/// `third_party/`, `tests/`, fixture dirs, build output, and VCS
+/// internals. Returned paths are workspace-relative, `/`-separated,
+/// sorted — the walk order (and therefore diagnostic order) is
+/// deterministic.
+pub fn walk_rs_files(root: &Path) -> Vec<String> {
+    const SKIP_DIRS: [&str; 6] = [
+        "target",
+        "third_party",
+        "tests",
+        "fixtures",
+        ".git",
+        ".github",
+    ];
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for e in entries.flatten() {
+            let path = e.path();
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lints one file's source text. Returns raw `(violations, allows)`
+/// before baseline filtering; allow filtering has already been
+/// applied, with annotation problems appended to `meta`.
+fn lint_source(
+    rel_path: &str,
+    src: &str,
+    cfg: &Config,
+    meta: &mut Vec<String>,
+) -> (Vec<Violation>, Vec<Violation>) {
+    let lexed = lexer::lex(src);
+    let enabled: Vec<RuleId> = cfg
+        .rules
+        .iter()
+        .copied()
+        .filter(|r| cfg.all_scopes || r.applies_to(rel_path))
+        .collect();
+    let violations = rules::check_file(rel_path, &lexed, &enabled);
+    let allows = rules::parse_allows(&lexed);
+
+    // Validate annotations.
+    for a in &allows {
+        if a.rule.is_none() {
+            meta.push(format!(
+                "{}:{}: bad-allow: unknown rule `{}` in adp-lint annotation",
+                rel_path, a.line, a.slug
+            ));
+        } else if a.reason.is_none() {
+            meta.push(format!(
+                "{}:{}: bad-allow: annotation for `{}` is missing its \
+                 `-- <reason>` justification",
+                rel_path, a.line, a.slug
+            ));
+        }
+    }
+
+    // Partition violations into kept / allowed.
+    let mut kept = Vec::new();
+    let mut allowed = Vec::new();
+    let mut used_allow: BTreeSet<usize> = BTreeSet::new();
+    'v: for v in violations {
+        for (ai, a) in allows.iter().enumerate() {
+            let matches_rule = a.rule == Some(v.rule);
+            let adjacent = a.line == v.line || a.line + 1 == v.line;
+            if matches_rule && adjacent && a.reason.is_some() {
+                used_allow.insert(ai);
+                allowed.push(v);
+                continue 'v;
+            }
+        }
+        kept.push(v);
+    }
+
+    // Unused annotations are failures too — unless they sit in
+    // test-masked code (no rule runs there, so they can't match), or
+    // their rule is disabled for this run.
+    for (ai, a) in allows.iter().enumerate() {
+        if used_allow.contains(&ai) {
+            continue;
+        }
+        let Some(rule) = a.rule else { continue };
+        if a.reason.is_none() {
+            continue; // already reported as bad-allow
+        }
+        if lexed.in_test_range(a.line) || lexed.in_test_range(a.line + 1) {
+            continue;
+        }
+        let rule_ran = cfg.rules.contains(&rule) && (cfg.all_scopes || rule.applies_to(rel_path));
+        if !rule_ran {
+            continue;
+        }
+        meta.push(format!(
+            "{}:{}: unused-allow: annotation for `{}` suppresses nothing; \
+             remove it or move it next to the site",
+            rel_path,
+            a.line,
+            rule.slug()
+        ));
+    }
+
+    (kept, allowed)
+}
+
+/// Lints every workspace file under `root` against `cfg` and
+/// `baseline`.
+pub fn lint_root(root: &Path, cfg: &Config, baseline: &Baseline) -> Report {
+    let files = walk_rs_files(root);
+    lint_files(root, &files, cfg, baseline)
+}
+
+/// Lints an explicit list of workspace-relative files.
+pub fn lint_files(root: &Path, files: &[String], cfg: &Config, baseline: &Baseline) -> Report {
+    let mut report = Report::default();
+    let mut meta: Vec<String> = Vec::new();
+    let mut matched_baseline: BTreeSet<usize> = BTreeSet::new();
+    let mut failing_v: Vec<Violation> = Vec::new();
+
+    for (lno, err) in &baseline.errors {
+        report
+            .meta
+            .push(format!("lint-baseline.txt:{lno}: bad-baseline: {err}"));
+    }
+
+    for rel in files {
+        let path: PathBuf = root.join(rel);
+        let Ok(src) = fs::read_to_string(&path) else {
+            continue;
+        };
+        report.files_checked += 1;
+        let (kept, allowed) = lint_source(rel, &src, cfg, &mut meta);
+        report.allowed.extend(allowed);
+        'v: for v in kept {
+            for (bi, b) in baseline.entries.iter().enumerate() {
+                if b.file == v.file && b.line == v.line && b.rule == v.rule.slug() {
+                    matched_baseline.insert(bi);
+                    report.baselined.push(v);
+                    continue 'v;
+                }
+            }
+            failing_v.push(v);
+        }
+    }
+
+    for (bi, b) in baseline.entries.iter().enumerate() {
+        if !matched_baseline.contains(&bi) {
+            report.stale_baseline.push(b.clone());
+        }
+    }
+
+    failing_v.sort();
+    report.failing_violations = failing_v;
+    meta.sort();
+    report.meta.extend(meta);
+    report.meta.sort();
+    report
+}
+
+/// Renders the failing violations as baseline entries (with a
+/// placeholder reason the author must fill in).
+pub fn render_baseline(report_failing: &[Violation]) -> String {
+    let mut out = String::from(
+        "# adp-lint baseline: pre-existing accepted sites, one\n\
+         # `file:line: rule -- reason` per line. New violations fail even\n\
+         # when this file is non-empty. Regenerate with\n\
+         # `cargo run -p adp-lint -- --write-baseline`, then replace every\n\
+         # placeholder reason with a real justification.\n",
+    );
+    for v in report_failing {
+        out.push_str(&format!(
+            "{}:{}: {} -- TODO: justify this site\n",
+            v.file,
+            v.line,
+            v.rule.slug()
+        ));
+    }
+    out
+}

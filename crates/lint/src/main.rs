@@ -1,0 +1,168 @@
+//! `adp-lint` CLI.
+//!
+//! ```text
+//! cargo run -p adp-lint                  # lint the workspace, exit 1 on violations
+//! cargo run -p adp-lint -- --list-rules  # show the rule table
+//! cargo run -p adp-lint -- --allow panic-path   # disable one rule this run
+//! cargo run -p adp-lint -- --write-baseline     # regenerate lint-baseline.txt
+//! ```
+//!
+//! Exit codes: 0 clean (allowed/baselined sites are counted but do not
+//! fail), 1 violations or annotation/baseline problems, 2 usage error.
+
+use adp_lint::rules::{RuleId, ALL_RULES};
+use adp_lint::{lint_root, parse_baseline, render_baseline, Baseline, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "adp-lint: static analysis for the adp workspace
+
+USAGE:
+    adp-lint [OPTIONS]
+
+OPTIONS:
+    --list-rules          print the rule table and exit
+    --allow <rule>        disable a rule for this run (repeatable)
+    --root <path>         workspace root (default: nearest ancestor with
+                          a [workspace] Cargo.toml)
+    --baseline <path>     baseline file (default: <root>/lint-baseline.txt)
+    --write-baseline      rewrite the baseline from current violations
+                          (reasons become TODO placeholders to fill in)
+    --all-scopes          apply every rule to every file, ignoring
+                          per-rule crate scopes (fixture testing)
+    -h, --help            show this help
+";
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut cfg = Config::default();
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
+    let mut list_rules = false;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => list_rules = true,
+            "--allow" => {
+                let Some(slug) = args.next() else {
+                    eprintln!("adp-lint: --allow needs a rule name\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                let Some(rule) = RuleId::from_slug(&slug) else {
+                    eprintln!("adp-lint: unknown rule `{slug}` (see --list-rules)");
+                    return ExitCode::from(2);
+                };
+                cfg.rules.retain(|&r| r != rule);
+            }
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("adp-lint: --root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("adp-lint: --baseline needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-baseline" => write_baseline = true,
+            "--all-scopes" => cfg.all_scopes = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("adp-lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        println!("{:<16} {:<44} scope", "rule", "invariant");
+        for r in ALL_RULES {
+            let scope = if r.scope().is_empty() {
+                "all workspace files".to_string()
+            } else {
+                r.scope().join(", ")
+            };
+            println!("{:<16} {:<44} {}", r.slug(), r.description(), scope);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("adp-lint: no workspace root found (run inside the repo or pass --root)");
+        return ExitCode::from(2);
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => parse_baseline(&text),
+        Err(_) => Baseline::default(),
+    };
+
+    let report = lint_root(&root, &cfg, &baseline);
+
+    if write_baseline {
+        let text = render_baseline(&report.failing_violations);
+        if let Err(e) = std::fs::write(&baseline_path, &text) {
+            eprintln!("adp-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "adp-lint: wrote {} entr{} to {} (fill in the TODO reasons)",
+            report.failing_violations.len(),
+            if report.failing_violations.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for line in report.failing_lines() {
+        println!("{line}");
+    }
+    for b in &report.stale_baseline {
+        eprintln!(
+            "adp-lint: warning: stale baseline entry {}:{}: {} (prune with --write-baseline)",
+            b.file, b.line, b.rule
+        );
+    }
+    println!(
+        "adp-lint: {} violation(s), {} allowed site(s), {} baselined, {} file(s) checked",
+        report.failing_violations.len() + report.meta.len(),
+        report.allowed.len(),
+        report.baselined.len(),
+        report.files_checked
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

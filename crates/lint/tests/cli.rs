@@ -1,0 +1,181 @@
+//! End-to-end tests of the `adp-lint` binary over the fixture
+//! workspaces in `tests/fixtures/`: every rule's fire path, allow path,
+//! and baseline path, plus the CLI surface (`--list-rules`, `--allow`,
+//! exit codes).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_adp-lint"))
+        .args(args)
+        .output()
+        .expect("spawn adp-lint")
+}
+
+fn lint_fixture(name: &str, extra: &[&str]) -> Output {
+    let root = fixture(name);
+    let root = root.to_str().expect("utf-8 fixture path");
+    let mut args = vec!["--root", root, "--all-scopes"];
+    args.extend_from_slice(extra);
+    run(&args)
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn every_rule_fires_on_the_fire_fixture() {
+    let out = lint_fixture("fire", &[]);
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let text = stdout(&out);
+    for (line, rule) in [
+        ("src/bad.rs:8", "unordered-iter"),
+        ("src/bad.rs:15", "truncating-cast"),
+        ("src/bad.rs:19", "panic-path"),
+        ("src/bad.rs:23", "missing-safety"),
+        ("src/bad.rs:27", "wall-clock"),
+    ] {
+        assert!(
+            text.contains(&format!("{line}: {rule}:")),
+            "expected `{line}: {rule}:` in:\n{text}"
+        );
+    }
+}
+
+#[test]
+fn casts_inside_the_hash_loop_are_also_reported() {
+    // `*k as u64` widens (not flagged); `out.len() as u64` widens too.
+    // Only the usize → u32 cast is a violation, and only once.
+    let out = lint_fixture("fire", &[]);
+    let text = stdout(&out);
+    assert_eq!(
+        text.matches("truncating-cast:").count(),
+        1,
+        "widening casts must not be flagged:\n{text}"
+    );
+}
+
+#[test]
+fn allow_annotations_suppress_with_reasons() {
+    let out = lint_fixture("allowed", &[]);
+    let text = stdout(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "annotated fixture must be clean:\n{text}"
+    );
+    assert!(
+        text.contains("4 allowed site(s)"),
+        "the four annotated sites are counted:\n{text}"
+    );
+}
+
+#[test]
+fn disabling_every_rule_passes_the_fire_fixture() {
+    let out = lint_fixture(
+        "fire",
+        &[
+            "--allow",
+            "unordered-iter",
+            "--allow",
+            "truncating-cast",
+            "--allow",
+            "panic-path",
+            "--allow",
+            "missing-safety",
+            "--allow",
+            "wall-clock",
+        ],
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+}
+
+#[test]
+fn bad_annotations_are_failures() {
+    let out = lint_fixture("badallow", &[]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(
+        text.contains("bad-allow: unknown rule `no-such-rule`"),
+        "{text}"
+    );
+    assert!(
+        text.contains("src/annotations.rs:10: bad-allow:") && text.contains("missing its"),
+        "annotation without a reason is reported:\n{text}"
+    );
+    assert!(
+        text.contains("src/annotations.rs:15: unused-allow:"),
+        "annotation suppressing nothing is reported:\n{text}"
+    );
+}
+
+#[test]
+fn baselined_sites_pass_and_stale_entries_warn() {
+    let root = fixture("baseline");
+    let baseline = root.join("lint-baseline.txt");
+    let out = run(&[
+        "--root",
+        root.to_str().expect("utf-8"),
+        "--baseline",
+        baseline.to_str().expect("utf-8"),
+        "--all-scopes",
+    ]);
+    let text = stdout(&out);
+    assert_eq!(out.status.code(), Some(0), "{text}");
+    assert!(text.contains("2 baselined"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        err.contains("stale baseline entry src/legacy.rs:99"),
+        "stale entries warn on stderr:\n{err}"
+    );
+}
+
+#[test]
+fn new_violations_fail_despite_a_nonempty_baseline() {
+    let root = fixture("baseline-fresh");
+    let baseline = root.join("lint-baseline.txt");
+    let out = run(&[
+        "--root",
+        root.to_str().expect("utf-8"),
+        "--baseline",
+        baseline.to_str().expect("utf-8"),
+        "--all-scopes",
+    ]);
+    let text = stdout(&out);
+    assert_eq!(out.status.code(), Some(1), "{text}");
+    assert!(
+        text.contains("src/fresh.rs:4: panic-path:"),
+        "the un-baselined site still fails:\n{text}"
+    );
+    assert!(text.contains("2 baselined"), "{text}");
+}
+
+#[test]
+fn list_rules_names_all_five() {
+    let out = run(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for slug in [
+        "unordered-iter",
+        "truncating-cast",
+        "panic-path",
+        "missing-safety",
+        "wall-clock",
+    ] {
+        assert!(text.contains(slug), "missing {slug} in:\n{text}");
+    }
+}
+
+#[test]
+fn unknown_arguments_are_usage_errors() {
+    assert_eq!(run(&["--frobnicate"]).status.code(), Some(2));
+    assert_eq!(run(&["--allow", "no-such-rule"]).status.code(), Some(2));
+}

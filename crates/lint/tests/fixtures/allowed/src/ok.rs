@@ -1,0 +1,45 @@
+//! Fixture: the same five violation shapes as `fire`, each carrying a
+//! reasoned annotation (or SAFETY comment). Must lint clean.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn unordered(m: &HashMap<u32, u32>) -> u64 {
+    let mut sum = 0u64;
+    // adp-lint: allow(unordered-iter) -- summing with +; addition
+    // commutes, so visit order cannot show in the result.
+    for (k, v) in m.iter() {
+        sum += u64::from(*k) + u64::from(*v);
+    }
+    sum
+}
+
+pub fn truncates(n: usize) -> u32 {
+    // adp-lint: allow(truncating-cast) -- fixture invariant: callers
+    // pass row counts of u32-dense stores.
+    n as u32
+}
+
+pub fn panics(v: Option<u32>) -> u32 {
+    // adp-lint: allow(panic-path) -- fixture invariant: v is Some by
+    // construction.
+    v.unwrap()
+}
+
+pub fn with_safety_comment(p: *const u32) -> u32 {
+    // SAFETY: fixture contract — p points to a live, aligned u32.
+    unsafe { *p }
+}
+
+pub fn reads_clock() -> Instant {
+    // adp-lint: allow(wall-clock) -- deadline plumbing only.
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is masked: this unwrap must NOT be reported.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: malformed annotations. Every annotation below is itself a
+//! failure: unknown slug, missing reason, or suppressing nothing.
+
+pub fn unknown_slug(v: Option<u32>) -> u32 {
+    // adp-lint: allow(no-such-rule) -- reason present but slug bogus
+    v.unwrap_or(0)
+}
+
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    // adp-lint: allow(panic-path)
+    v.unwrap()
+}
+
+pub fn unused_annotation() -> u32 {
+    // adp-lint: allow(panic-path) -- nothing here panics
+    7
+}

@@ -1,0 +1,5 @@
+//! Fixture: a NEW violation not in the baseline — must still fail.
+
+pub fn fresh_panic(v: Option<u32>) -> u32 {
+    v.expect("boom")
+}

@@ -1,0 +1,9 @@
+//! Fixture: legacy violations accepted by a committed baseline file.
+
+pub fn legacy_truncation(n: usize) -> u32 {
+    n as u32
+}
+
+pub fn legacy_panic(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -1,0 +1,28 @@
+//! Fixture: one unannotated violation of every rule. Linted with
+//! `--all-scopes`; every site below must be reported.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn unordered(m: &HashMap<u32, u32>) -> u64 {
+    let mut out = Vec::new();
+    for (k, v) in m.iter() {
+        out.push(*k as u64 + *v as u64);
+    }
+    out.len() as u64
+}
+
+pub fn truncates(n: usize) -> u32 {
+    n as u32
+}
+
+pub fn panics(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn no_safety_comment(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn reads_clock() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,30 @@
+//! The self-check: the workspace this linter ships in must itself lint
+//! clean against the committed baseline. A change that introduces a
+//! violation (or orphans an annotation) fails this test even before CI
+//! runs the binary.
+
+use adp_lint::{lint_root, parse_baseline, Baseline, Config};
+use std::path::PathBuf;
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists");
+    let baseline = match std::fs::read_to_string(root.join("lint-baseline.txt")) {
+        Ok(text) => parse_baseline(&text),
+        Err(_) => Baseline::default(),
+    };
+    let report = lint_root(&root, &Config::default(), &baseline);
+    assert!(
+        report.files_checked > 50,
+        "walk found only {} files — wrong root?",
+        report.files_checked
+    );
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report.failing_lines().join("\n")
+    );
+}

@@ -81,6 +81,8 @@ where
         let hi = ((c + 1) * chunk_size).min(n_items);
         let mut buckets = vec![Vec::new(); n_parts];
         for id in lo..hi {
+            // adp-lint: allow(truncating-cast) -- ids enumerate rows of a
+            // u32-dense relation store; callers pass n ≤ u32::MAX.
             let id = id as u32;
             buckets[part_of(id)].push(id);
         }

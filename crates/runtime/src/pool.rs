@@ -295,6 +295,10 @@ impl Drop for ThreadPool {
 /// index) and readers only run after the scope join.
 struct Slot<T>(UnsafeCell<Option<T>>);
 
+// SAFETY: each slot is written by exactly one worker (the task that
+// claimed its index) and read only after the scope join's acquire fence,
+// so no two threads ever access a slot's cell concurrently; `T: Send`
+// lets the value itself move from writer thread to reader thread.
 unsafe impl<T: Send> Sync for Slot<T> {}
 
 struct ScopeSync {

@@ -55,6 +55,8 @@
 //! [`PreparedQuery`]: adp_core::solver::PreparedQuery
 //! [`AdpError::Overloaded`]: adp_engine::error::AdpError::Overloaded
 
+#![forbid(unsafe_code)]
+
 mod cache;
 mod error;
 mod request;
@@ -215,12 +217,18 @@ impl Service {
 
     /// The current database epoch.
     pub fn epoch(&self) -> u64 {
+        // adp-lint: allow(panic-path) -- lock poisoning requires a prior
+        // panic while holding the lock; holders run no user code, and
+        // propagating the original crash beats serving torn state.
         self.state.read().unwrap().epoch
     }
 
     /// A consistent `(epoch, database)` snapshot — the same pair a
     /// concurrently admitted request would solve against.
     pub fn snapshot(&self) -> (u64, Arc<Database>) {
+        // adp-lint: allow(panic-path) -- lock poisoning requires a prior
+        // panic while holding the lock; holders run no user code, and
+        // propagating the original crash beats serving torn state.
         let s = self.state.read().unwrap();
         (s.epoch, Arc::clone(&s.db))
     }
@@ -431,8 +439,12 @@ impl Service {
         // below cannot lose updates even though the O(n) rebuild runs
         // without the `state` lock — concurrent solves keep snapshotting
         // the previous epoch until the brief install at the end.
+        // adp-lint: allow(panic-path) -- lock poisoning requires a prior
+        // panic while holding the lock; holders run no user code, and
+        // propagating the original crash beats serving torn state.
         let _writer = self.mutation.lock().unwrap();
         let (base, mut deleted) = {
+            // adp-lint: allow(panic-path) -- same poisoning rationale.
             let state = self.state.read().unwrap();
             (Arc::clone(&state.base), state.deleted.clone())
         };
@@ -444,8 +456,8 @@ impl Service {
                     "unknown relation {name:?} in epoch batch"
                 )));
             };
-            let len = base.relation_by_id(rel_id).len() as u32;
-            if index >= len {
+            let len = base.relation_by_id(rel_id).len();
+            if index as usize >= len {
                 return Err(ServiceError::BadRequest(format!(
                     "tuple index {index} out of range for relation {name:?} (len {len})"
                 )));
@@ -469,10 +481,16 @@ impl Service {
             }
         }
         if effective.is_empty() {
+            // adp-lint: allow(panic-path) -- lock poisoning requires a prior
+            // panic while holding the lock; holders run no user code, and
+            // propagating the original crash beats serving torn state.
             return Ok(self.state.read().unwrap().epoch);
         }
         let (db, back_maps) = EpochState::materialize(&base, &deleted);
         let epoch = {
+            // adp-lint: allow(panic-path) -- lock poisoning requires a prior
+            // panic while holding the lock; holders run no user code, and
+            // propagating the original crash beats serving torn state.
             let mut state = self.state.write().unwrap();
             state.db = db;
             state.deleted = deleted;
@@ -510,6 +528,9 @@ impl Service {
         deletions: &[TupleRef],
     ) -> Result<Vec<(String, u32)>, ServiceError> {
         let query = parse_query(query_text).map_err(ServiceError::Query)?;
+        // adp-lint: allow(panic-path) -- lock poisoning requires a prior
+        // panic while holding the lock; holders run no user code, and
+        // propagating the original crash beats serving torn state.
         let state = self.state.read().unwrap();
         if state.epoch != epoch {
             return Err(ServiceError::BadRequest(format!(

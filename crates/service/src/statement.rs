@@ -123,9 +123,13 @@ impl Statement<'_> {
     pub fn bound_epoch(&self) -> u64 {
         self.bound
             .lock()
+            // adp-lint: allow(panic-path) -- lock poisoning requires a
+            // prior panic while holding; propagating beats torn state.
             .unwrap()
             .as_ref()
             .map(|(e, _)| *e)
+            // adp-lint: allow(panic-path) -- prepare() always binds
+            // before handing the statement out; None is unreachable.
             .expect("statements are bound at prepare time")
     }
 
@@ -171,6 +175,9 @@ impl Statement<'_> {
     /// Returns `(plan, hit)` where `hit` mirrors the text path's
     /// cache-hit notion: `true` unless a plan had to be compiled.
     fn bind(&self, epoch: u64, db: Arc<Database>) -> (Arc<PreparedQuery>, bool) {
+        // adp-lint: allow(panic-path) -- lock poisoning requires a prior
+        // panic while holding the lock; holders run no user code, and
+        // propagating the original crash beats serving torn state.
         let mut bound = self.bound.lock().unwrap();
         if let Some((e, prep)) = bound.as_ref() {
             if *e == epoch {

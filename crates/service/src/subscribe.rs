@@ -274,6 +274,9 @@ fn churn(prev: &[TupleRef], next: &[TupleRef]) -> DeletionChurn {
                 added.push(*n);
                 j += 1;
             }
+            // adp-lint: allow(panic-path) -- the merge loop's guard
+            // (`i < old.len() || j < new.len()`) rules out both sides
+            // being exhausted inside the body.
             (None, None) => unreachable!(),
         }
     }
@@ -314,13 +317,19 @@ impl Service {
         // Hold the mutation lock so the group is built against a settled
         // epoch: no batch can install (and notify) between the catch-up
         // below and the registration becoming visible.
+        // adp-lint: allow(panic-path) -- lock poisoning requires a prior
+        // panic while holding the lock; holders run no user code, and
+        // propagating the original crash beats serving torn state.
         let _writer = self.mutation.lock().unwrap();
+        // adp-lint: allow(panic-path) -- same poisoning rationale.
         let mut groups = self.subscriptions.inner.lock().unwrap();
         let key = stmt.normalized_text();
         if !groups.contains_key(key) {
             let group = self.build_group(stmt)?;
             groups.insert(key.to_string(), group);
         }
+        // adp-lint: allow(panic-path) -- the branch above inserted the
+        // key if it was absent; the map holds it here.
         let group = groups.get_mut(key).expect("just inserted");
         let tkey = TargetKey::of(target);
         if !group.targets.contains_key(&tkey) {
@@ -355,6 +364,9 @@ impl Service {
     /// the last subscriber on a statement releases the group's shared
     /// delta state.
     pub fn unsubscribe(&self, id: SubscriptionId) -> bool {
+        // adp-lint: allow(panic-path) -- lock poisoning requires a prior
+        // panic while holding the lock; holders run no user code, and
+        // propagating the original crash beats serving torn state.
         let mut groups = self.subscriptions.inner.lock().unwrap();
         let mut found = false;
         groups.retain(|_, group| {
@@ -383,6 +395,9 @@ impl Service {
     /// current epoch's deletion set. Caller holds the mutation lock.
     fn build_group(&self, stmt: &Statement<'_>) -> Result<Group, ServiceError> {
         let (base, deleted) = {
+            // adp-lint: allow(panic-path) -- lock poisoning requires a
+            // prior panic while holding the lock; propagating beats
+            // serving torn state.
             let state = self.state.read().unwrap();
             (Arc::clone(&state.base), state.deleted.clone())
         };
@@ -438,6 +453,9 @@ impl Service {
     /// state, and `try_send`s per-subscriber updates — never blocking,
     /// dropping to [`Lagged`] accounting when a buffer is full.
     pub(crate) fn notify_subscribers(&self, epoch: u64, effective: &[(usize, u32)], delete: bool) {
+        // adp-lint: allow(panic-path) -- lock poisoning requires a prior
+        // panic while holding the lock; holders run no user code, and
+        // propagating the original crash beats serving torn state.
         let mut groups = self.subscriptions.inner.lock().unwrap();
         if groups.is_empty() {
             return;
@@ -549,6 +567,8 @@ impl Service {
         if let Some(prep) = group.plan.upgrade() {
             return prep.eval();
         }
+        // adp-lint: allow(panic-path) -- same poisoning rationale as
+        // every state-lock read in this crate.
         let base = Arc::clone(&self.state.read().unwrap().base);
         let build_query = Arc::clone(&group.query);
         let (prep, _hit, evicted) = self.cache.get_or_insert(
