@@ -1,0 +1,11 @@
+//! The HTAP acceptance harness for the copy-on-write snapshot layer:
+//! O(batch) epoch installs vs O(n) rebuilds across a 10× size step,
+//! then a concurrent solver/mutator/subscriber storm with every answer
+//! re-solved against the exact epoch snapshot it came from. Writes
+//! `BENCH_htap.json`. Pass `--quick` for CI sizes.
+
+fn main() {
+    adp_bench::cli::init();
+    adp_bench::experiments::fig_htap();
+    adp_bench::checks::finish();
+}

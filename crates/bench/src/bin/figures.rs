@@ -21,6 +21,7 @@ fn main() {
     run_guarded("fig_stream", e::fig_stream);
     run_guarded("fig_serve", e::fig_serve);
     run_guarded("fig_subscribe", e::fig_subscribe);
+    run_guarded("fig_htap", e::fig_htap);
     run_guarded("fig_scale", e::fig_scale);
     run_guarded("fig28", e::fig28);
     run_guarded("fig29", e::fig29);

@@ -251,6 +251,18 @@ impl PreparedQuery {
         before - self.planned.eval_masked(&mask).output_count()
     }
 
+    /// Re-binds the already-parsed query to a fresh database snapshot,
+    /// compiling a new plan (and new lazy caches) against `db` while the
+    /// original `PreparedQuery` stays fully usable against its own
+    /// snapshot. This is the epoch-advance path for services and
+    /// statements: parsing is skipped, and because each epoch snapshot
+    /// shares its sealed segments by `Arc`, the per-segment join indexes
+    /// cached inside those segments are reused by the new binding's
+    /// `JoinIndexes` — only overlay-dependent state is rebuilt.
+    pub fn rebind(&self, db: Arc<Database>) -> PreparedQuery {
+        PreparedQuery::new(self.query.clone(), db)
+    }
+
     /// The root solver view, carrying the shared evaluation cache.
     pub(crate) fn root_view(&self) -> View {
         View::root_planned(
@@ -373,6 +385,31 @@ mod tests {
         assert_eq!(prep.output_count(), 6);
         let out = prep.solve(6, &AdpOptions::default()).unwrap();
         assert!(out.exact);
+    }
+
+    #[test]
+    fn rebind_tracks_the_new_snapshot_without_disturbing_the_old() {
+        let q = parse_query("Q1(A,B,C,E) :- R1(A,B), R2(B,C), R3(C,E)").unwrap();
+        let mut base = figure1();
+        base.seal_all(2);
+        let old = Arc::new(base);
+        let prep = PreparedQuery::new(q, Arc::clone(&old));
+        assert_eq!(prep.output_count(), 4);
+
+        // Next epoch: O(Δ) overlay clone, tombstone one R2 tuple.
+        let mut next = (*old).clone();
+        let rel = next.rel_id("R2").unwrap();
+        let stable = next.relation_by_id(rel).stable_id_at(1);
+        assert!(next.relation_mut_by_id(rel).delete_stable(stable));
+        let next = Arc::new(next);
+
+        let rebound = prep.rebind(Arc::clone(&next));
+        assert!(Arc::ptr_eq(rebound.database(), &next));
+        let fresh = PreparedQuery::new(rebound.query().clone(), next);
+        assert_eq!(rebound.output_count(), fresh.output_count());
+        assert_eq!(rebound.eval().outputs, fresh.eval().outputs);
+        // The original binding still answers over its own epoch.
+        assert_eq!(prep.output_count(), 4);
     }
 
     #[test]

@@ -78,6 +78,34 @@ impl Database {
         &self.relations[id.index()]
     }
 
+    /// Mutable access to the relation behind a dense id — the epoch
+    /// mutation path (`delete_stable` / `restore_stable` on a cloned
+    /// snapshot) addresses relations by slot, never by name.
+    pub fn relation_mut_by_id(&mut self, id: RelId) -> &mut RelationInstance {
+        &mut self.relations[id.index()]
+    }
+
+    /// Seals every relation's tail into immutable segments of at most
+    /// `target_rows` rows (see
+    /// [`RelationInstance::seal`]). After this, cloning the database
+    /// shares all column data by `Arc` and a Δ-tuple mutation batch
+    /// costs O(Δ), not O(n).
+    pub fn seal_all(&mut self, target_rows: usize) {
+        for r in &mut self.relations {
+            r.seal(target_rows);
+        }
+    }
+
+    /// Physically compacts every relation segment whose tombstone ratio
+    /// reaches `tombstone_pct` percent; returns segments compacted (see
+    /// [`RelationInstance::maybe_compact`]).
+    pub fn maybe_compact_all(&mut self, tombstone_pct: u32) -> usize {
+        self.relations
+            .iter_mut()
+            .map(|r| r.maybe_compact(tombstone_pct))
+            .sum()
+    }
+
     /// A relation's schema attributes as dense catalog ids, in schema
     /// (tuple-position) order.
     pub fn resolved_attrs(&self, id: RelId) -> &[AttrId] {
@@ -151,6 +179,12 @@ impl Database {
         &self.relations
     }
 
+    /// Mutable access to every relation, in slot order — the batch
+    /// mutation path addresses relations by slot.
+    pub fn relations_mut(&mut self) -> &mut [RelationInstance] {
+        &mut self.relations
+    }
+
     /// Names of all relations, in insertion order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.relations.iter().map(|r| r.name())
@@ -184,6 +218,8 @@ impl Database {
                 tuples: r.len(),
                 arity: r.schema().arity(),
                 symbols: r.symbol_count(),
+                segments: r.segment_count(),
+                tombstones: r.tombstone_count(),
                 approx_bytes: r.approx_bytes(),
             })
             .collect();
@@ -207,8 +243,14 @@ pub struct RelationMemory {
     pub arity: usize,
     /// Distinct values interned by this relation.
     pub symbols: usize,
+    /// Sealed immutable segments backing this relation (0 until
+    /// [`crate::relation::RelationInstance::seal`]).
+    pub segments: usize,
+    /// Tombstoned rows across all overlays (segments + tail).
+    pub tombstones: usize,
     /// Approximate resident bytes: symbol columns + interner + dedup
-    /// table ([`crate::relation::RelationInstance::approx_bytes`]).
+    /// tables + overlays + cached segment indexes
+    /// ([`crate::relation::RelationInstance::approx_bytes`]).
     pub approx_bytes: usize,
 }
 
@@ -355,6 +397,30 @@ mod tests {
         );
         assert!(report.bytes_per_tuple() > 0.0);
         assert_eq!(Database::new().memory_report().bytes_per_tuple(), 0.0);
+    }
+
+    #[test]
+    fn seal_all_keeps_views_and_reports_segments() {
+        let mut db = Database::new();
+        db.add_relation("R", attrs(&["A", "B"]), &[&[1, 2], &[3, 2], &[5, 6]]);
+        db.add_relation("S", attrs(&["C"]), &[&[9]]);
+        let rows_before = db.expect("R").to_rows();
+        db.seal_all(2);
+        assert_eq!(db.expect("R").to_rows(), rows_before);
+        assert_eq!(db.expect("R").segment_count(), 2);
+        let r = db.rel_id("R").unwrap();
+        assert!(db.relation_mut_by_id(r).delete_stable(1));
+        assert_eq!(db.total_tuples(), 3);
+        let report = db.memory_report();
+        assert_eq!(report.relations[0].segments, 2);
+        assert_eq!(report.relations[0].tombstones, 1);
+        assert_eq!(report.relations[0].tuples, 2);
+        // Compaction drops the tombstone and shrinks the accounting.
+        let bytes_before = db.expect("R").approx_bytes();
+        assert_eq!(db.maybe_compact_all(50), 1);
+        assert_eq!(db.memory_report().relations[0].tombstones, 0);
+        assert!(db.expect("R").approx_bytes() <= bytes_before);
+        assert_eq!(db.expect("R").to_rows(), vec![vec![1, 2], vec![5, 6]]);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use crate::catalog::RelId;
 use crate::database::Database;
 use crate::join::{EvalResult, Witness};
 use crate::provenance::TupleRef;
-use crate::relation::RelationInstance;
+use crate::relation::{RelationInstance, SegProbe};
 use crate::schema::{Attr, RelationSchema};
 use crate::value::Value;
 use adp_runtime::ThreadPool;
@@ -94,44 +94,106 @@ pub struct QueryPlan {
     head: Vec<Attr>,
 }
 
-/// One atom's hash index: bound-attr key → tuple indices, hash-split
-/// into a power-of-two number of partitions so construction can fan out
-/// across workers. A probe hashes the key once to pick its partition;
-/// with one partition this is exactly the old flat table.
+/// One atom's hash index: bound-attr key → tuple indices.
 ///
-/// Per-key posting lists are ascending tuple ids regardless of how many
-/// workers built the index: ids are scattered to partitions in id order
-/// ([`adp_runtime::partition_ids`]) and each partition table is filled
-/// by a single worker scanning its bucket in that order.
+/// Two representations, chosen per instance by `build_step_index`:
+///
+/// * **Flat** — the unsegmented store's index, hash-split into a
+///   power-of-two number of partitions so construction can fan out
+///   across workers. A probe hashes the key once to pick its partition;
+///   with one partition this is exactly the old flat table.
+/// * **Segmented** — for sealed stores: one cached, `Arc`-shared
+///   per-segment index (tombstone-independent, reused by every epoch
+///   that contains the segment) plus a fresh map over the mutable tail.
+///   A probe walks the segments in dense order, applying each epoch's
+///   tombstone overlay and rank-shift at probe time.
+///
+/// Either way, [`StepIndex::extend_into`] yields ascending dense tuple
+/// ids — flat posting lists are built in id order
+/// ([`adp_runtime::partition_ids`]), and segment-local postings are
+/// rebased by their segment's dense offset in segment order — so the
+/// probe order (hence the whole evaluation) is byte-identical across
+/// representations, worker counts, and epochs.
 #[derive(Clone, Debug)]
 pub struct StepIndex {
-    parts: Vec<HashMap<Box<[Value]>, Vec<u32>>>,
+    repr: StepRepr,
+}
+
+#[derive(Clone, Debug)]
+enum StepRepr {
+    Flat(Vec<HashMap<Box<[Value]>, Vec<u32>>>),
+    Segmented {
+        segs: Vec<SegProbe>,
+        tail: HashMap<Box<[Value]>, Vec<u32>>,
+    },
 }
 
 impl StepIndex {
     #[inline]
-    fn part_of(&self, key: &[Value]) -> usize {
-        if self.parts.len() == 1 {
+    fn part_of(parts: &[HashMap<Box<[Value]>, Vec<u32>>], key: &[Value]) -> usize {
+        if parts.len() == 1 {
             0
         } else {
-            hash_values(key.iter().copied()) as usize & (self.parts.len() - 1)
+            hash_values(key.iter().copied()) as usize & (parts.len() - 1)
         }
     }
 
-    /// Tuple ids whose bound attributes equal `key`, ascending.
+    /// Appends the tuple ids whose bound attributes equal `key` to
+    /// `out`, in ascending dense-id order.
     #[inline]
-    pub fn get(&self, key: &[Value]) -> Option<&Vec<u32>> {
-        self.parts[self.part_of(key)].get(key)
+    pub fn extend_into(&self, key: &[Value], out: &mut Vec<u32>) {
+        match &self.repr {
+            StepRepr::Flat(parts) => {
+                if let Some(list) = parts[Self::part_of(parts, key)].get(key) {
+                    out.extend_from_slice(list);
+                }
+            }
+            StepRepr::Segmented { segs, tail } => {
+                for seg in segs {
+                    seg.extend_matches(key, out);
+                }
+                if let Some(list) = tail.get(key) {
+                    out.extend_from_slice(list);
+                }
+            }
+        }
     }
 
-    /// Number of hash partitions (power of two).
+    /// Tuple ids whose bound attributes equal `key`, ascending
+    /// (allocating convenience over
+    /// [`extend_into`](StepIndex::extend_into)).
+    pub fn matches(&self, key: &[Value]) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.extend_into(key, &mut out);
+        out
+    }
+
+    /// Number of probe units: hash partitions (power of two) for a flat
+    /// index, segments + tail for a segmented one.
     pub fn partition_count(&self) -> usize {
-        self.parts.len()
+        match &self.repr {
+            StepRepr::Flat(parts) => parts.len(),
+            StepRepr::Segmented { segs, .. } => segs.len() + 1,
+        }
     }
 
-    /// Number of distinct keys across all partitions.
+    /// Number of distinct keys across all partitions/segments.
     pub fn entry_count(&self) -> usize {
-        self.parts.iter().map(|m| m.len()).sum()
+        match &self.repr {
+            StepRepr::Flat(parts) => parts.iter().map(|m| m.len()).sum(),
+            StepRepr::Segmented { segs, tail } => {
+                segs.iter().map(SegProbe::entry_count).sum::<usize>() + tail.len()
+            }
+        }
+    }
+
+    /// Test-only view of the flat partition tables.
+    #[cfg(test)]
+    fn flat_parts(&self) -> &[HashMap<Box<[Value]>, Vec<u32>>] {
+        match &self.repr {
+            StepRepr::Flat(parts) => parts,
+            StepRepr::Segmented { .. } => panic!("expected a flat index"),
+        }
     }
 }
 
@@ -645,22 +707,21 @@ impl QueryPlan {
             let next = &self.steps[depth + 1];
             key_buf.clear();
             key_buf.extend(next.bound_slot.iter().map(|&s| binding[s as usize]));
-            let matches = indexes.per_step[depth + 1]
+            let sidx = indexes.per_step[depth + 1]
                 .as_ref()
                 // adp-lint: allow(panic-path) -- JoinIndexes::build
                 // populates every non-leading step; a miss is plan/index
                 // mismatch (internal invariant).
-                .expect("non-leading steps have indexes")
-                .get(&key_buf);
-            match matches {
-                Some(list) => {
-                    depth += 1;
-                    cand[depth].clear();
-                    cand[depth].extend(list.iter().copied().filter(|&i| is_alive(next.atom, i)));
-                    cursor[depth] = 0;
-                }
-                None => continue,
+                .expect("non-leading steps have indexes");
+            let nd = depth + 1;
+            cand[nd].clear();
+            sidx.extend_into(&key_buf, &mut cand[nd]);
+            cand[nd].retain(|&i| is_alive(next.atom, i));
+            if cand[nd].is_empty() {
+                continue;
             }
+            depth = nd;
+            cursor[depth] = 0;
         }
 
         partial
@@ -706,10 +767,16 @@ struct PartialEval {
     witness_output: Vec<u32>,
 }
 
-/// Builds one step's hash index with `parts` partitions (power of two).
-/// Single-partition builds scan sequentially; partitioned builds scatter
+/// Builds one step's hash index.
+///
+/// Sealed stores get the segmented representation: per-segment indexes
+/// are fetched from (or built into) the segments' shared caches — so a
+/// segment indexed once serves every epoch that contains it — plus a
+/// fresh map over the tail rows. Unsegmented stores get the flat
+/// representation with `parts` partitions (power of two):
+/// single-partition builds scan sequentially; partitioned builds scatter
 /// ids with [`adp_runtime::partition_ids`] and fill each partition's
-/// table on the pool. Both paths yield identical content.
+/// table on the pool. All paths yield probe-identical content.
 fn build_step_index(
     inst: &RelationInstance,
     bound_pos: &[u32],
@@ -717,6 +784,25 @@ fn build_step_index(
     pool: Option<&ThreadPool>,
 ) -> StepIndex {
     debug_assert!(parts.is_power_of_two());
+    if inst.is_segmented() {
+        let segs = inst.segment_probes(bound_pos, pool);
+        let mut tail: HashMap<Box<[Value]>, Vec<u32>> = HashMap::new();
+        let mut buf: Vec<Value> = Vec::with_capacity(bound_pos.len());
+        for idx in inst.tail_dense_range() {
+            let t = inst.tuple(idx);
+            buf.clear();
+            buf.extend(bound_pos.iter().map(|&p| t[p as usize]));
+            match tail.get_mut(buf.as_slice()) {
+                Some(list) => list.push(idx),
+                None => {
+                    tail.insert(buf.clone().into_boxed_slice(), vec![idx]);
+                }
+            }
+        }
+        return StepIndex {
+            repr: StepRepr::Segmented { segs, tail },
+        };
+    }
     let fill = |ids: &[u32]| {
         let mut map: HashMap<Box<[Value]>, Vec<u32>> = HashMap::new();
         let mut buf: Vec<Value> = Vec::with_capacity(bound_pos.len());
@@ -736,7 +822,7 @@ fn build_step_index(
     if parts == 1 {
         let ids: Vec<u32> = inst.indices().collect();
         return StepIndex {
-            parts: vec![fill(&ids)],
+            repr: StepRepr::Flat(vec![fill(&ids)]),
         };
     }
     let mask = parts - 1;
@@ -748,7 +834,7 @@ fn build_step_index(
         Some(pool) => {
             let buckets = adp_runtime::partition_ids(pool, inst.len(), parts, part_of);
             StepIndex {
-                parts: pool.par_indexed(parts, |p| fill(&buckets[p])),
+                repr: StepRepr::Flat(pool.par_indexed(parts, |p| fill(&buckets[p]))),
             }
         }
         None => {
@@ -758,7 +844,7 @@ fn build_step_index(
                 buckets[part_of(idx)].push(idx);
             }
             StepIndex {
-                parts: buckets.iter().map(|b| fill(b)).collect(),
+                repr: StepRepr::Flat(buckets.iter().map(|b| fill(b)).collect()),
             }
         }
     }
@@ -1023,8 +1109,8 @@ mod tests {
                     continue;
                 };
                 assert_eq!(f.entry_count(), s.entry_count());
-                for (key, list) in f.parts[0].iter() {
-                    assert_eq!(s.get(key), Some(list), "key {key:?}");
+                for (key, list) in f.flat_parts()[0].iter() {
+                    assert_eq!(&s.matches(key), list, "key {key:?}");
                 }
             }
         }
@@ -1042,10 +1128,54 @@ mod tests {
         let four = plan.build_indexes_on(&db, &ThreadPool::new(4), opts);
         for (a, b) in one.per_step.iter().zip(&four.per_step) {
             match (a.as_ref(), b.as_ref()) {
-                (Some(a), Some(b)) => assert_eq!(a.parts, b.parts),
+                (Some(a), Some(b)) => assert_eq!(a.flat_parts(), b.flat_parts()),
                 (None, None) => {}
                 _ => panic!("index presence differs"),
             }
+        }
+    }
+
+    /// A sealed (segmented) store must evaluate byte-identically to the
+    /// unsegmented original — and, after tombstoning, to a from-scratch
+    /// database holding only the live tuples. This is the engine half of
+    /// the COW-epoch contract: plans and provenance never see segments,
+    /// only the dense view.
+    #[test]
+    fn segmented_store_executes_byte_identically() {
+        let db = chain_db(400);
+        let atoms = figure1_atoms();
+        let pool = ThreadPool::new(4);
+        for head in [attrs(&["A", "E"]), attrs(&["B"]), vec![]] {
+            let plan = QueryPlan::new(&db, &atoms, &head);
+            let baseline = plan.execute_once(&db);
+
+            let mut sealed = db.clone();
+            sealed.seal_all(64);
+            let idx = plan.build_indexes(&sealed);
+            assert_eq!(plan.execute(&sealed, &idx), baseline);
+            // Pool-built segmented indexes answer identically too.
+            let idx_on = plan.build_indexes_on(&sealed, &pool, IndexBuildOptions::default());
+            assert_eq!(plan.execute_on(&sealed, &idx_on, None, &pool), baseline);
+
+            // Tombstone a spread of every relation, then compare against
+            // a database rebuilt from the live view.
+            for name in ["R1", "R2", "R3"] {
+                let id = sealed.rel_id(name).unwrap();
+                let n = crate::ids::dense_id(sealed.relation_by_id(id).len(), "test rows");
+                for s in (0..n).step_by(7) {
+                    assert!(sealed.relation_mut_by_id(id).delete_stable(s));
+                }
+            }
+            let mut oracle = Database::new();
+            for name in ["R1", "R2", "R3"] {
+                let (kept, _) = sealed.expect(name).filter_by_index(|_| true);
+                oracle.add(kept);
+            }
+            let plan_s = QueryPlan::new(&sealed, &atoms, &head);
+            let plan_o = QueryPlan::new(&oracle, &atoms, &head);
+            let got = plan_s.execute(&sealed, &plan_s.build_indexes(&sealed));
+            let want = plan_o.execute(&oracle, &plan_o.build_indexes(&oracle));
+            assert_eq!(got, want, "head {head:?}");
         }
     }
 

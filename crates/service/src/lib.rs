@@ -74,8 +74,10 @@ pub use subscribe::{
 
 use adp_core::query::parse_query;
 use adp_core::solver::{AdpOptions, AdpOutcome, Mode, PreparedQuery};
+use adp_engine::catalog::RelId;
 use adp_engine::database::Database;
 use adp_engine::error::AdpError;
+use adp_engine::ids::dense_id;
 use adp_engine::provenance::TupleRef;
 use cache::PlanCache;
 use stats::StatsInner;
@@ -98,6 +100,17 @@ pub struct ServiceConfig {
     pub max_in_flight: usize,
     /// Solver options used when a request does not carry its own.
     pub default_opts: AdpOptions,
+    /// Segment size the owned database is sealed into at construction
+    /// (see [`Database::seal_all`]). Sealing up front is what makes
+    /// every later mutation batch O(Δ): the next epoch's snapshot
+    /// shares all sealed segments by `Arc` and only materializes the
+    /// batch's tombstones/restores.
+    pub segment_target_rows: usize,
+    /// Compaction trigger: after each batch, any segment whose
+    /// tombstone count reaches this percentage of its rows is rewritten
+    /// without the dead rows, bounding read amplification. `0` would
+    /// compact on every tombstone; `100` effectively never compacts.
+    pub compact_tombstone_pct: u32,
 }
 
 impl Default for ServiceConfig {
@@ -107,55 +120,32 @@ impl Default for ServiceConfig {
             cache_entries_per_shard: 32,
             max_in_flight: 64,
             default_opts: AdpOptions::default(),
+            segment_target_rows: 1 << 16,
+            compact_tombstone_pct: 50,
         }
     }
 }
 
 /// One immutable database epoch. Readers clone the `Arc`s out under a
-/// read lock and then work lock-free; writers build the next state
-/// outside the lock (serialized by `Service::mutation`) and install it
-/// under a brief write lock, so `(epoch, db)` pairs are always
-/// consistent and solves never wait behind an O(n) rebuild.
+/// read lock and then work lock-free; writers derive the next snapshot
+/// outside the lock (serialized by `Service::mutation`) by cloning the
+/// current one — an `Arc` bump per sealed segment — and applying the
+/// batch's tombstones/restores in O(Δ), then install it under a brief
+/// write lock. `(epoch, db)` pairs are always consistent, old epochs
+/// stay alive for whoever still holds their `Arc<Database>`, and
+/// solves never wait behind snapshot construction.
 struct EpochState {
     epoch: u64,
     /// The snapshot requests solve against.
     db: Arc<Database>,
-    /// The original database; deletions are tracked against its
-    /// coordinates so they can be restored.
+    /// The sealed original database. Its dense indices double as the
+    /// engine's permanent *stable ids* (sealed at epoch 0 with nothing
+    /// deleted, dense == stable), so base coordinates address tuples
+    /// across every later epoch, and base values re-materialize tuples
+    /// that compaction physically dropped.
     base: Arc<Database>,
     /// Per base-relation slot: base tuple indices currently deleted.
     deleted: Vec<BTreeSet<u32>>,
-    /// Per base-relation slot: snapshot tuple index → base tuple index
-    /// (`None` = identity, nothing deleted in that relation). Lets
-    /// deletion sets reported against this epoch's snapshot be mapped
-    /// back to base coordinates ([`Service::to_base_tuples`]).
-    back_maps: Vec<Option<Arc<Vec<u32>>>>,
-}
-
-impl EpochState {
-    /// Rebuilds the snapshot from `base` minus `deleted`. Relations
-    /// keep their insertion order; surviving tuples are densely
-    /// re-indexed per relation (the returned back maps record the
-    /// re-indexing).
-    #[allow(clippy::type_complexity)]
-    fn materialize(
-        base: &Arc<Database>,
-        deleted: &[BTreeSet<u32>],
-    ) -> (Arc<Database>, Vec<Option<Arc<Vec<u32>>>>) {
-        let mut db = Database::new();
-        let mut back_maps = Vec::with_capacity(base.relations().len());
-        for (slot, rel) in base.relations().iter().enumerate() {
-            if deleted[slot].is_empty() {
-                db.add(rel.clone());
-                back_maps.push(None);
-            } else {
-                let (filtered, back) = rel.filter_by_index(|i| !deleted[slot].contains(&i));
-                db.add(filtered);
-                back_maps.push(Some(Arc::new(back)));
-            }
-        }
-        (Arc::new(db), back_maps)
-    }
 }
 
 /// A reserved slot in the bounded admission queue. Dropping it releases
@@ -177,8 +167,8 @@ impl Drop for AdmissionPermit<'_> {
 pub struct Service {
     config: ServiceConfig,
     state: RwLock<EpochState>,
-    /// Serializes epoch mutations so the O(n) snapshot rebuild can run
-    /// *outside* the `state` write lock without writers racing each
+    /// Serializes epoch mutations so the O(Δ) overlay derivation can
+    /// run *outside* the `state` write lock without writers racing each
     /// other; readers only ever wait for the brief install.
     mutation: Mutex<()>,
     cache: PlanCache,
@@ -193,8 +183,12 @@ impl Service {
         Self::with_config(db, ServiceConfig::default())
     }
 
-    /// Builds a service owning `db` at epoch 0.
-    pub fn with_config(db: Database, config: ServiceConfig) -> Self {
+    /// Builds a service owning `db` at epoch 0. The database is sealed
+    /// into immutable segments up front
+    /// ([`Database::seal_all`]), so every subsequent mutation batch
+    /// derives its snapshot in O(Δ) instead of rebuilding O(n) rows.
+    pub fn with_config(mut db: Database, config: ServiceConfig) -> Self {
+        db.seal_all(config.segment_target_rows.max(1));
         let base = Arc::new(db);
         let slots = base.relations().len();
         let cache = PlanCache::new(config.cache_shards, config.cache_entries_per_shard);
@@ -204,7 +198,6 @@ impl Service {
                 db: Arc::clone(&base),
                 base,
                 deleted: vec![BTreeSet::new(); slots],
-                back_maps: vec![None; slots],
             }),
             mutation: Mutex::new(()),
             cache,
@@ -436,17 +429,22 @@ impl Service {
 
     fn apply_batch(&self, batch: &[(&str, u32)], delete: bool) -> Result<u64, ServiceError> {
         // Writers serialize on `mutation`, so the read-modify-write
-        // below cannot lose updates even though the O(n) rebuild runs
-        // without the `state` lock — concurrent solves keep snapshotting
-        // the previous epoch until the brief install at the end.
+        // below cannot lose updates even though the O(Δ) overlay build
+        // runs without the `state` lock — concurrent solves keep
+        // snapshotting the previous epoch until the brief install at
+        // the end.
         // adp-lint: allow(panic-path) -- lock poisoning requires a prior
         // panic while holding the lock; holders run no user code, and
         // propagating the original crash beats serving torn state.
         let _writer = self.mutation.lock().unwrap();
-        let (base, mut deleted) = {
+        let (base, cur, mut deleted) = {
             // adp-lint: allow(panic-path) -- same poisoning rationale.
             let state = self.state.read().unwrap();
-            (Arc::clone(&state.base), state.deleted.clone())
+            (
+                Arc::clone(&state.base),
+                Arc::clone(&state.db),
+                state.deleted.clone(),
+            )
         };
         // Validate before mutating: a bad batch must not half-apply.
         let mut resolved = Vec::with_capacity(batch.len());
@@ -486,7 +484,31 @@ impl Service {
             // propagating the original crash beats serving torn state.
             return Ok(self.state.read().unwrap().epoch);
         }
-        let (db, back_maps) = EpochState::materialize(&base, &deleted);
+        // O(Δ) snapshot derivation: cloning the current snapshot is an
+        // `Arc` bump per sealed segment (the tail is empty — everything
+        // was sealed at construction or compacted since), and each
+        // effective entry touches exactly one tombstone. Base dense
+        // indices are the engine's stable ids, so they address tuples
+        // directly in any epoch; restores of compacted-away rows
+        // re-materialize from base values in stable order.
+        let mut next = (*cur).clone();
+        for &(slot, index) in &effective {
+            let rel = RelId(dense_id(slot, "relation ids"));
+            let changed = if delete {
+                next.relation_mut_by_id(rel).delete_stable(index)
+            } else {
+                let values = base.relation_by_id(rel).tuple_vec(index);
+                next.relation_mut_by_id(rel).restore_stable(index, &values)
+            };
+            debug_assert!(changed, "effective entries must change the snapshot");
+        }
+        if delete {
+            // Rewrite segments whose tombstone ratio crossed the
+            // threshold, bounding read amplification; live rows keep
+            // their stable ids so the dense view is unchanged.
+            next.maybe_compact_all(self.config.compact_tombstone_pct);
+        }
+        let db = Arc::new(next);
         let epoch = {
             // adp-lint: allow(panic-path) -- lock poisoning requires a prior
             // panic while holding the lock; holders run no user code, and
@@ -494,7 +516,6 @@ impl Service {
             let mut state = self.state.write().unwrap();
             state.db = db;
             state.deleted = deleted;
-            state.back_maps = back_maps;
             state.epoch += 1;
             state.epoch
         };
@@ -553,20 +574,17 @@ impl Service {
                     "unknown relation {name:?} in tuple ref"
                 )));
             };
-            let slot = rel_id.index();
-            let base_index = match &state.back_maps[slot] {
-                None => t.index,
-                Some(back) => match back.get(t.index as usize) {
-                    Some(&b) => b,
-                    None => {
-                        return Err(ServiceError::BadRequest(format!(
-                            "tuple index {} out of range for relation {name:?} at epoch {epoch}",
-                            t.index
-                        )))
-                    }
-                },
-            };
-            out.push((name.to_owned(), base_index));
+            let rel = state.db.relation_by_id(rel_id);
+            if t.index as usize >= rel.len() {
+                return Err(ServiceError::BadRequest(format!(
+                    "tuple index {} out of range for relation {name:?} at epoch {epoch}",
+                    t.index
+                )));
+            }
+            // Stable ids are base dense indices (the base was sealed
+            // with nothing deleted), so the snapshot's stable id *is*
+            // the base coordinate.
+            out.push((name.to_owned(), rel.stable_id_at(t.index)));
         }
         Ok(out)
     }
