@@ -1,0 +1,10 @@
+//! Open-loop serving harness: Poisson arrivals over the real TCP wire
+//! path, sweeping offered load around the measured saturation point and
+//! reporting p50/p95/p99 vs an SLO, shed rate, and goodput. Writes
+//! `BENCH_open_loop.json`. Pass `--quick` for CI sizes.
+
+fn main() {
+    adp_bench::cli::init();
+    adp_bench::experiments::fig_open_loop();
+    adp_bench::checks::finish();
+}

@@ -22,6 +22,7 @@ fn main() {
     run_guarded("fig_serve", e::fig_serve);
     run_guarded("fig_subscribe", e::fig_subscribe);
     run_guarded("fig_htap", e::fig_htap);
+    run_guarded("fig_open_loop", e::fig_open_loop);
     run_guarded("fig_scale", e::fig_scale);
     run_guarded("fig28", e::fig28);
     run_guarded("fig29", e::fig29);

@@ -2256,3 +2256,370 @@ fn scale_json(sizes: &[usize], threads: &[usize], records: &[ScaleRecord]) -> St
     out.push_str("  ]\n}\n");
     out
 }
+
+/// `fig_open_loop`: the serving knee under open-loop (Poisson) load.
+///
+/// Closed-loop benchmarks (like `fig_serve`) hide overload: a slow
+/// response slows the *generator* down. This harness does the opposite
+/// — requests arrive on a Poisson schedule that does not care whether
+/// the server kept up, and each request's latency is measured from its
+/// *scheduled* arrival, so queueing delay counts. The sweep offers
+/// multiples of the measured saturation throughput and reports, per
+/// offered rate:
+///
+/// * p50 / p95 / p99 latency of completed requests vs an SLO derived
+///   from the calibration run (`max(5 ms, 10× closed-loop mean)`),
+/// * the shed rate — requests the server refused with a typed
+///   `Overloaded` frame (admission control doing its job), and
+/// * goodput — completed (non-shed) requests per second.
+///
+/// Expected shape, checked not just reported: p99 within the SLO at
+/// ≤ 50 % of saturation, and a measurable knee past it (p99 blowing
+/// through the SLO and/or typed sheds appearing). Every response still
+/// travels the real wire path: TCP loopback, framed protocol, one
+/// connection per load worker. Writes `BENCH_open_loop.json`.
+pub fn fig_open_loop() {
+    use adp_server::client::Client;
+    use adp_server::server::{Server, ServerConfig};
+    use adp_service::{Service, ServiceConfig, Target};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    // Deterministic exponential inter-arrival sampler (splitmix64 under
+    // the hood; the workspace takes no RNG dependency in adp-bench).
+    struct Arrivals {
+        state: u64,
+    }
+    impl Arrivals {
+        fn next_f64(&mut self) -> f64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        }
+        /// Exponential with rate `lambda` (per second), in seconds.
+        fn exp(&mut self, lambda: f64) -> f64 {
+            -(1.0 - self.next_f64()).ln() / lambda
+        }
+    }
+
+    fn percentile(sorted: &[f64], q: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    let quick = quick_mode();
+    let n = if quick { 2_000 } else { 20_000 };
+    // Admission cap below the worker count, so overload has somewhere
+    // to go: the excess workers' requests shed with a typed frame.
+    let cap = if quick { 4 } else { 8 };
+    let workers = cap + 2;
+    let cal_rounds = if quick { 60 } else { 200 };
+    let point_secs = if quick { 1.2 } else { 4.0 };
+    let multipliers: &[f64] = if quick {
+        &[0.25, 0.5, 1.0, 2.0]
+    } else {
+        &[0.25, 0.5, 1.0, 2.0, 4.0]
+    };
+
+    let q = queries::qpath();
+    let q_text = format!("{q}");
+    let db = adp_datagen::zipf_pair(&ZipfConfig::new(n, 0.5, workload_seed(0x09E7), true));
+    let svc = Arc::new(Service::with_config(
+        db,
+        ServiceConfig {
+            max_in_flight: cap,
+            ..ServiceConfig::default()
+        },
+    ));
+    let server = Server::start(
+        Arc::clone(&svc),
+        None,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let addr = server.addr();
+    let targets = [1u64, 2, 3, 4];
+
+    // ---- Calibration: closed loop at exactly the admission cap. ----
+    // `cap` blocking workers can never trip admission control (each has
+    // one request in flight), so this measures clean saturation: the
+    // aggregate completion rate is the knee, and the mean latency seeds
+    // the SLO.
+    let cal_start = Instant::now();
+    let cal_total_micros = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for w in 0..cap {
+        let total_micros = Arc::clone(&cal_total_micros);
+        let q_text = q_text.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("calibration connect");
+            let stmt = c.prepare(&q_text).expect("calibration prepare");
+            for i in 0..cal_rounds {
+                let k = targets[(w + i) % targets.len()];
+                let t0 = Instant::now();
+                c.solve_stmt(stmt, Target::Outputs(k), None)
+                    .expect("calibration solve");
+                total_micros.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("calibration worker");
+    }
+    let cal_wall = cal_start.elapsed().as_secs_f64();
+    let cal_count = (cap * cal_rounds) as f64;
+    let saturation_qps = cal_count / cal_wall;
+    let mean_ms = cal_total_micros.load(Ordering::Relaxed) as f64 / cal_count / 1_000.0;
+    let slo_p99_ms = (10.0 * mean_ms).max(5.0);
+    println!(
+        "calibration: {cal_count:.0} solves in {cal_wall:.2}s -> saturation {saturation_qps:.0} \
+         req/s, mean {mean_ms:.3} ms, SLO p99 <= {slo_p99_ms:.3} ms"
+    );
+
+    // ---- The open-loop sweep. ----
+    struct PointRecord {
+        multiplier: f64,
+        offered_qps: f64,
+        sent: usize,
+        shed: usize,
+        transport_errors: usize,
+        goodput_qps: f64,
+        p50_ms: f64,
+        p95_ms: f64,
+        p99_ms: f64,
+    }
+
+    let mut figure = Figure::new(
+        "fig-open-loop",
+        "Open-loop serving: latency vs offered load (Poisson arrivals)",
+    );
+    let mut points: Vec<PointRecord> = Vec::new();
+    for &mult in multipliers {
+        let offered = (saturation_qps * mult).max(1.0);
+        // One shared Poisson schedule, dealt round-robin to the load
+        // workers: the aggregate arrival process is the target rate and
+        // does not slow down when the server does.
+        let mut arrivals = Arrivals {
+            state: workload_seed(0x09E7) ^ (mult * 1e4) as u64,
+        };
+        let mut schedule: Vec<f64> = Vec::new();
+        let mut t = 0.0;
+        while t < point_secs && schedule.len() < 60_000 {
+            t += arrivals.exp(offered);
+            schedule.push(t);
+        }
+        let sent = schedule.len();
+
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let my_arrivals: Vec<(usize, f64)> = schedule
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|(i, _)| i % workers == w)
+                .collect();
+            let q_text = q_text.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("load connect");
+                let stmt = c.prepare(&q_text).expect("load prepare");
+                let start = Instant::now();
+                let mut latencies_ms: Vec<f64> = Vec::with_capacity(my_arrivals.len());
+                let (mut shed, mut transport_errors) = (0usize, 0usize);
+                for (i, at) in my_arrivals {
+                    let due = Duration::from_secs_f64(at);
+                    if let Some(wait) = due.checked_sub(start.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    let k = targets[i % targets.len()];
+                    match c.solve_stmt(stmt, Target::Outputs(k), None) {
+                        // Latency from the *scheduled* arrival: queueing
+                        // behind a busy worker counts against the SLO.
+                        Ok(_) => latencies_ms
+                            .push((start.elapsed().as_secs_f64() - at).max(0.0) * 1_000.0),
+                        Err(e) if e.is_overloaded() => shed += 1,
+                        Err(_) => transport_errors += 1,
+                    }
+                }
+                (latencies_ms, shed, transport_errors)
+            }));
+        }
+        let run_start = Instant::now();
+        let mut latencies: Vec<f64> = Vec::new();
+        let (mut shed, mut transport_errors) = (0usize, 0usize);
+        for h in handles {
+            let (l, s, t) = h.join().expect("load worker");
+            latencies.extend(l);
+            shed += s;
+            transport_errors += t;
+        }
+        let wall = run_start.elapsed().as_secs_f64().max(point_secs);
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let record = PointRecord {
+            multiplier: mult,
+            offered_qps: offered,
+            sent,
+            shed,
+            transport_errors,
+            goodput_qps: latencies.len() as f64 / wall,
+            p50_ms: percentile(&latencies, 0.50),
+            p95_ms: percentile(&latencies, 0.95),
+            p99_ms: percentile(&latencies, 0.99),
+        };
+        println!(
+            "offered {:>7.0} req/s ({mult:>4.2}x): p50 {:>8.3} ms, p99 {:>9.3} ms, \
+             goodput {:>7.0} req/s, shed {:>5.1}% ({} of {})",
+            record.offered_qps,
+            record.p50_ms,
+            record.p99_ms,
+            record.goodput_qps,
+            100.0 * record.shed as f64 / record.sent.max(1) as f64,
+            record.shed,
+            record.sent
+        );
+        figure.push("p99 ms", mult, record.p99_ms, record.shed as u64);
+        points.push(record);
+    }
+
+    // ---- Overload probe: typed sheds past the knee. ----
+    // The sweep's blocking workers can convoy on small machines (one
+    // runnable solver at a time never trips admission control), so the
+    // shed behaviour gets its own unambiguous probe: 3× the admission
+    // cap of clients release one *heavy* solve each simultaneously.
+    // Those solves are long enough that the OS must interleave them,
+    // so in-flight exceeds the cap and the excess must come back as
+    // typed `Overloaded` frames — never dropped connections.
+    let burst = cap * 3;
+    let (mut probe_ok, mut probe_shed, mut probe_err) = (0u64, 0u64, 0u64);
+    // Whether a given burst overlaps enough to trip the cap is up to
+    // the OS scheduler; a couple of rounds make the signal reliable
+    // without weakening the assertion (any shed is a typed frame).
+    for _round in 0..3 {
+        let barrier = Arc::new(std::sync::Barrier::new(burst));
+        let mut handles = Vec::new();
+        for _ in 0..burst {
+            let barrier = Arc::clone(&barrier);
+            let q_text = q_text.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("probe connect");
+                let stmt = c.prepare(&q_text).expect("probe prepare");
+                barrier.wait();
+                match c.solve_stmt(stmt, Target::Ratio(0.9), None) {
+                    Ok(_) => (1u64, 0u64, 0u64),
+                    Err(e) if e.is_overloaded() => (0, 1, 0),
+                    Err(_) => (0, 0, 1),
+                }
+            }));
+        }
+        for h in handles {
+            let (ok, shed, err) = h.join().expect("probe worker");
+            probe_ok += ok;
+            probe_shed += shed;
+            probe_err += err;
+        }
+        if probe_shed > 0 {
+            break;
+        }
+    }
+    println!(
+        "overload probe: bursts of {burst} simultaneous heavy solves vs cap {cap} -> \
+         {probe_ok} served, {probe_shed} shed (typed), {probe_err} transport errors"
+    );
+    server.stop();
+
+    // ---- The knee must be measurable, not just plotted. ----
+    let total_transport: usize = points.iter().map(|p| p.transport_errors).sum();
+    crate::checks::check(total_transport == 0, || {
+        format!("open-loop: {total_transport} transport errors (sheds must be typed frames)")
+    });
+    for p in points.iter().filter(|p| p.multiplier <= 0.5) {
+        if quick {
+            // One-core CI boxes oversleep the Poisson schedule under
+            // thread contention, which shows up as generator (not
+            // server) tail noise; check the p95 against a padded SLO
+            // there and leave the strict p99 gate to the full run.
+            crate::checks::check(p.p95_ms <= slo_p99_ms.max(50.0), || {
+                format!(
+                    "open-loop: p95 {:.3} ms blows the padded {:.3} ms SLO at {:.2}x saturation",
+                    p.p95_ms,
+                    slo_p99_ms.max(50.0),
+                    p.multiplier
+                )
+            });
+        } else {
+            crate::checks::check(p.p99_ms <= slo_p99_ms, || {
+                format!(
+                    "open-loop: p99 {:.3} ms blows the {:.3} ms SLO at {:.2}x saturation",
+                    p.p99_ms, slo_p99_ms, p.multiplier
+                )
+            });
+        }
+    }
+    let low = points.first().expect("at least one point");
+    let top = points.last().expect("at least one point");
+    crate::checks::check(top.p99_ms > low.p99_ms || top.shed > 0, || {
+        format!(
+            "open-loop: no knee — p99 {:.3} -> {:.3} ms and zero sheds at {:.2}x",
+            low.p99_ms, top.p99_ms, top.multiplier
+        )
+    });
+    crate::checks::check(probe_shed > 0, || {
+        format!(
+            "open-loop: {burst} simultaneous heavy solves against an admission cap of {cap} \
+             produced no typed sheds"
+        )
+    });
+    crate::checks::check(probe_ok >= 1 && probe_err == 0, || {
+        format!(
+            "open-loop probe: {probe_ok} served, {probe_err} transport errors \
+             (overload must degrade, not break)"
+        )
+    });
+
+    // ---- BENCH_open_loop.json ----
+    let mut json = String::new();
+    json.push_str("{\n  \"figure\": \"fig-open-loop\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!(
+        "  \"calibration\": {{\"workers\": {cap}, \"mean_ms\": {mean_ms:.4}, \
+         \"saturation_qps\": {saturation_qps:.1}, \"slo_p99_ms\": {slo_p99_ms:.4}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"load_workers\": {workers},\n  \"admission_cap\": {cap},\n"
+    ));
+    json.push_str(&format!(
+        "  \"overload_probe\": {{\"burst\": {burst}, \"served\": {probe_ok}, \
+         \"shed\": {probe_shed}, \"transport_errors\": {probe_err}}},\n  \"points\": [\n"
+    ));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"multiplier\": {:.2}, \"offered_qps\": {:.1}, \"sent\": {}, \
+             \"completed\": {}, \"shed\": {}, \"shed_rate\": {:.4}, \"goodput_qps\": {:.1}, \
+             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \"within_slo\": {}}}{}\n",
+            p.multiplier,
+            p.offered_qps,
+            p.sent,
+            p.sent - p.shed - p.transport_errors,
+            p.shed,
+            p.shed as f64 / p.sent.max(1) as f64,
+            p.goodput_qps,
+            p.p50_ms,
+            p.p95_ms,
+            p.p99_ms,
+            p.p99_ms <= slo_p99_ms,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_open_loop.json";
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {path} ({} bytes)", json.len());
+    figure.finish();
+}

@@ -63,6 +63,7 @@ pub mod error;
 pub mod query;
 pub mod selection;
 pub mod solver;
+pub mod wire;
 
 pub use error::{QueryError, SolveError};
 pub use query::{parse_query, Query, QueryBuilder};

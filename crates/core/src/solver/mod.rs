@@ -169,7 +169,7 @@ impl AdpOptions {
 }
 
 /// Result of an ADP computation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AdpOutcome {
     /// Minimum number of input tuples to delete (heuristic upper bound on
     /// NP-hard queries).

@@ -1,0 +1,289 @@
+//! `adp-serverd` — the standalone ADP server daemon.
+//!
+//! ```text
+//! adp-serverd [--addr HOST:PORT] [--store DIR] [--demo N] \
+//!             [--max-conns N] [--smoke]
+//! ```
+//!
+//! * `--addr` — bind address (default `127.0.0.1:7407`; `:0` picks an
+//!   ephemeral port and prints it)
+//! * `--store DIR` — durable mode: on first start, write an epoch-0
+//!   snapshot of the database into `DIR` and log every effective
+//!   mutation batch; on restart, recover from the snapshot + log and
+//!   resume at the pre-crash epoch.
+//! * `--demo N` — size of the built-in zipf demo database used when
+//!   `--store` has no snapshot yet (default 20 000 rows).
+//! * `--max-conns` — concurrent connection cap (default 64).
+//! * `--smoke` — loopback self-test: start on an ephemeral port,
+//!   exercise every opcode plus (with `--store`) a kill-and-recover
+//!   cycle, then exit 0/1.
+//!
+//! The demo database is `adp_datagen::zipf_pair` with the standard
+//! 3-relation path query, so the daemon is usable out of the box:
+//!
+//! ```text
+//! adp-serverd --addr 127.0.0.1:7407 --store /var/lib/adp &
+//! ```
+
+use adp_server::client::Client;
+use adp_server::persist::Store;
+use adp_server::server::{Server, ServerConfig};
+use adp_service::{Service, ServiceConfig, Target};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    store: Option<PathBuf>,
+    demo_rows: usize,
+    max_conns: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7407".to_string(),
+        store: None,
+        demo_rows: 20_000,
+        max_conns: 64,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--store" => args.store = Some(PathBuf::from(value("--store")?)),
+            "--demo" => {
+                args.demo_rows = value("--demo")?
+                    .parse()
+                    .map_err(|e| format!("--demo: {e}"))?;
+            }
+            "--max-conns" => {
+                args.max_conns = value("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("--max-conns: {e}"))?;
+            }
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: adp-serverd [--addr HOST:PORT] [--store DIR] [--demo N] \
+                     [--max-conns N] [--smoke]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn demo_database(rows: usize) -> adp_engine::database::Database {
+    let cfg = adp_datagen::zipf::ZipfConfig::new(rows.max(16), 0.5, 0xADB0_5EED, true);
+    adp_datagen::zipf_pair(&cfg)
+}
+
+/// Builds the service and (in durable mode) its store: recover when a
+/// snapshot exists, otherwise seed from the demo database.
+fn open_service(args: &Args) -> Result<(Arc<Service>, Option<Store>), String> {
+    let config = ServiceConfig::default();
+    match &args.store {
+        None => {
+            let svc = Service::with_config(demo_database(args.demo_rows), config);
+            Ok((Arc::new(svc), None))
+        }
+        Some(dir) => {
+            if dir.join("snapshot.adp").exists() {
+                let rec = Store::recover(dir, config).map_err(|e| format!("recover: {e}"))?;
+                eprintln!(
+                    "adp-serverd: recovered from {} at epoch {} ({} batch(es) replayed{})",
+                    dir.display(),
+                    rec.epoch,
+                    rec.replayed,
+                    if rec.truncated_tail {
+                        ", torn tail truncated"
+                    } else {
+                        ""
+                    }
+                );
+                Ok((Arc::new(rec.service), Some(rec.store)))
+            } else {
+                let db = demo_database(args.demo_rows);
+                let store =
+                    Store::init(dir, &db, &config).map_err(|e| format!("init store: {e}"))?;
+                let svc = Service::with_config(db, config);
+                eprintln!(
+                    "adp-serverd: new store in {} (epoch 0 snapshot written)",
+                    dir.display()
+                );
+                Ok((Arc::new(svc), Some(store)))
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.smoke {
+        return match smoke(&args) {
+            Ok(()) => {
+                println!("adp-serverd: smoke OK");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("adp-serverd: smoke FAILED: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let (svc, store) = match open_service(&args) {
+        Ok(pair) => pair,
+        Err(msg) => {
+            eprintln!("adp-serverd: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server_config = ServerConfig {
+        max_connections: args.max_conns.max(1),
+        ..ServerConfig::default()
+    };
+    let server = match Server::start(svc, store, args.addr.as_str(), server_config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("adp-serverd: bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("adp-serverd: listening on {}", server.addr());
+    server.wait();
+    server.stop();
+    println!("adp-serverd: shut down");
+    ExitCode::SUCCESS
+}
+
+/// Loopback self-test: every opcode once, then (with `--store`) a
+/// kill-and-recover cycle that must resume at the pre-crash epoch.
+fn smoke(args: &Args) -> Result<(), String> {
+    let rows = args.demo_rows.min(2_000);
+    let q_text = format!("{}", adp_datagen::queries::qpath());
+
+    // Durable smoke runs against a scratch store under --store (or a
+    // temp dir), so reruns start clean.
+    let dir = args
+        .store
+        .clone()
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("adp-smoke-{}", std::process::id())));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let db = demo_database(rows);
+    let config = ServiceConfig::default();
+    let store = Store::init(&dir, &db, &config).map_err(|e| format!("init store: {e}"))?;
+    let svc = Arc::new(Service::with_config(db, config.clone()));
+    let server = Server::start(svc, Some(store), "127.0.0.1:0", ServerConfig::default())
+        .map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr();
+
+    let mut c = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    c.ping().map_err(|e| format!("ping: {e}"))?;
+
+    let solved = c
+        .solve(&q_text, Target::Outputs(2), None)
+        .map_err(|e| format!("solve: {e}"))?;
+    if solved.outcome.achieved < 2 {
+        return Err(format!("solve under-achieved: {:?}", solved.outcome));
+    }
+
+    let handle = c.prepare(&q_text).map_err(|e| format!("prepare: {e}"))?;
+    let stmt_solved = c
+        .solve_stmt(handle, Target::Outputs(2), Some(Duration::from_secs(5)))
+        .map_err(|e| format!("solve_stmt: {e}"))?;
+    if stmt_solved.outcome != solved.outcome {
+        return Err("prepared solve disagrees with one-shot solve".to_string());
+    }
+
+    let sub = c
+        .subscribe(handle, Target::Outputs(2), 16, None)
+        .map_err(|e| format!("subscribe: {e}"))?;
+
+    let e1 = c
+        .mutate(true, &[("R2", 0), ("R2", 1)])
+        .map_err(|e| format!("mutate: {e}"))?;
+    if e1 == 0 {
+        return Err("delete batch did not bump the epoch".to_string());
+    }
+    let mut saw_push = false;
+    for _ in 0..20 {
+        if let Some((id, _)) = c
+            .poll_push(Duration::from_millis(250))
+            .map_err(|e| format!("poll_push: {e}"))?
+        {
+            if id == sub {
+                saw_push = true;
+                break;
+            }
+        }
+    }
+    if !saw_push {
+        return Err("no subscription push after an effective delete".to_string());
+    }
+    if !c
+        .unsubscribe(sub)
+        .map_err(|e| format!("unsubscribe: {e}"))?
+    {
+        return Err("unsubscribe did not find the live subscription".to_string());
+    }
+
+    let stats = c.stats().map_err(|e| format!("stats: {e}"))?;
+    if stats.requests == 0 || stats.epoch_bumps == 0 {
+        return Err(format!("implausible stats: {stats:?}"));
+    }
+
+    let pre_crash = c
+        .solve(&q_text, Target::Outputs(2), None)
+        .map_err(|e| format!("pre-crash solve: {e}"))?;
+
+    // "Crash": stop the server without any graceful store finalization,
+    // then recover from disk and compare answers at the same epoch.
+    drop(c);
+    server.stop();
+
+    let rec = Store::recover(&dir, config).map_err(|e| format!("recover: {e}"))?;
+    if rec.epoch != e1 {
+        return Err(format!(
+            "recovered epoch {} != pre-crash epoch {e1}",
+            rec.epoch
+        ));
+    }
+    let server = Server::start(
+        Arc::new(rec.service),
+        Some(rec.store),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .map_err(|e| format!("re-bind: {e}"))?;
+    let mut c = Client::connect(server.addr()).map_err(|e| format!("reconnect: {e}"))?;
+    let post_crash = c
+        .solve(&q_text, Target::Outputs(2), None)
+        .map_err(|e| format!("post-crash solve: {e}"))?;
+    if post_crash.epoch != pre_crash.epoch || post_crash.outcome != pre_crash.outcome {
+        return Err(format!(
+            "recovery drift: pre {:?}@{} vs post {:?}@{}",
+            pre_crash.outcome, pre_crash.epoch, post_crash.outcome, post_crash.epoch
+        ));
+    }
+
+    c.shutdown_server().map_err(|e| format!("shutdown: {e}"))?;
+    server.wait();
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -1,0 +1,297 @@
+//! A blocking client for the wire protocol, used by the loopback test
+//! suites, the open-loop load generator, and the `--smoke` self-check.
+//!
+//! One [`Client`] owns one connection. Calls are synchronous: write the
+//! request frame, read until the frame echoing its request id arrives.
+//! Frames that arrive in between — pushed subscription updates and
+//! their [`ErrorCode::Lagged`] warnings — are buffered and drained via
+//! [`Client::poll_push`]. Request ids are odd and subscription ids even
+//! (the server's convention), so the two can never collide.
+
+use crate::protocol::{
+    read_frame, resp, write_frame, ErrorCode, ProtoError, Request, Response, WireSolve, MAX_PAYLOAD,
+};
+use adp_service::{ServiceStats, Target, ViewUpdate};
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Proto(ProtoError),
+    /// The server answered with a typed error frame.
+    Server {
+        /// Machine-readable kind.
+        code: ErrorCode,
+        /// Server-side detail.
+        message: String,
+    },
+    /// The server answered with a frame of the wrong kind.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Proto(e) => write!(f, "client: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected response: wanted {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Proto(ProtoError::Io(e))
+    }
+}
+
+impl ClientError {
+    /// True for a typed [`ErrorCode::Overloaded`] shed.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                code: ErrorCode::Overloaded,
+                ..
+            }
+        )
+    }
+}
+
+/// An event pulled off the push stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PushEvent {
+    /// A view diff for the subscription.
+    Update(ViewUpdate),
+    /// The server warned that this subscription dropped updates.
+    Lagged(String),
+}
+
+/// One blocking protocol connection.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+    /// Push frames that arrived while a call was waiting for its reply.
+    pushes: VecDeque<(u64, PushEvent)>,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            next_id: 1,
+            pushes: VecDeque::new(),
+        })
+    }
+
+    /// Sends `request` and blocks for its response, buffering any push
+    /// frames that arrive first.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let id = self.next_id;
+        self.next_id += 2;
+        let (opcode, payload) = request
+            .encode()
+            .map_err(|e| ClientError::Proto(ProtoError::Wire(e)))?;
+        self.stream.set_read_timeout(None)?;
+        write_frame(&mut self.stream, opcode, id, &payload)?;
+        loop {
+            let frame = match read_frame(&mut self.stream, MAX_PAYLOAD)? {
+                Some(frame) => frame,
+                None => {
+                    return Err(ClientError::Proto(ProtoError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-call",
+                    ))))
+                }
+            };
+            let response = Response::decode(frame.opcode, &frame.payload)
+                .map_err(|e| ClientError::Proto(ProtoError::Wire(e)))?;
+            if frame.request_id == id {
+                return match response {
+                    Response::Error { code, message } => Err(ClientError::Server { code, message }),
+                    other => Ok(other),
+                };
+            }
+            self.buffer_push(frame.request_id, frame.opcode, response);
+        }
+    }
+
+    fn buffer_push(&mut self, sub: u64, opcode: u8, response: Response) {
+        match response {
+            Response::Push(update) => self.pushes.push_back((sub, PushEvent::Update(update))),
+            Response::Error {
+                code: ErrorCode::Lagged,
+                message,
+            } if opcode == resp::ERROR => {
+                self.pushes.push_back((sub, PushEvent::Lagged(message)));
+            }
+            // Anything else out-of-band is a protocol violation; drop
+            // it rather than wedge the call.
+            _ => {}
+        }
+    }
+
+    /// Returns the next push event, waiting up to `timeout` for one to
+    /// arrive on the socket. `Ok(None)` means the timeout elapsed.
+    pub fn poll_push(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(u64, PushEvent)>, ClientError> {
+        if let Some(ev) = self.pushes.pop_front() {
+            return Ok(Some(ev));
+        }
+        self.stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        match read_frame(&mut self.stream, MAX_PAYLOAD) {
+            Ok(Some(frame)) => {
+                let response = Response::decode(frame.opcode, &frame.payload)
+                    .map_err(|e| ClientError::Proto(ProtoError::Wire(e)))?;
+                self.buffer_push(frame.request_id, frame.opcode, response);
+                Ok(self.pushes.pop_front())
+            }
+            Ok(None) => Ok(None),
+            Err(ProtoError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Unexpected("pong")),
+        }
+    }
+
+    /// One-shot solve.
+    pub fn solve(
+        &mut self,
+        query: &str,
+        target: Target,
+        budget: Option<Duration>,
+    ) -> Result<WireSolve, ClientError> {
+        let request = Request::Solve {
+            query: query.to_string(),
+            target,
+            budget_micros: budget.map_or(0, |d| d.as_micros().min(u128::from(u64::MAX)) as u64),
+        };
+        match self.call(&request)? {
+            Response::Solve(s) => Ok(s),
+            _ => Err(ClientError::Unexpected("solve result")),
+        }
+    }
+
+    /// Prepares a statement, returning its server-side handle.
+    pub fn prepare(&mut self, query: &str) -> Result<u64, ClientError> {
+        match self.call(&Request::Prepare {
+            query: query.to_string(),
+        })? {
+            Response::Prepared { handle } => Ok(handle),
+            _ => Err(ClientError::Unexpected("statement handle")),
+        }
+    }
+
+    /// Solves a prepared statement.
+    pub fn solve_stmt(
+        &mut self,
+        handle: u64,
+        target: Target,
+        budget: Option<Duration>,
+    ) -> Result<WireSolve, ClientError> {
+        let request = Request::SolveStmt {
+            handle,
+            target,
+            budget_micros: budget.map_or(0, |d| d.as_micros().min(u128::from(u64::MAX)) as u64),
+        };
+        match self.call(&request)? {
+            Response::Solve(s) => Ok(s),
+            _ => Err(ClientError::Unexpected("solve result")),
+        }
+    }
+
+    /// Applies a delete (`delete = true`) or restore batch; returns the
+    /// (possibly unchanged) epoch.
+    pub fn mutate(&mut self, delete: bool, entries: &[(&str, u32)]) -> Result<u64, ClientError> {
+        let request = Request::Mutate {
+            delete,
+            entries: entries
+                .iter()
+                .map(|(name, idx)| (name.to_string(), *idx))
+                .collect(),
+        };
+        match self.call(&request)? {
+            Response::Mutated { epoch } => Ok(epoch),
+            _ => Err(ClientError::Unexpected("epoch")),
+        }
+    }
+
+    /// Registers a subscription on a prepared statement; pushed frames
+    /// are drained via [`poll_push`](Client::poll_push).
+    pub fn subscribe(
+        &mut self,
+        handle: u64,
+        target: Target,
+        buffer: u32,
+        projection: Option<Vec<u32>>,
+    ) -> Result<u64, ClientError> {
+        let request = Request::Subscribe {
+            handle,
+            target,
+            buffer,
+            projection,
+        };
+        match self.call(&request)? {
+            Response::Subscribed { sub } => Ok(sub),
+            _ => Err(ClientError::Unexpected("subscription id")),
+        }
+    }
+
+    /// Cancels a subscription; true when the id was live.
+    pub fn unsubscribe(&mut self, sub: u64) -> Result<bool, ClientError> {
+        match self.call(&Request::Unsubscribe { sub })? {
+            Response::Unsubscribed { found } => Ok(found),
+            _ => Err(ClientError::Unexpected("unsubscribe ack")),
+        }
+    }
+
+    /// Fetches the service counter snapshot.
+    pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            _ => Err(ClientError::Unexpected("stats")),
+        }
+    }
+
+    /// Asks the server process to shut down.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            _ => Err(ClientError::Unexpected("shutdown ack")),
+        }
+    }
+}

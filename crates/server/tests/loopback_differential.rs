@@ -1,0 +1,351 @@
+//! Loopback differential suite: every answer that crosses the wire must
+//! be byte-identical to the in-process `Service` answer at the same
+//! epoch. "Byte-identical" is literal — both sides' outcomes and view
+//! updates are serialized through the same wire codec and the encoded
+//! buffers are compared.
+
+use adp_core::solver::AdpOutcome;
+use adp_core::wire::put_outcome;
+use adp_datagen::zipf::ZipfConfig;
+use adp_server::client::Client;
+use adp_server::protocol::put_update;
+use adp_server::server::{Server, ServerConfig};
+use adp_service::{Service, ServiceConfig, SubscribeOptions, Target, ViewUpdate};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn demo_db(n: usize, seed: u64) -> adp_engine::database::Database {
+    adp_datagen::zipf_pair(&ZipfConfig::new(n, 0.5, seed, true))
+}
+
+fn q_text() -> String {
+    format!("{}", adp_datagen::queries::qpath())
+}
+
+fn outcome_bytes(out: &AdpOutcome) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_outcome(&mut buf, out).expect("outcome encodes");
+    buf
+}
+
+fn update_bytes(u: &ViewUpdate) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_update(&mut buf, u).expect("update encodes");
+    buf
+}
+
+/// One-shot and prepared solves over loopback match in-process solves
+/// at the same epoch, byte for byte, across target shapes.
+#[test]
+fn solves_are_byte_identical_to_in_process() {
+    let db = demo_db(1_500, 0xD1FF);
+    let local = Service::with_config(db.clone(), ServiceConfig::default());
+    let served = Arc::new(Service::with_config(db, ServiceConfig::default()));
+    let server = Server::start(served, None, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut c = Client::connect(server.addr()).expect("connect");
+    let q = q_text();
+
+    let targets = [
+        Target::Outputs(1),
+        Target::Outputs(3),
+        Target::Outputs(10),
+        Target::Ratio(0.25),
+    ];
+    let local_stmt = local.prepare(&q).expect("local prepare");
+    let handle = c.prepare(&q).expect("wire prepare");
+    for target in targets {
+        let wire = c.solve(&q, target, None).expect("wire solve");
+        let here = local
+            .solve(&adp_service::SolveRequest {
+                query: q.clone(),
+                target,
+                opts: None,
+                budget: None,
+            })
+            .expect("local solve");
+        assert_eq!(wire.epoch, here.stats.epoch, "epoch drift at {target:?}");
+        assert_eq!(
+            outcome_bytes(&wire.outcome),
+            outcome_bytes(&here.outcome),
+            "one-shot solve bytes diverge at {target:?}"
+        );
+
+        let wire_stmt = c.solve_stmt(handle, target, None).expect("wire stmt solve");
+        let here_stmt = local_stmt.solve(target).expect("local stmt solve");
+        assert_eq!(
+            outcome_bytes(&wire_stmt.outcome),
+            outcome_bytes(&here_stmt.outcome),
+            "prepared solve bytes diverge at {target:?}"
+        );
+    }
+    server.stop();
+}
+
+/// A wire subscription streams the same update frames (same seqs,
+/// epochs, diffs, churn) as an in-process subscription fed the same
+/// mutation batches — including a projected subscriber.
+#[test]
+fn subscription_stream_is_byte_identical_to_in_process() {
+    let db = demo_db(1_200, 0x5AB5);
+    let local = Service::with_config(db.clone(), ServiceConfig::default());
+    let served = Arc::new(Service::with_config(db, ServiceConfig::default()));
+    let server = Server::start(
+        Arc::clone(&served),
+        None,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let mut c = Client::connect(server.addr()).expect("connect");
+    let q = q_text();
+
+    let handle = c.prepare(&q).expect("wire prepare");
+    let wire_plain = c
+        .subscribe(handle, Target::Outputs(2), 64, None)
+        .expect("wire subscribe");
+    let wire_proj = c
+        .subscribe(handle, Target::Outputs(2), 64, Some(vec![1, 0]))
+        .expect("wire projected subscribe");
+
+    let local_stmt = local.prepare(&q).expect("local prepare");
+    let (_id_a, rx_plain) = local
+        .subscribe(
+            &local_stmt,
+            Target::Outputs(2),
+            SubscribeOptions::default().with_buffer(64),
+        )
+        .expect("local subscribe");
+    let (_id_b, rx_proj) = local
+        .subscribe(
+            &local_stmt,
+            Target::Outputs(2),
+            SubscribeOptions::default()
+                .with_buffer(64)
+                .with_projection(vec![1, 0]),
+        )
+        .expect("local projected subscribe");
+
+    // The same batches through both services, in the same order.
+    let batches: [&[(&str, u32)]; 3] = [&[("R2", 0), ("R2", 1)], &[("R2", 2)], &[("R1", 0)]];
+    for batch in batches {
+        let wire_epoch = c.mutate(true, batch).expect("wire mutate");
+        let local_epoch = local.delete_tuples(batch).expect("local mutate");
+        assert_eq!(wire_epoch, local_epoch, "epoch drift after {batch:?}");
+    }
+
+    // Collect one pushed frame per batch per wire subscriber.
+    let mut wire_updates: Vec<Vec<ViewUpdate>> = vec![Vec::new(), Vec::new()];
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while (wire_updates[0].len() < batches.len() || wire_updates[1].len() < batches.len())
+        && std::time::Instant::now() < deadline
+    {
+        if let Some((sub, adp_server::client::PushEvent::Update(u))) =
+            c.poll_push(Duration::from_millis(200)).expect("poll")
+        {
+            if sub == wire_plain {
+                wire_updates[0].push(u);
+            } else if sub == wire_proj {
+                wire_updates[1].push(u);
+            }
+        }
+    }
+    assert_eq!(wire_updates[0].len(), batches.len(), "plain stream short");
+    assert_eq!(
+        wire_updates[1].len(),
+        batches.len(),
+        "projected stream short"
+    );
+
+    for (i, wire_update) in wire_updates[0].iter().enumerate() {
+        let here = rx_plain
+            .recv_timeout(Duration::from_secs(5))
+            .expect("local push");
+        assert_eq!(
+            update_bytes(wire_update),
+            update_bytes(&here),
+            "plain update {i} diverges"
+        );
+    }
+    for (i, wire_update) in wire_updates[1].iter().enumerate() {
+        let here = rx_proj
+            .recv_timeout(Duration::from_secs(5))
+            .expect("local push");
+        assert_eq!(
+            update_bytes(wire_update),
+            update_bytes(&here),
+            "projected update {i} diverges"
+        );
+    }
+
+    assert!(c.unsubscribe(wire_plain).expect("unsub"));
+    assert!(c.unsubscribe(wire_proj).expect("unsub"));
+    server.stop();
+}
+
+/// Solves racing a concurrent mutator stay consistent: every `(epoch,
+/// outcome)` pair a client observes matches a clean epoch-by-epoch
+/// replay of the same batches on a fresh in-process service.
+#[test]
+fn concurrent_mutator_never_tears_an_answer() {
+    let db = demo_db(1_200, 0xACED);
+    let served = Arc::new(Service::with_config(db.clone(), ServiceConfig::default()));
+    let server = Server::start(served, None, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let addr = server.addr();
+    let q = q_text();
+
+    let batches: Vec<Vec<(String, u32)>> =
+        (0..8u32).map(|i| vec![("R2".to_string(), 3 + i)]).collect();
+
+    // Mutator thread: drive the batches through the wire, spaced out so
+    // the solver thread observes several distinct epochs.
+    let mutator = {
+        let batches = batches.clone();
+        std::thread::spawn(move || {
+            let mut m = Client::connect(addr).expect("mutator connect");
+            for batch in &batches {
+                let borrowed: Vec<(&str, u32)> =
+                    batch.iter().map(|(n, i)| (n.as_str(), *i)).collect();
+                m.mutate(true, &borrowed).expect("wire mutate");
+                std::thread::sleep(Duration::from_millis(15));
+            }
+        })
+    };
+
+    let mut c = Client::connect(addr).expect("connect");
+    let handle = c.prepare(&q).expect("prepare");
+    let mut observed: Vec<(u64, Vec<u8>)> = Vec::new();
+    while !mutator.is_finished() {
+        let wire = c
+            .solve_stmt(handle, Target::Outputs(2), None)
+            .expect("racing solve");
+        observed.push((wire.epoch, outcome_bytes(&wire.outcome)));
+    }
+    // One more after the dust settles, so the final epoch is covered.
+    let last = c
+        .solve_stmt(handle, Target::Outputs(2), None)
+        .expect("final solve");
+    observed.push((last.epoch, outcome_bytes(&last.outcome)));
+    mutator.join().expect("mutator");
+    assert_eq!(last.epoch, batches.len() as u64, "mutator lost a batch");
+
+    // Clean replay: epoch e is the state after the first e batches.
+    let mirror = Service::with_config(db, ServiceConfig::default());
+    let stmt = mirror.prepare(&q).expect("mirror prepare");
+    let mut per_epoch: Vec<Vec<u8>> = Vec::with_capacity(batches.len() + 1);
+    per_epoch.push(outcome_bytes(
+        &stmt.solve(Target::Outputs(2)).expect("e0").outcome,
+    ));
+    for batch in &batches {
+        let borrowed: Vec<(&str, u32)> = batch.iter().map(|(n, i)| (n.as_str(), *i)).collect();
+        mirror.delete_tuples(&borrowed).expect("mirror mutate");
+        per_epoch.push(outcome_bytes(
+            &stmt.solve(Target::Outputs(2)).expect("eN").outcome,
+        ));
+    }
+
+    assert!(!observed.is_empty());
+    for (epoch, bytes) in &observed {
+        let expected = per_epoch
+            .get(*epoch as usize)
+            .unwrap_or_else(|| panic!("observed impossible epoch {epoch}"));
+        assert_eq!(
+            bytes, expected,
+            "epoch {epoch}: wire answer diverges from clean replay"
+        );
+    }
+    server.stop();
+}
+
+/// Protocol-level failures are typed error frames, not dropped
+/// connections: unknown handles and malformed queries keep the
+/// connection alive; over-limit connects get an `Overloaded` frame.
+#[test]
+fn failures_are_typed_frames_not_resets() {
+    use adp_server::protocol::{read_frame, resp, ErrorCode, Response, MAX_PAYLOAD};
+
+    let db = demo_db(600, 0xBEEF);
+    let served = Arc::new(Service::with_config(db, ServiceConfig::default()));
+    let server = Server::start(
+        served,
+        None,
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+
+    let mut c = Client::connect(server.addr()).expect("connect");
+    c.ping().expect("ping");
+
+    // Unknown statement handle: typed BadRequest, connection survives.
+    let err = c
+        .solve_stmt(999, Target::Outputs(1), None)
+        .expect_err("unknown handle must fail");
+    match err {
+        adp_server::client::ClientError::Server { code, .. } => {
+            assert_eq!(code, ErrorCode::BadRequest)
+        }
+        other => panic!("wanted a typed server error, got {other}"),
+    }
+
+    // Malformed query: typed Query error, connection survives.
+    let err = c
+        .solve("this is not a query", Target::Outputs(1), None)
+        .expect_err("bad query must fail");
+    assert!(
+        matches!(
+            err,
+            adp_server::client::ClientError::Server {
+                code: ErrorCode::Query,
+                ..
+            }
+        ),
+        "wanted a typed query error"
+    );
+    c.ping().expect("connection survives typed errors");
+
+    // Second connection while the first holds the only slot: the server
+    // says Overloaded before closing, instead of a bare reset.
+    let extra = std::net::TcpStream::connect(server.addr()).expect("tcp connect");
+    let mut r = &extra;
+    let frame = read_frame(&mut r, MAX_PAYLOAD)
+        .expect("read reject frame")
+        .expect("reject frame before close");
+    assert_eq!(frame.opcode, resp::ERROR);
+    match Response::decode(frame.opcode, &frame.payload).expect("decode") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Overloaded),
+        other => panic!("wanted an error frame, got {other:?}"),
+    }
+    drop(extra);
+    server.stop();
+}
+
+/// Wire stats reflect the satellite counters end to end: per-outcome
+/// tallies and queue-depth gauges arrive over the stats opcode.
+#[test]
+fn wire_stats_carry_outcome_and_queue_counters() {
+    let db = demo_db(800, 0xFACE);
+    let served = Arc::new(Service::with_config(db, ServiceConfig::default()));
+    let server = Server::start(served, None, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut c = Client::connect(server.addr()).expect("connect");
+    let q = q_text();
+
+    for k in 1..=3 {
+        c.solve(&q, Target::Outputs(k), None).expect("solve");
+    }
+    let stats = c.stats().expect("stats");
+    assert!(stats.requests >= 3);
+    assert_eq!(
+        stats.solved + stats.truncated + stats.shed,
+        stats.requests,
+        "per-outcome counters must partition requests"
+    );
+    assert!(
+        stats.peak_queue_depth >= 1,
+        "solves must register in the queue gauge"
+    );
+    assert!(stats.queue_depth_now <= stats.peak_queue_depth);
+    server.stop();
+}

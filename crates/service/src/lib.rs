@@ -228,7 +228,8 @@ impl Service {
 
     /// Counter snapshot (see [`ServiceStats`] for the invariants).
     pub fn stats(&self) -> ServiceStats {
-        self.stats.snapshot()
+        self.stats
+            .snapshot(self.in_flight.load(Ordering::Relaxed) as u64)
     }
 
     /// Cached plan entries across all shards.
@@ -256,7 +257,10 @@ impl Service {
                 Ordering::AcqRel,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Ok(AdmissionPermit { svc: self }),
+                Ok(_) => {
+                    self.stats.observe_queue_depth((cur + 1) as u64);
+                    return Ok(AdmissionPermit { svc: self });
+                }
                 Err(actual) => cur = actual,
             }
         }
@@ -393,6 +397,11 @@ impl Service {
             (outcome, solver)
         };
         let solve_micros = solve_start.elapsed().as_micros() as u64;
+        if outcome.truncated {
+            StatsInner::bump(&self.stats.truncated);
+        } else {
+            StatsInner::bump(&self.stats.solved);
+        }
 
         Ok(SolveResponse {
             outcome,

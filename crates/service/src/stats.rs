@@ -18,6 +18,9 @@ pub(crate) struct StatsInner {
     pub lagged_drops: AtomicU64,
     pub shared_delta_applications: AtomicU64,
     pub subscriptions_live: AtomicU64,
+    pub solved: AtomicU64,
+    pub truncated: AtomicU64,
+    pub peak_queue_depth: AtomicU64,
 }
 
 impl StatsInner {
@@ -39,7 +42,15 @@ impl StatsInner {
         }
     }
 
-    pub fn snapshot(&self) -> ServiceStats {
+    /// Raises `peak_queue_depth` to `depth` if it exceeds the recorded
+    /// high-water mark. Called after every successful admission.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// `queue_now` is the caller-observed in-flight count at snapshot
+    /// time; it lives on the `Service`, not in these counters.
+    pub fn snapshot(&self, queue_now: u64) -> ServiceStats {
         ServiceStats {
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
@@ -52,6 +63,10 @@ impl StatsInner {
             lagged_drops: self.lagged_drops.load(Ordering::Relaxed),
             shared_delta_applications: self.shared_delta_applications.load(Ordering::Relaxed),
             subscriptions_live: self.subscriptions_live.load(Ordering::Relaxed),
+            solved: self.solved.load(Ordering::Relaxed),
+            truncated: self.truncated.load(Ordering::Relaxed),
+            queue_depth_now: queue_now,
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
         }
     }
 }
@@ -97,4 +112,17 @@ pub struct ServiceStats {
     /// falls on [`unsubscribe`](crate::Service::unsubscribe) and when a
     /// dropped receiver is reaped.
     pub subscriptions_live: u64,
+    /// Requests that completed with a full (non-truncated) outcome.
+    /// With `truncated` and `shed` this partitions every request's
+    /// fate, so a load generator can report shed rate and goodput
+    /// without scraping individual responses.
+    pub solved: u64,
+    /// Requests that completed but hit their deadline/budget and
+    /// returned a truncated outcome.
+    pub truncated: u64,
+    /// Requests in flight at the moment of the snapshot — an
+    /// instantaneous gauge, not a counter.
+    pub queue_depth_now: u64,
+    /// High-water mark of concurrent in-flight requests since startup.
+    pub peak_queue_depth: u64,
 }

@@ -26,6 +26,14 @@
 //! first reappeared) — redundant-witness churn inside a still-live
 //! output is silent, exactly the SSP weight-transition rule.
 //!
+//! Boolean (min-cut) statements have no delta state to maintain, so
+//! their groups fall back to **re-solve-on-push**: each effective batch
+//! runs a fresh flow solve through the plan cache at the new epoch, and
+//! a satisfied↔unsatisfied flip emits a single pseudo output row (id 0,
+//! empty values). Per-subscriber **projections**
+//! ([`SubscribeOptions::with_projection`]) thin delivered rows to the
+//! requested head columns before enqueue.
+//!
 //! Serving concerns handled here, not left to callers:
 //!
 //! * **Bounded buffers, never blocking the mutation path.** Channels
@@ -64,7 +72,7 @@ use crate::statement::Statement;
 use crate::stats::StatsInner;
 use crate::Service;
 use adp_core::query::Query;
-use adp_core::solver::IncrementalGreedy;
+use adp_core::solver::{IncrementalGreedy, Mode};
 use adp_engine::provenance::TupleRef;
 use adp_engine::value::Value;
 use std::collections::HashMap;
@@ -91,11 +99,21 @@ pub struct SubscribeOptions {
     /// path) and surface as a [`Lagged`] marker on the next delivered
     /// update. Clamped to at least 1.
     pub buffer: usize,
+    /// Optional output-column projection (head-column indices, in the
+    /// order the subscriber wants them). Applied to `outputs_gained` /
+    /// `outputs_lost` row values before enqueue, so thin clients don't
+    /// ship full rows over the wire. Columns may repeat or reorder;
+    /// indices are validated against the statement's head arity at
+    /// subscribe time. `None` delivers full rows.
+    pub projection: Option<Vec<usize>>,
 }
 
 impl Default for SubscribeOptions {
     fn default() -> Self {
-        SubscribeOptions { buffer: 64 }
+        SubscribeOptions {
+            buffer: 64,
+            projection: None,
+        }
     }
 }
 
@@ -103,6 +121,12 @@ impl SubscribeOptions {
     /// Sets the bounded channel capacity.
     pub fn with_buffer(mut self, buffer: usize) -> Self {
         self.buffer = buffer;
+        self
+    }
+
+    /// Projects delivered rows onto these head-column indices.
+    pub fn with_projection(mut self, columns: Vec<usize>) -> Self {
+        self.projection = Some(columns);
         self
     }
 }
@@ -206,20 +230,41 @@ struct Sub {
     next_seq: u64,
     /// `seq`s dropped on a full buffer, awaiting the next delivery.
     missed: Vec<u64>,
+    /// Validated head-column projection; `None` delivers full rows.
+    projection: Option<Box<[usize]>>,
+}
+
+/// How a group's answer is maintained across batches.
+enum Maintained {
+    /// Row-producing statements: one shared incremental greedy state in
+    /// base coordinates, advanced in O(Δ) per batch. Boxed so the
+    /// cheap boolean variant doesn't inflate every group.
+    Greedy(Box<IncrementalGreedy>),
+    /// Boolean (min-cut) statements, which the incremental greedy
+    /// cannot maintain: re-solve-on-push. Each effective batch runs a
+    /// fresh flow solve through the plan cache at the new epoch and
+    /// diffs against the remembered answer; `live` is whether the query
+    /// was satisfied at the previous epoch, so 0↔1 flips emit a single
+    /// pseudo output-row transition (the empty tuple, id 0).
+    Boolean {
+        /// Whether `Q(D)` was non-empty at the last pushed epoch.
+        live: bool,
+    },
 }
 
 /// All subscriptions on one normalized statement: one shared maintained
-/// delta state, one catalog map, one weak handle to the base plan.
+/// answer state, one catalog map, one weak handle to the base plan.
 struct Group {
     query: Arc<Query>,
     normalized: String,
     fingerprint: u64,
     /// The base-epoch plan, owned by the plan cache (reserved key); the
     /// group only borrows it to materialize transition rows, and
-    /// re-binds through the cache when LRU pressure evicts it.
+    /// re-binds through the cache when LRU pressure evicts it. Unused
+    /// (dangling) for boolean groups, which bind per-epoch plans.
     plan: Weak<adp_core::solver::PreparedQuery>,
-    /// The shared incremental greedy state, in base coordinates.
-    greedy: IncrementalGreedy,
+    /// The shared maintained answer (delta state or boolean re-solve).
+    state: Maintained,
     /// Base relation slot → query atom indices over that relation (the
     /// service's `(relation, index)` batches fan out to tuple refs).
     atoms_by_slot: Vec<Vec<usize>>,
@@ -244,6 +289,23 @@ fn resolve_k(target: Target, live: u64) -> u64 {
     match target {
         Target::Outputs(k) => k.min(live),
         Target::Ratio(rho) => ((live as f64 * rho).ceil() as u64).min(live),
+    }
+}
+
+/// Applies a subscriber's head-column projection to transition rows
+/// (`None` = full rows). Columns were validated against the head arity
+/// at subscribe time; boolean pseudo rows have no columns and only an
+/// empty projection can reach them.
+fn project_rows(rows: &[OutputRow], projection: Option<&[usize]>) -> Vec<OutputRow> {
+    match projection {
+        None => rows.to_vec(),
+        Some(cols) => rows
+            .iter()
+            .map(|r| OutputRow {
+                id: r.id,
+                values: cols.iter().map(|&c| r.values[c]).collect(),
+            })
+            .collect(),
     }
 }
 
@@ -291,10 +353,15 @@ impl Service {
     /// statement share one O(Δ) delta application per batch; the
     /// subscription itself costs one base-plan bind and one seed solve.
     ///
-    /// Fails with [`ServiceError::BadRequest`] for boolean statements
-    /// (no output rows to watch — poll
-    /// [`Statement::solve`] instead), statements prepared on a
-    /// different service, or an invalid target; solver-side failures
+    /// Boolean statements are watchable too: they have no incremental
+    /// delta state, so the group falls back to a fresh min-cut solve
+    /// per effective batch, emitting a single pseudo output row (id 0,
+    /// empty values) when the answer flips between satisfied and
+    /// unsatisfied.
+    ///
+    /// Fails with [`ServiceError::BadRequest`] for statements prepared
+    /// on a different service, an invalid target, or a projection
+    /// column out of the statement's head arity; solver-side failures
     /// (e.g. an over-budget provenance build) surface as
     /// [`ServiceError::Solve`].
     pub fn subscribe(
@@ -309,10 +376,15 @@ impl Service {
                 "statement was prepared on a different service".into(),
             ));
         }
-        if stmt.query().is_boolean() {
-            return Err(ServiceError::BadRequest(
-                "boolean statements have no output rows to watch; poll solve() instead".into(),
-            ));
+        if let Some(cols) = &opts.projection {
+            let arity = stmt.query().head().len();
+            for &c in cols {
+                if c >= arity {
+                    return Err(ServiceError::BadRequest(format!(
+                        "projection column {c} out of range for a head of {arity} column(s)"
+                    )));
+                }
+            }
         }
         // Hold the mutation lock so the group is built against a settled
         // epoch: no batch can install (and notify) between the catch-up
@@ -335,16 +407,37 @@ impl Service {
         if !group.targets.contains_key(&tkey) {
             // Seed the target's answer at the current epoch so the
             // first update's drift is relative to subscription time.
-            let k = resolve_k(target, group.greedy.live_outputs());
-            let seed = group.greedy.solve(k);
-            group.targets.insert(
-                tkey,
+            let seeded = if let Maintained::Greedy(ref mut greedy) = group.state {
+                let k = resolve_k(target, greedy.live_outputs());
+                let seed = greedy.solve(k);
                 TargetState {
                     target,
                     prev_cost: seed.cost,
                     prev_deletions: seed.deletions,
-                },
-            );
+                }
+            } else {
+                // Boolean: fresh min-cut at the settled current epoch
+                // (the mutation lock above pins it).
+                // adp-lint: allow(panic-path) -- same poisoning
+                // rationale as every state-lock read in this crate.
+                let epoch = self.state.read().unwrap().epoch;
+                let (live, cost, deletions) = self.boolean_answer(group, epoch)?;
+                group.state = Maintained::Boolean { live };
+                if resolve_k(target, u64::from(live)) == 0 {
+                    TargetState {
+                        target,
+                        prev_cost: 0,
+                        prev_deletions: Vec::new(),
+                    }
+                } else {
+                    TargetState {
+                        target,
+                        prev_cost: cost,
+                        prev_deletions: deletions,
+                    }
+                }
+            };
+            group.targets.insert(tkey, seeded);
         }
         let (tx, rx) = sync_channel(opts.buffer.max(1));
         let id = SubscriptionId(self.subscriptions.next_id.fetch_add(1, Ordering::Relaxed));
@@ -354,6 +447,7 @@ impl Service {
             tx,
             next_seq: 0,
             missed: Vec::new(),
+            projection: opts.projection.map(Vec::into_boxed_slice),
         });
         StatsInner::bump(&self.stats.subscriptions_live);
         Ok((id, rx))
@@ -389,17 +483,25 @@ impl Service {
         self.stats.subscriptions_live.load(Ordering::Relaxed)
     }
 
-    /// Builds the shared group state for a statement: bind the base
-    /// plan through the cache's reserved key, derive the maintained
-    /// greedy state from the base evaluation, and catch it up to the
-    /// current epoch's deletion set. Caller holds the mutation lock.
+    /// Builds the shared group state for a statement. Row statements:
+    /// bind the base plan through the cache's reserved key, derive the
+    /// maintained greedy state from the base evaluation, and catch it
+    /// up to the current epoch's deletion set. Boolean statements: bind
+    /// the current epoch's plan and remember whether the query is
+    /// satisfied (re-solve-on-push maintains it from there). Caller
+    /// holds the mutation lock.
     fn build_group(&self, stmt: &Statement<'_>) -> Result<Group, ServiceError> {
-        let (base, deleted) = {
+        let (epoch, db, base, deleted) = {
             // adp-lint: allow(panic-path) -- lock poisoning requires a
             // prior panic while holding the lock; propagating beats
             // serving torn state.
             let state = self.state.read().unwrap();
-            (Arc::clone(&state.base), state.deleted.clone())
+            (
+                state.epoch,
+                Arc::clone(&state.db),
+                Arc::clone(&state.base),
+                state.deleted.clone(),
+            )
         };
         let query = Arc::clone(stmt.query_arc());
         let mut atoms_by_slot: Vec<Vec<usize>> = vec![Vec::new(); base.relations().len()];
@@ -411,6 +513,29 @@ impl Service {
                 )));
             };
             atoms_by_slot[rel_id.index()].push(i);
+        }
+        if query.is_boolean() {
+            // No delta state to maintain: bind the current epoch's plan
+            // (shared with the solve path) just to record liveness.
+            let build_query = Arc::clone(&query);
+            let (prep, _hit, evicted) = self.cache.get_or_insert(
+                stmt.fingerprint(),
+                (stmt.normalized_text().to_string(), epoch),
+                move || adp_core::solver::PreparedQuery::new((*build_query).clone(), db),
+            );
+            StatsInner::add(&self.stats.evicted, evicted);
+            return Ok(Group {
+                fingerprint: stmt.fingerprint(),
+                normalized: stmt.normalized_text().to_string(),
+                query,
+                plan: Weak::new(),
+                state: Maintained::Boolean {
+                    live: prep.output_count() > 0,
+                },
+                atoms_by_slot,
+                targets: HashMap::new(),
+                subs: Vec::new(),
+            });
         }
         let build_query = Arc::clone(&query);
         let build_db = Arc::clone(&base);
@@ -439,11 +564,58 @@ impl Service {
             normalized: stmt.normalized_text().to_string(),
             query,
             plan: Arc::downgrade(&prep),
-            greedy,
+            state: Maintained::Greedy(Box::new(greedy)),
             atoms_by_slot,
             targets: HashMap::new(),
             subs: Vec::new(),
         })
+    }
+
+    /// Fresh boolean answer for `group` at `epoch`, through the shared
+    /// plan cache: whether the query is satisfied, and (when it is) the
+    /// min-cut cost plus its deletion set mapped to **base** tuple
+    /// coordinates so churn stays comparable across epochs. Caller
+    /// holds the mutation lock, so `epoch` is the settled current epoch.
+    fn boolean_answer(
+        &self,
+        group: &Group,
+        epoch: u64,
+    ) -> Result<(bool, u64, Vec<TupleRef>), ServiceError> {
+        let db = {
+            // adp-lint: allow(panic-path) -- same poisoning rationale as
+            // every state-lock read in this crate.
+            Arc::clone(&self.state.read().unwrap().db)
+        };
+        let build_query = Arc::clone(&group.query);
+        let build_db = Arc::clone(&db);
+        let (prep, _hit, evicted) = self.cache.get_or_insert(
+            group.fingerprint,
+            (group.normalized.clone(), epoch),
+            move || adp_core::solver::PreparedQuery::new((*build_query).clone(), build_db),
+        );
+        StatsInner::add(&self.stats.evicted, evicted);
+        if prep.output_count() == 0 {
+            return Ok((false, 0, Vec::new()));
+        }
+        let mut opts = self.config.default_opts.clone();
+        opts.mode = Mode::Report;
+        let outcome = prep.solve(1, &opts).map_err(ServiceError::Solve)?;
+        let solution = outcome.solution.unwrap_or_default();
+        let mut deletions = Vec::with_capacity(solution.len());
+        for t in solution {
+            // Snapshot dense index → base stable id; atoms and
+            // relations were validated when the group was built.
+            let Some(atom) = group.query.atoms().get(t.atom) else {
+                continue;
+            };
+            let Some(rel_id) = db.rel_id(atom.name()) else {
+                continue;
+            };
+            let rel = db.relation_by_id(rel_id);
+            deletions.push(TupleRef::new(t.atom, rel.stable_id_at(t.index)));
+        }
+        deletions.sort_unstable();
+        Ok((true, outcome.cost, deletions))
     }
 
     /// The fan-out half of every effective mutation batch. Called by
@@ -462,56 +634,105 @@ impl Service {
         }
         let mut reaped = 0u64;
         for group in groups.values_mut() {
-            // Service batches are (relation slot, base index); the delta
-            // state wants per-atom tuple refs.
-            let refs: Vec<TupleRef> = effective
-                .iter()
-                .flat_map(|&(slot, idx)| {
-                    group
-                        .atoms_by_slot
-                        .get(slot)
-                        .into_iter()
-                        .flatten()
-                        .map(move |&a| TupleRef::new(a, idx))
-                })
-                .collect();
-            let transitions = if delete {
-                group.greedy.apply_deletes(&refs)
-            } else {
-                group.greedy.apply_restores(&refs)
-            };
-            StatsInner::bump(&self.stats.shared_delta_applications);
-
-            // Materialize rows only for outputs that actually crossed
-            // the live boundary (the SSP weight rule).
-            let rows: Vec<OutputRow> = if transitions.is_empty() {
-                Vec::new()
-            } else {
-                let eval = self.group_eval(group);
-                transitions
-                    .iter()
-                    .map(|&id| OutputRow {
-                        id,
-                        values: eval.outputs[id as usize].clone(),
-                    })
-                    .collect()
-            };
-            let (gained, lost) = if delete {
-                (Vec::new(), rows)
-            } else {
-                (rows, Vec::new())
-            };
-
-            // One re-solve per distinct target, shared by its subscribers.
-            let live = group.greedy.live_outputs();
             let mut answers: HashMap<TargetKey, (i64, DeletionChurn)> = HashMap::new();
-            for (tkey, st) in group.targets.iter_mut() {
-                let solve = group.greedy.solve(resolve_k(st.target, live));
-                let drift = solve.cost as i64 - st.prev_cost as i64;
-                let moved = churn(&st.prev_deletions, &solve.deletions);
-                st.prev_cost = solve.cost;
-                st.prev_deletions = solve.deletions;
-                answers.insert(*tkey, (drift, moved));
+            let (gained, lost);
+            if matches!(group.state, Maintained::Boolean { .. }) {
+                // Re-solve-on-push: a fresh min-cut at the new epoch,
+                // diffed against the remembered answer. A solver-side
+                // failure (an over-budget flow solve under a custom
+                // `default_opts` deadline) degrades to "answer unknown,
+                // carry the previous one": the update still delivers
+                // its gapless seq with zero drift, and the next
+                // successful solve reports the accumulated movement.
+                let answer = self.boolean_answer(group, epoch).ok();
+                let prev_live = matches!(group.state, Maintained::Boolean { live: true });
+                let live_now = answer.as_ref().map_or(prev_live, |&(live, _, _)| live);
+                group.state = Maintained::Boolean { live: live_now };
+                let pseudo = || {
+                    vec![OutputRow {
+                        id: 0,
+                        values: Vec::new().into_boxed_slice(),
+                    }]
+                };
+                (gained, lost) = match (prev_live, live_now) {
+                    (false, true) => (pseudo(), Vec::new()),
+                    (true, false) => (Vec::new(), pseudo()),
+                    _ => (Vec::new(), Vec::new()),
+                };
+                for (tkey, st) in group.targets.iter_mut() {
+                    let (cost, deletions) = match &answer {
+                        Some((_, cost, dels)) if resolve_k(st.target, u64::from(live_now)) > 0 => {
+                            (*cost, dels.clone())
+                        }
+                        Some(_) => (0, Vec::new()),
+                        None => (st.prev_cost, st.prev_deletions.clone()),
+                    };
+                    let drift = cost as i64 - st.prev_cost as i64;
+                    let moved = churn(&st.prev_deletions, &deletions);
+                    st.prev_cost = cost;
+                    st.prev_deletions = deletions;
+                    answers.insert(*tkey, (drift, moved));
+                }
+            } else {
+                // Service batches are (relation slot, base index); the
+                // delta state wants per-atom tuple refs.
+                let refs: Vec<TupleRef> = effective
+                    .iter()
+                    .flat_map(|&(slot, idx)| {
+                        group
+                            .atoms_by_slot
+                            .get(slot)
+                            .into_iter()
+                            .flatten()
+                            .map(move |&a| TupleRef::new(a, idx))
+                    })
+                    .collect();
+                let transitions = match &mut group.state {
+                    Maintained::Greedy(greedy) => {
+                        if delete {
+                            greedy.apply_deletes(&refs)
+                        } else {
+                            greedy.apply_restores(&refs)
+                        }
+                    }
+                    Maintained::Boolean { .. } => Vec::new(),
+                };
+                StatsInner::bump(&self.stats.shared_delta_applications);
+
+                // Materialize rows only for outputs that actually
+                // crossed the live boundary (the SSP weight rule).
+                let rows: Vec<OutputRow> = if transitions.is_empty() {
+                    Vec::new()
+                } else {
+                    let eval = self.group_eval(group);
+                    transitions
+                        .iter()
+                        .map(|&id| OutputRow {
+                            id,
+                            values: eval.outputs[id as usize].clone(),
+                        })
+                        .collect()
+                };
+                (gained, lost) = if delete {
+                    (Vec::new(), rows)
+                } else {
+                    (rows, Vec::new())
+                };
+
+                // One re-solve per distinct target, shared by its
+                // subscribers.
+                let Group { state, targets, .. } = group;
+                if let Maintained::Greedy(greedy) = state {
+                    let live = greedy.live_outputs();
+                    for (tkey, st) in targets.iter_mut() {
+                        let solve = greedy.solve(resolve_k(st.target, live));
+                        let drift = solve.cost as i64 - st.prev_cost as i64;
+                        let moved = churn(&st.prev_deletions, &solve.deletions);
+                        st.prev_cost = solve.cost;
+                        st.prev_deletions = solve.deletions;
+                        answers.insert(*tkey, (drift, moved));
+                    }
+                }
             }
 
             group.subs.retain_mut(|sub| {
@@ -524,8 +745,8 @@ impl Service {
                     lagged: (!sub.missed.is_empty()).then(|| Lagged {
                         missed_seqs: std::mem::take(&mut sub.missed),
                     }),
-                    outputs_gained: gained.clone(),
-                    outputs_lost: lost.clone(),
+                    outputs_gained: project_rows(&gained, sub.projection.as_deref()),
+                    outputs_lost: project_rows(&lost, sub.projection.as_deref()),
                     cost_drift,
                     deletion_set_churn,
                 };
@@ -821,11 +1042,142 @@ mod tests {
             svc.subscribe(&stmt, Target::Ratio(f64::NAN), SubscribeOptions::default()),
             Err(ServiceError::BadRequest(_))
         ));
+        // Projection columns must fit the head arity — including on
+        // boolean statements, whose head has no columns at all.
+        assert!(matches!(
+            svc.subscribe(
+                &stmt,
+                Target::Outputs(1),
+                SubscribeOptions::default().with_projection(vec![0, 2]),
+            ),
+            Err(ServiceError::BadRequest(_))
+        ));
         let boolean = svc.prepare("Q() :- R1(A), R2(A,B)").unwrap();
         assert!(matches!(
-            svc.subscribe(&boolean, Target::Outputs(1), SubscribeOptions::default()),
+            svc.subscribe(
+                &boolean,
+                Target::Outputs(1),
+                SubscribeOptions::default().with_projection(vec![0]),
+            ),
             Err(ServiceError::BadRequest(_))
         ));
         assert_eq!(svc.live_subscriptions(), 0);
+    }
+
+    #[test]
+    fn projections_thin_rows_per_subscriber() {
+        let svc = Service::new(chain_db());
+        let stmt = svc.prepare(Q).unwrap();
+        let (_f, full) = svc
+            .subscribe(&stmt, Target::Outputs(1), SubscribeOptions::default())
+            .unwrap();
+        // Head is (A, B): keep only B, and also B twice reversed —
+        // reorder and repetition are both legal.
+        let (_b, only_b) = svc
+            .subscribe(
+                &stmt,
+                Target::Outputs(1),
+                SubscribeOptions::default().with_projection(vec![1]),
+            )
+            .unwrap();
+        let (_r, b_then_a) = svc
+            .subscribe(
+                &stmt,
+                Target::Outputs(1),
+                SubscribeOptions::default().with_projection(vec![1, 0]),
+            )
+            .unwrap();
+
+        svc.delete_tuples(&[("R2", 1)]).unwrap(); // kills output (1,2)
+        assert_eq!(&*full.try_recv().unwrap().outputs_lost[0].values, &[1, 2]);
+        let u = only_b.try_recv().unwrap();
+        assert_eq!(&*u.outputs_lost[0].values, &[2]);
+        assert_eq!(u.outputs_lost[0].id, 1, "projection keeps the row id");
+        assert_eq!(
+            &*b_then_a.try_recv().unwrap().outputs_lost[0].values,
+            &[2, 1]
+        );
+    }
+
+    #[test]
+    fn boolean_subscriptions_resolve_on_push_and_diff_on_answer_change() {
+        let svc = Service::new(chain_db());
+        let stmt = svc.prepare("Q() :- R1(A), R2(A,B), R3(B)").unwrap();
+        let (_id, rx) = svc
+            .subscribe(&stmt, Target::Outputs(1), SubscribeOptions::default())
+            .unwrap();
+        assert_eq!(svc.live_subscriptions(), 1);
+
+        // The query is satisfied; R1 = {1, 2} is one min cut (cost 2),
+        // as is R3. Deleting one R2 tuple keeps the query true: the
+        // update carries no transition, but the cut may drift.
+        svc.delete_tuples(&[("R2", 1)]).unwrap();
+        let u = rx.try_recv().unwrap();
+        assert_eq!((u.epoch, u.seq), (1, 0));
+        assert!(u.outputs_gained.is_empty() && u.outputs_lost.is_empty());
+
+        // Killing the remaining R2 tuples makes the query false: one
+        // pseudo row dies and the cut cost falls to 0.
+        svc.delete_tuples(&[("R2", 0), ("R2", 2)]).unwrap();
+        let u = rx.try_recv().unwrap();
+        assert_eq!(u.outputs_lost.len(), 1);
+        assert!(u.outputs_lost[0].values.is_empty());
+        // Drift across both updates must telescope from the seed cost
+        // (a min cut of the seeded epoch) down to 0.
+        {
+            let groups = svc.subscriptions.inner.lock().unwrap();
+            let ts = groups
+                .values()
+                .next()
+                .unwrap()
+                .targets
+                .values()
+                .next()
+                .unwrap();
+            assert_eq!(ts.prev_cost, 0);
+            assert!(ts.prev_deletions.is_empty());
+        }
+
+        // Restoring one R2 tuple revives the answer: a pseudo row is
+        // gained and the cut is live again.
+        svc.restore_tuples(&[("R2", 0)]).unwrap();
+        let u = rx.try_recv().unwrap();
+        assert_eq!(u.outputs_gained.len(), 1);
+        assert!(u.outputs_gained[0].values.is_empty());
+        assert!(u.cost_drift > 0);
+        assert!(!u.deletion_set_churn.added.is_empty());
+    }
+
+    #[test]
+    fn boolean_subscription_answers_match_fresh_solves() {
+        // Differential: after every batch the maintained boolean answer
+        // must equal a fresh service solve at the same epoch.
+        let svc = Service::new(chain_db());
+        let text = "Q() :- R1(A), R2(A,B), R3(B)";
+        let stmt = svc.prepare(text).unwrap();
+        let (_id, rx) = svc
+            .subscribe(&stmt, Target::Outputs(1), SubscribeOptions::default())
+            .unwrap();
+        let batches: [(&[(&str, u32)], bool); 4] = [
+            (&[("R2", 0)], true),
+            (&[("R1", 0)], true),
+            (&[("R2", 0)], false),
+            (&[("R2", 1), ("R2", 2)], true),
+        ];
+        for (batch, delete) in batches {
+            if delete {
+                svc.delete_tuples(batch).unwrap();
+            } else {
+                svc.restore_tuples(batch).unwrap();
+            }
+            let _ = rx.try_recv().unwrap();
+            let fresh = svc.solve(&SolveRequest::outputs(text, 1)).unwrap();
+            let groups = svc.subscriptions.inner.lock().unwrap();
+            let g = groups.values().next().unwrap();
+            let live = matches!(g.state, Maintained::Boolean { live: true });
+            let ts = g.targets.values().next().unwrap();
+            assert_eq!(u64::from(live), fresh.outcome.output_count);
+            assert_eq!(ts.prev_cost, fresh.outcome.cost);
+        }
     }
 }
